@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunModes(t *testing.T) {
+	for _, mode := range []string{"strict", "counting", "both"} {
+		if err := run("illinois", 3, mode, false, 0); err != nil {
+			t.Errorf("mode %s: %v", mode, err)
+		}
+	}
+}
+
+func TestRunStrictFlag(t *testing.T) {
+	if err := run("firefly", 2, "both", true, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nonexistent", 2, "both", false, 0); err == nil {
+		t.Error("unknown protocol must error")
+	}
+	if err := run("illinois", 2, "fancy", false, 0); err == nil {
+		t.Error("invalid mode must error")
+	}
+	if err := run("illinois", 0, "both", false, 0); err == nil {
+		t.Error("zero caches must error")
+	}
+}

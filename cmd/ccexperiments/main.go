@@ -1,0 +1,58 @@
+// Command ccexperiments regenerates the figures and tables of Pong & Dubois
+// (SPAA 1993); see DESIGN.md for the experiment index.
+//
+// Usage:
+//
+//	ccexperiments                 # run everything
+//	ccexperiments -exp fig4       # one experiment:
+//	                              # fig1 fig4 fig4table a2 complexity suite
+//	                              # mutants workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+var allExperiments = []struct {
+	name string
+	desc string
+	run  func() error
+}{
+	{"fig1", "E1: Illinois per-cache transition diagram (Figure 1)", runFig1},
+	{"fig4", "E4: Illinois global transition diagram (Figure 4)", runFig4},
+	{"fig4table", "E5: context-variable table of Figure 4", runFig4Table},
+	{"a2", "E6: Illinois expansion steps (Appendix A.2)", runA2},
+	{"complexity", "E7: state-space growth, enumeration vs symbolic (Section 3.1)", runComplexity},
+	{"suite", "E8: verification of the Archibald & Baer protocol suite", runSuite},
+	{"mutants", "E9: erroneous-state detection on fault-injected protocols", runMutants},
+	{"scaling", "E11: symbolic cost vs number of per-cache states (synthetic family)", runScaling},
+	{"workloads", "extension: simulated bus traffic across sharing patterns", runWorkloads},
+	{"falsesharing", "extension: false sharing vs coherence block size", runFalseSharing},
+}
+
+func main() {
+	var exp = flag.String("exp", "all", "experiment to run (all, fig1, fig4, fig4table, a2, complexity, suite, mutants, workloads)")
+	flag.Parse()
+
+	ran := false
+	for _, e := range allExperiments {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		ran = true
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "ccexperiments: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "ccexperiments: unknown experiment %q; have:\n", *exp)
+		for _, e := range allExperiments {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.name, e.desc)
+		}
+		os.Exit(1)
+	}
+}

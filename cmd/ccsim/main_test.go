@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRunWorkloads(t *testing.T) {
+	for _, wl := range []string{"uniform", "hot-block", "migratory", "producer-consumer"} {
+		if err := run("illinois", 4, 8, 4, wl, 5000, 1, 0.3, ""); err != nil {
+			t.Errorf("workload %s: %v", wl, err)
+		}
+	}
+}
+
+func TestRunCrossCheckMode(t *testing.T) {
+	if err := run("msi", 0, 0, 0, "", 0, 0, 0, "2,3"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nonexistent", 4, 8, 4, "uniform", 100, 1, 0.3, ""); err == nil {
+		t.Error("unknown protocol must error")
+	}
+	if err := run("illinois", 4, 8, 4, "chaotic", 100, 1, 0.3, ""); err == nil {
+		t.Error("unknown workload must error")
+	}
+	if err := run("illinois", 0, 8, 4, "uniform", 100, 1, 0.3, ""); err == nil {
+		t.Error("zero caches must error")
+	}
+	if err := run("illinois", 4, 8, 4, "uniform", 100, 1, 0.3, "x"); err == nil {
+		t.Error("bad crosscheck must error")
+	}
+}

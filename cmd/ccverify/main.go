@@ -1,0 +1,173 @@
+// Command ccverify verifies a cache coherence protocol with the symbolic
+// state expansion method of Pong & Dubois (SPAA 1993).
+//
+// Usage:
+//
+//	ccverify -protocol illinois [-strict] [-log] [-dot out.dot] [-crosscheck 2,3,4]
+//	ccverify -spec myprotocol.ccpsl [-local-dot out.dot]
+//
+// It prints the protocol's essential states with their context variables,
+// the verdict (permissible or erroneous, with witness paths), and optionally
+// the expansion log and the global transition diagram in Graphviz DOT form.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/ccpsl"
+	"repro/internal/core"
+	"repro/internal/fsm"
+	"repro/internal/graph"
+	"repro/internal/protocols"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		protoName  = flag.String("protocol", "", "built-in protocol name ("+strings.Join(protocols.Names(), ", ")+")")
+		specFile   = flag.String("spec", "", "path to a ccpsl protocol specification")
+		strict     = flag.Bool("strict", false, "enable the clean-state/memory consistency extension check")
+		showLog    = flag.Bool("log", false, "print the expansion visit log (Appendix A.2 style)")
+		dotFile    = flag.String("dot", "", "write the global transition diagram to this DOT file")
+		localDot   = flag.String("local-dot", "", "write the per-cache diagram (Figure 1 style) to this DOT file")
+		crossCheck = flag.String("crosscheck", "", "comma-separated cache counts for explicit-state cross-validation, e.g. 2,3,4")
+		compare    = flag.String("compare", "", "compare the global diagrams of two protocols, e.g. illinois,firefly")
+		jsonFile   = flag.String("json", "", "write the machine-readable report to this JSON file")
+	)
+	flag.Parse()
+
+	if *compare != "" {
+		if err := runCompare(*compare); err != nil {
+			fmt.Fprintln(os.Stderr, "ccverify:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*protoName, *specFile, *strict, *showLog, *dotFile, *localDot, *crossCheck, *jsonFile); err != nil {
+		fmt.Fprintln(os.Stderr, "ccverify:", err)
+		os.Exit(1)
+	}
+}
+
+// runCompare builds both global diagrams and prints the paper-motivated
+// "similarities and disparities" comparison.
+func runCompare(pair string) error {
+	parts := strings.Split(pair, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("-compare needs exactly two protocol names, got %q", pair)
+	}
+	var gs []*graph.Global
+	for _, name := range parts {
+		p, err := protocols.ByName(name)
+		if err != nil {
+			return err
+		}
+		rep, err := core.Verify(p, core.Options{BuildGraph: true})
+		if err != nil {
+			return err
+		}
+		if rep.Graph == nil {
+			return fmt.Errorf("%s is erroneous; nothing to compare", p.Name)
+		}
+		gs = append(gs, rep.Graph)
+	}
+	fmt.Printf("comparing %s and %s:\n", gs[0].Protocol.Name, gs[1].Protocol.Name)
+	fmt.Print(graph.Compare(gs[0], gs[1]).String())
+	return nil
+}
+
+func run(protoName, specFile string, strict, showLog bool, dotFile, localDot, crossCheck, jsonFile string) error {
+	p, err := loadProtocol(protoName, specFile)
+	if err != nil {
+		return err
+	}
+
+	opts := core.Options{
+		Strict:     strict,
+		RecordLog:  showLog,
+		BuildGraph: true,
+	}
+	if crossCheck != "" {
+		for _, part := range strings.Split(crossCheck, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				return fmt.Errorf("invalid -crosscheck entry %q", part)
+			}
+			opts.CrossCheckN = append(opts.CrossCheckN, n)
+		}
+	}
+
+	rep, err := core.Verify(p, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Summary())
+
+	if rep.Symbolic.OK() {
+		if dead := core.DeadRules(rep); len(dead) > 0 {
+			fmt.Printf("  warning: %d unreachable rule(s): %s\n", len(dead), strings.Join(dead, ", "))
+		}
+	}
+
+	if showLog {
+		t := report.NewTable("#", "from", "event", "to", "disposition")
+		for i, v := range rep.Symbolic.Log {
+			t.AddRow(i+1, v.From.StructureString(p), v.Label, v.To.StructureString(p), v.Outcome)
+		}
+		fmt.Println("\nExpansion log:")
+		fmt.Print(t.String())
+	}
+
+	if dotFile != "" {
+		if rep.Graph == nil {
+			return fmt.Errorf("no global diagram available (protocol erroneous?)")
+		}
+		if err := os.WriteFile(dotFile, []byte(rep.Graph.DOT()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote global diagram to %s\n", dotFile)
+	}
+	if localDot != "" {
+		l := graph.BuildLocal(p)
+		if err := os.WriteFile(localDot, []byte(l.DOT()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote per-cache diagram to %s\n", localDot)
+	}
+	if jsonFile != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonFile, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote JSON report to %s\n", jsonFile)
+	}
+
+	if !rep.OK() {
+		os.Exit(2)
+	}
+	return nil
+}
+
+func loadProtocol(protoName, specFile string) (*fsm.Protocol, error) {
+	switch {
+	case protoName != "" && specFile != "":
+		return nil, fmt.Errorf("use either -protocol or -spec, not both")
+	case protoName != "":
+		return protocols.ByName(protoName)
+	case specFile != "":
+		src, err := os.ReadFile(specFile)
+		if err != nil {
+			return nil, err
+		}
+		return ccpsl.Parse(string(src))
+	default:
+		return nil, fmt.Errorf("one of -protocol or -spec is required")
+	}
+}

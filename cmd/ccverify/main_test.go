@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadProtocolByName(t *testing.T) {
+	p, err := loadProtocol("illinois", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "Illinois" {
+		t.Errorf("name = %s", p.Name)
+	}
+}
+
+func TestLoadProtocolFromSpec(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.ccpsl")
+	spec := `protocol Tiny
+states {
+  I initial
+  V valid readable
+}
+rule miss { from I on R
+            next V
+            data memory }
+rule hit  { from V on R
+            next V
+            data keep }
+`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := loadProtocol("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "Tiny" {
+		t.Errorf("name = %s", p.Name)
+	}
+}
+
+func TestLoadProtocolArgumentErrors(t *testing.T) {
+	if _, err := loadProtocol("", ""); err == nil {
+		t.Error("no source must error")
+	}
+	if _, err := loadProtocol("illinois", "x.ccpsl"); err == nil {
+		t.Error("both sources must error")
+	}
+	if _, err := loadProtocol("nonexistent", ""); err == nil {
+		t.Error("unknown protocol must error")
+	}
+	if _, err := loadProtocol("", "/does/not/exist.ccpsl"); err == nil {
+		t.Error("missing spec file must error")
+	}
+}
+
+func TestRunVerifyWritesDOT(t *testing.T) {
+	dir := t.TempDir()
+	dot := filepath.Join(dir, "g.dot")
+	localDot := filepath.Join(dir, "l.dot")
+	if err := run("illinois", "", true, false, dot, localDot, "2,3", filepath.Join(dir, "r.json")); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{dot, localDot} {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("missing output %s: %v", f, err)
+		}
+		if !strings.Contains(string(data), "digraph") {
+			t.Errorf("%s is not a DOT file", f)
+		}
+	}
+}
+
+func TestRunRejectsBadCrossCheck(t *testing.T) {
+	if err := run("illinois", "", false, false, "", "", "2,zero", ""); err == nil {
+		t.Error("malformed crosscheck list must error")
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	if err := runCompare("synapse,msi"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCompare("onlyone"); err == nil {
+		t.Error("compare needs two names")
+	}
+	if err := runCompare("synapse,doesnotexist"); err == nil {
+		t.Error("unknown protocol must error")
+	}
+}
+
+func TestRunWritesJSONReport(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "report.json")
+	if err := run("msi", "", false, false, "", "", "", jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"protocol": "MSI"`, `"permissible": true`, `"essential"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON report missing %q", want)
+		}
+	}
+}

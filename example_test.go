@@ -1,0 +1,93 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// Verify a built-in protocol and inspect the headline numbers.
+func ExampleVerify() {
+	p, err := repro.ProtocolByName("illinois")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := repro.Verify(p, repro.VerifyOptions{BuildGraph: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("permissible:", rep.OK())
+	fmt.Println("essential states:", len(rep.Symbolic.Essential))
+	fmt.Println("state visits:", rep.Symbolic.Visits)
+	fmt.Println("global edges:", len(rep.Graph.Edges))
+	// Output:
+	// permissible: true
+	// essential states: 5
+	// state visits: 23
+	// global edges: 23
+}
+
+// Define a protocol in the specification language and verify it.
+func ExampleParseSpec() {
+	const spec = `
+protocol Tiny-WT
+characteristic null
+
+states {
+  Invalid initial
+  Valid   valid readable clean
+}
+
+rule read-hit   { from Valid on R
+                  next Valid
+                  data keep }
+rule read-miss  { from Invalid on R
+                  next Valid
+                  data memory }
+rule write-hit  { from Valid on W
+                  next Valid
+                  observe Valid -> Invalid
+                  data keep store write-through }
+rule write-miss { from Invalid on W
+                  next Valid
+                  observe Valid -> Invalid
+                  data memory store write-through }
+rule replace    { from Valid on Z
+                  next Invalid
+                  data keep drop }
+`
+	p, err := repro.ParseSpec(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := repro.Verify(p, repro.VerifyOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(p.Name, "permissible:", rep.OK())
+	// Output:
+	// Tiny-WT permissible: true
+}
+
+// Inject a design fault and watch the verifier refute it.
+func ExampleMutants() {
+	p, err := repro.ProtocolByName("msi")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range repro.Mutants(p) {
+		if m.Kind != "drop-invalidation" {
+			continue
+		}
+		rep, err := repro.Verify(m.Protocol, repro.VerifyOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("fault:", m.Detail)
+		fmt.Println("refuted:", !rep.Symbolic.OK())
+	}
+	// Output:
+	// fault: write no longer invalidates remote copies
+	// refuted: true
+}

@@ -1,0 +1,113 @@
+// Customprotocol: define a protocol from scratch in the ccpsl specification
+// language and verify it — the workflow the paper proposes for catching
+// coherence bugs at the early design stage.
+//
+// The example first verifies a naive write-invalidate design whose author
+// forgot that a write hit must invalidate the other Shared copies. The
+// verifier refutes it with a witness path ending in a state where a remote
+// processor can read a stale value. The example then verifies the repaired
+// design, which is exactly MSI, and prints its essential states.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// buggySpec forgets the "observe Shared -> Invalid" clause on write-hit:
+// remote Shared copies survive a local write and become stale.
+const buggySpec = `
+protocol Naive-MSI
+characteristic null
+
+states {
+  Invalid  initial
+  Shared   valid readable clean
+  Modified valid readable exclusive owner
+}
+
+rule read-hit-shared     { from Shared on R
+                           next Shared
+                           data keep }
+rule read-hit-modified   { from Modified on R
+                           next Modified
+                           data keep }
+rule read-miss-owned     { from Invalid on R when any-other Modified
+                           next Shared
+                           observe Modified -> Shared
+                           data from-cache Modified writeback-supplier }
+rule read-miss-clean     { from Invalid on R when no-other Modified
+                           next Shared
+                           observe Modified -> Shared
+                           data memory }
+rule write-hit-modified  { from Modified on W
+                           next Modified
+                           data keep store }
+rule write-hit-shared    { from Shared on W
+                           next Modified
+                           data keep store }          # BUG: no invalidation!
+rule write-miss-owned    { from Invalid on W when any-other Modified
+                           next Modified
+                           observe Modified -> Invalid, Shared -> Invalid
+                           data from-cache Modified writeback-supplier store }
+rule write-miss-clean    { from Invalid on W when no-other Modified
+                           next Modified
+                           observe Modified -> Invalid, Shared -> Invalid
+                           data memory store }
+rule replace-modified    { from Modified on Z
+                           next Invalid
+                           data keep writeback-self drop }
+rule replace-shared      { from Shared on Z
+                           next Invalid
+                           data keep drop }
+`
+
+func main() {
+	fmt.Println("=== 1. Verifying the buggy design ===")
+	buggy, err := repro.ParseSpec(buggySpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := repro.Verify(buggy, repro.VerifyOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep.OK() {
+		log.Fatal("the buggy protocol unexpectedly verified clean")
+	}
+	fmt.Printf("refuted: %d erroneous composite states reachable, e.g.\n", len(rep.Symbolic.Violations))
+	sv := rep.Symbolic.Violations[0]
+	fmt.Printf("  %s\n", sv.Violations[0].Error())
+
+	fmt.Println("\n=== 2. Repairing the write-hit rule ===")
+	fixedSpec := buggySpec
+	fixedSpec = replaceOnce(fixedSpec,
+		"rule write-hit-shared    { from Shared on W\n                           next Modified\n                           data keep store }          # BUG: no invalidation!",
+		"rule write-hit-shared    { from Shared on W\n                           next Modified\n                           observe Shared -> Invalid, Modified -> Invalid\n                           data keep store }")
+	fixed, err := repro.ParseSpec(fixedSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fixed.Name = "Fixed-MSI"
+	rep2, err := repro.Verify(fixed, repro.VerifyOptions{BuildGraph: true, CrossCheckN: []int{2, 3, 4}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep2.Summary())
+	if !rep2.OK() {
+		log.Fatal("the repaired protocol should verify clean")
+	}
+	fmt.Println("\nThe repaired design is coherent for any number of caches.")
+}
+
+func replaceOnce(s, old, new string) string {
+	for i := 0; i+len(old) <= len(s); i++ {
+		if s[i:i+len(old)] == old {
+			return s[:i] + new + s[i+len(old):]
+		}
+	}
+	log.Fatal("repair target not found in spec")
+	return s
+}

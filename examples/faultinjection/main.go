@@ -1,0 +1,49 @@
+// Faultinjection: take every built-in protocol, inject one design fault at
+// a time (a forgotten invalidation, a skipped write-back, ...), and show
+// that the symbolic verifier refutes each mutant with a concrete witness
+// path from the initial state to an erroneous composite state — while the
+// unmutated protocols all verify clean.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/core"
+)
+
+func main() {
+	total, detected := 0, 0
+	for _, p := range repro.Protocols() {
+		orig, err := repro.Verify(p, repro.VerifyOptions{Strict: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !orig.Symbolic.OK() {
+			log.Fatalf("baseline %s should verify clean", p.Name)
+		}
+
+		for _, m := range repro.Mutants(p) {
+			total++
+			rep, err := repro.Verify(m.Protocol, repro.VerifyOptions{Strict: true})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if rep.Symbolic.OK() {
+				fmt.Printf("MISSED  %-40s (%s)\n", m.Protocol.Name, m.Detail)
+				continue
+			}
+			detected++
+			sv := rep.Symbolic.Violations[0]
+			fmt.Printf("refuted %-40s rule %s: %s\n", m.Protocol.Name, m.Rule, m.Detail)
+			fmt.Printf("        first erroneous state: %s\n", sv.State.StructureString(m.Protocol))
+			fmt.Printf("        violation: %s\n", sv.Violations[0].Error())
+			fmt.Printf("        witness:   %s\n\n", core.FormatWitness(m.Protocol, rep.Engine(), sv.Path))
+		}
+	}
+	fmt.Printf("detected %d/%d injected faults\n", detected, total)
+	if detected != total {
+		log.Fatal("some faults escaped the verifier")
+	}
+}

@@ -1,0 +1,139 @@
+package ccpsl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fsm"
+)
+
+// Format renders a protocol as a ccpsl specification. Parse(Format(p))
+// yields a protocol equivalent to p (same states, rules, invariants and
+// characteristic function).
+func Format(p *fsm.Protocol) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "protocol %s\n", p.Name)
+	switch p.Characteristic {
+	case fsm.CharSharing:
+		b.WriteString("characteristic sharing\n")
+	default:
+		b.WriteString("characteristic null\n")
+	}
+	if !defaultOps(p.Ops) {
+		b.WriteString("ops")
+		for _, op := range p.Ops {
+			b.WriteString(" " + string(op))
+		}
+		b.WriteByte('\n')
+	}
+
+	inSet := func(s fsm.State, set []fsm.State) bool {
+		for _, t := range set {
+			if s == t {
+				return true
+			}
+		}
+		return false
+	}
+
+	b.WriteString("\nstates {\n")
+	for _, s := range p.States {
+		var flags []string
+		if s == p.Initial {
+			flags = append(flags, "initial")
+		}
+		if inSet(s, p.Inv.ValidCopy) {
+			flags = append(flags, "valid")
+		}
+		if inSet(s, p.Inv.Readable) {
+			flags = append(flags, "readable")
+		}
+		if inSet(s, p.Inv.Exclusive) {
+			flags = append(flags, "exclusive")
+		}
+		if inSet(s, p.Inv.Owners) {
+			flags = append(flags, "owner")
+		}
+		if inSet(s, p.Inv.CleanShared) {
+			flags = append(flags, "clean")
+		}
+		fmt.Fprintf(&b, "  %s", s)
+		if len(flags) > 0 {
+			fmt.Fprintf(&b, " %s", strings.Join(flags, " "))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		fmt.Fprintf(&b, "\nrule %s {\n", r.Name)
+		fmt.Fprintf(&b, "  from %s on %s", r.From, r.On)
+		switch r.Guard.Kind {
+		case fsm.GuardAnyOther:
+			fmt.Fprintf(&b, " when any-other %s", joinStates(r.Guard.States))
+		case fsm.GuardNoOther:
+			fmt.Fprintf(&b, " when no-other %s", joinStates(r.Guard.States))
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "  next %s\n", r.Next)
+		if len(r.Observe) > 0 {
+			var pairs []string
+			for _, s := range p.States { // deterministic order
+				if t, ok := r.Observe[s]; ok {
+					pairs = append(pairs, fmt.Sprintf("%s -> %s", s, t))
+				}
+			}
+			fmt.Fprintf(&b, "  observe %s\n", strings.Join(pairs, ", "))
+		}
+		b.WriteString("  data ")
+		switch r.Data.Source {
+		case fsm.SrcNone:
+			b.WriteString("none")
+		case fsm.SrcKeep:
+			b.WriteString("keep")
+		case fsm.SrcMemory:
+			b.WriteString("memory")
+		case fsm.SrcCache:
+			b.WriteString("from-cache")
+			for _, s := range r.Data.Suppliers {
+				b.WriteString(" " + string(s))
+			}
+		}
+		if r.Data.Store {
+			b.WriteString(" store")
+		}
+		if r.Data.WriteThrough {
+			b.WriteString(" write-through")
+		}
+		if r.Data.UpdateSharers {
+			b.WriteString(" update-sharers")
+		}
+		if r.Data.SupplierWriteBack {
+			b.WriteString(" writeback-supplier")
+		}
+		if r.Data.WriteBackSelf {
+			b.WriteString(" writeback-self")
+		}
+		if r.Data.DropSelf {
+			b.WriteString(" drop")
+		}
+		if r.Data.Spin {
+			b.WriteString(" spin")
+		}
+		b.WriteString("\n}\n")
+	}
+	return b.String()
+}
+
+func joinStates(states []fsm.State) string {
+	parts := make([]string, len(states))
+	for i, s := range states {
+		parts[i] = string(s)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func defaultOps(ops []fsm.Op) bool {
+	return len(ops) == 3 && ops[0] == fsm.OpRead && ops[1] == fsm.OpWrite && ops[2] == fsm.OpReplace
+}

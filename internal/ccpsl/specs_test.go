@@ -1,0 +1,66 @@
+package ccpsl
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/protocols"
+	"repro/internal/symbolic"
+)
+
+// TestShippedSpecsMatchBuiltins loads every .ccpsl file under specs/ and
+// verifies that it parses, validates and verifies identically to the
+// built-in protocol of the same name — keeping the shipped specifications
+// from drifting out of sync with the Go definitions.
+func TestShippedSpecsMatchBuiltins(t *testing.T) {
+	dir := filepath.Join("..", "..", "specs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("specs directory missing: %v", err)
+	}
+	count := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".ccpsl") {
+			continue
+		}
+		count++
+		name := strings.TrimSuffix(e.Name(), ".ccpsl")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := Parse(string(src))
+			if err != nil {
+				t.Fatalf("shipped spec does not parse: %v", err)
+			}
+			builtin, err := protocols.ByName(name)
+			if err != nil {
+				t.Fatalf("no built-in protocol for spec %s: %v", name, err)
+			}
+			if spec.Name != builtin.Name {
+				t.Errorf("spec name %q, built-in %q", spec.Name, builtin.Name)
+			}
+			if Format(spec) != Format(builtin) {
+				t.Error("shipped spec drifted from the built-in definition; regenerate specs/")
+			}
+			a, err := symbolic.Expand(spec, symbolic.Options{Strict: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := symbolic.Expand(builtin, symbolic.Options{Strict: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a.OK() || len(a.Essential) != len(b.Essential) || a.Visits != b.Visits {
+				t.Errorf("spec verifies differently: %d/%d vs %d/%d",
+					len(a.Essential), a.Visits, len(b.Essential), b.Visits)
+			}
+		})
+	}
+	if count != len(protocols.Names()) {
+		t.Errorf("specs/ holds %d files, registry has %d protocols", count, len(protocols.Names()))
+	}
+}

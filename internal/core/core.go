@@ -1,0 +1,183 @@
+// Package core orchestrates the full verification pipeline of the paper:
+// symbolic expansion of the global state space (internal/symbolic),
+// permissibility and data-consistency checking (Definition 3), construction
+// of the global transition diagram (internal/graph), and optional
+// cross-validation against explicit-state enumeration for fixed cache
+// counts (internal/enum) — the executable form of Theorem 1.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/enum"
+	"repro/internal/fsm"
+	"repro/internal/graph"
+	"repro/internal/report"
+	"repro/internal/symbolic"
+)
+
+// Options configure a verification run.
+type Options struct {
+	// Strict enables the CleanShared memory-consistency extension check.
+	Strict bool
+	// RecordLog keeps the full expansion log (the Appendix A.2 listing).
+	RecordLog bool
+	// StopOnViolation aborts the expansion at the first erroneous state.
+	StopOnViolation bool
+	// BuildGraph constructs the global transition diagram over the
+	// essential states (skipped automatically when the protocol is
+	// erroneous, since Theorem 1 coverage need not hold then).
+	BuildGraph bool
+	// CrossCheckN lists cache counts for explicit-state cross-validation:
+	// for each n, every concrete reachable state must be covered by an
+	// essential state and must satisfy the same invariants.
+	CrossCheckN []int
+	// MaxVisits bounds the symbolic expansion (0 = default).
+	MaxVisits int
+}
+
+// CrossCheck is the result of one explicit-state validation run.
+type CrossCheck struct {
+	N    int
+	Enum *enum.Result
+	// Uncovered lists reachable concrete states not covered by any
+	// essential state (must be empty for a correct run; Theorem 1).
+	Uncovered []string
+}
+
+// OK reports whether the cross-check found no discrepancy.
+func (c *CrossCheck) OK() bool {
+	return c.Enum.OK() && len(c.Uncovered) == 0 && !c.Enum.Truncated
+}
+
+// Report is the outcome of a full verification run.
+type Report struct {
+	Protocol    *fsm.Protocol
+	Symbolic    *symbolic.Result
+	Graph       *graph.Global
+	CrossChecks []CrossCheck
+	engine      *symbolic.Engine
+}
+
+// OK reports whether the protocol verified cleanly end to end.
+func (r *Report) OK() bool {
+	if !r.Symbolic.OK() {
+		return false
+	}
+	for i := range r.CrossChecks {
+		if !r.CrossChecks[i].OK() {
+			return false
+		}
+	}
+	return true
+}
+
+// Engine exposes the symbolic engine of the run (for callers that want to
+// continue exploring, e.g. the graph or abstraction helpers).
+func (r *Report) Engine() *symbolic.Engine { return r.engine }
+
+// Verify runs the verification pipeline on protocol p.
+func Verify(p *fsm.Protocol, opts Options) (*Report, error) {
+	eng, err := symbolic.NewEngine(p)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Protocol: p, engine: eng}
+	rep.Symbolic = eng.Expand(symbolic.Options{
+		MaxVisits:       opts.MaxVisits,
+		RecordLog:       opts.RecordLog,
+		StopOnViolation: opts.StopOnViolation,
+		Strict:          opts.Strict,
+	})
+
+	if opts.BuildGraph && rep.Symbolic.OK() {
+		g, err := graph.BuildGlobal(eng, rep.Symbolic.Essential)
+		if err != nil {
+			return nil, fmt.Errorf("core: building global diagram for %s: %w", p.Name, err)
+		}
+		rep.Graph = g
+	}
+
+	for _, n := range opts.CrossCheckN {
+		cc, err := crossCheck(eng, rep.Symbolic.Essential, n, opts.Strict)
+		if err != nil {
+			return nil, err
+		}
+		rep.CrossChecks = append(rep.CrossChecks, *cc)
+	}
+	return rep, nil
+}
+
+// crossCheck enumerates the concrete state space for n caches and verifies
+// that every reachable state is covered by an essential state.
+func crossCheck(eng *symbolic.Engine, essential []*symbolic.CState, n int, strict bool) (*CrossCheck, error) {
+	p := eng.Protocol()
+	res, err := enum.Counting(p, n, enum.Options{KeepReachable: true, Strict: strict})
+	if err != nil {
+		return nil, fmt.Errorf("core: enumerating %s with %d caches: %w", p.Name, n, err)
+	}
+	cc := &CrossCheck{N: n, Enum: res}
+	for _, cfg := range res.Reachable {
+		cs, err := eng.Abstract(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := symbolic.CoveredBy(cs, essential); !ok {
+			cc.Uncovered = append(cc.Uncovered, cfg.String()+" ~ "+cs.StructureString(p))
+		}
+	}
+	return cc, nil
+}
+
+// Summary renders a human-readable report.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	p := r.Protocol
+	verdict := "PERMISSIBLE (no erroneous state reachable)"
+	if !r.Symbolic.OK() {
+		verdict = "ERRONEOUS"
+	}
+	fmt.Fprintf(&b, "Protocol %s: %s\n", p.Name, verdict)
+	fmt.Fprintf(&b, "  characteristic function: %s\n", p.Characteristic)
+	fmt.Fprintf(&b, "  essential states: %d   state visits: %d   expansions: %d   superseded: %d\n",
+		len(r.Symbolic.Essential), r.Symbolic.Visits, r.Symbolic.Expansions, r.Symbolic.Superseded)
+
+	t := report.NewTable("state", "composite", "context")
+	for i, s := range symbolic.SortStates(r.Symbolic.Essential) {
+		t.AddRow(fmt.Sprintf("s%d", i), s.StructureString(p), s.ContextString(p))
+	}
+	b.WriteString(t.String())
+
+	for _, sv := range r.Symbolic.Violations {
+		fmt.Fprintf(&b, "  erroneous state %s:\n", sv.State.StructureString(p))
+		for _, v := range sv.Violations {
+			fmt.Fprintf(&b, "    - %s\n", v.Error())
+		}
+		if len(sv.Path) > 0 {
+			fmt.Fprintf(&b, "    witness: %s\n", FormatWitness(p, r.engine, sv.Path))
+		}
+	}
+	for _, e := range r.Symbolic.SpecErrors {
+		fmt.Fprintf(&b, "  specification error: %v\n", e)
+	}
+	for i := range r.CrossChecks {
+		cc := &r.CrossChecks[i]
+		status := "OK"
+		if !cc.OK() {
+			status = "FAILED"
+		}
+		fmt.Fprintf(&b, "  cross-check n=%d: %s (%d concrete states, %d visits, %d violations, %d uncovered)\n",
+			cc.N, status, cc.Enum.Unique, cc.Enum.Visits, len(cc.Enum.Violations), len(cc.Uncovered))
+	}
+	return b.String()
+}
+
+// FormatWitness renders a symbolic witness path.
+func FormatWitness(p *fsm.Protocol, eng *symbolic.Engine, path []symbolic.PathStep) string {
+	parts := []string{eng.Initial().StructureString(p)}
+	for _, st := range path {
+		parts = append(parts, fmt.Sprintf("--%s--> %s", st.Label, st.To.StructureString(p)))
+	}
+	return strings.Join(parts, " ")
+}

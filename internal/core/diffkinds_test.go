@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/enum"
+	"repro/internal/fsm"
+	"repro/internal/mutate"
+	"repro/internal/protocols"
+)
+
+// TestMutantViolationKindsAgree strengthens the differential check: for
+// every catalog mutant, each violation KIND observable concretely at a
+// fixed cache count must also appear among the symbolic violations. Kind
+// agreement (not just any-violation agreement) pins down that the symbolic
+// context variables model the same failure the concrete machine exhibits.
+func TestMutantViolationKindsAgree(t *testing.T) {
+	for _, p := range protocols.All() {
+		for _, m := range mutate.Catalog(p) {
+			m := m
+			t.Run(m.Protocol.Name, func(t *testing.T) {
+				rep, err := Verify(m.Protocol, Options{Strict: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				symKinds := map[fsm.ViolationKind]bool{}
+				for _, sv := range rep.Symbolic.Violations {
+					for _, v := range sv.Violations {
+						symKinds[v.Kind] = true
+					}
+				}
+
+				concKinds := map[fsm.ViolationKind]bool{}
+				for _, n := range []int{2, 3} {
+					res, err := enum.Counting(m.Protocol, n, enum.Options{Strict: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, cv := range res.Violations {
+						for _, v := range cv.Violations {
+							concKinds[v.Kind] = true
+						}
+					}
+				}
+				for k := range concKinds {
+					if !symKinds[k] {
+						t.Errorf("concrete violation kind %s not reported symbolically (symbolic kinds: %v)",
+							k, symKinds)
+					}
+				}
+			})
+		}
+	}
+}

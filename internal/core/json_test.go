@@ -1,0 +1,81 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/protocols"
+)
+
+func TestJSONReportRoundTrip(t *testing.T) {
+	rep, err := Verify(protocols.Illinois(), Options{BuildGraph: true, CrossCheckN: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr JSONReport
+	if err := json.Unmarshal(data, &jr); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if jr.Protocol != "Illinois" || !jr.Permissible {
+		t.Errorf("header wrong: %+v", jr)
+	}
+	if len(jr.Essential) != 5 || jr.Visits != 23 {
+		t.Errorf("numbers wrong: %d states, %d visits", len(jr.Essential), jr.Visits)
+	}
+	if len(jr.Edges) != 23 {
+		t.Errorf("edges = %d, want 23", len(jr.Edges))
+	}
+	if len(jr.CrossChecks) != 1 || !jr.CrossChecks[0].OK {
+		t.Errorf("cross-checks wrong: %+v", jr.CrossChecks)
+	}
+	if len(jr.DeadRules) != 0 {
+		t.Errorf("dead rules reported on a fully live protocol: %v", jr.DeadRules)
+	}
+	// States must be named s0..s4 with populated cdata.
+	for i, s := range jr.Essential {
+		if s.Name != "s"+string(rune('0'+i)) {
+			t.Errorf("state %d named %q", i, s.Name)
+		}
+		if s.MData == "" || len(s.CData) == 0 {
+			t.Errorf("state %s missing context data", s.Name)
+		}
+	}
+}
+
+func TestJSONReportOnBrokenProtocol(t *testing.T) {
+	p := protocols.Illinois()
+	for i := range p.Rules {
+		if p.Rules[i].Name == "write-hit-shared" {
+			p.Rules[i].Observe = nil
+		}
+	}
+	p = p.Clone()
+	rep, err := Verify(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr JSONReport
+	if err := json.Unmarshal(data, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.Permissible {
+		t.Error("broken protocol must not be permissible")
+	}
+	if len(jr.Violations) == 0 {
+		t.Fatal("violations missing from JSON")
+	}
+	if len(jr.Violations[0].Witness) == 0 {
+		t.Error("witness missing from JSON")
+	}
+	if len(jr.Edges) != 0 {
+		t.Error("no graph should be emitted for an erroneous protocol")
+	}
+}

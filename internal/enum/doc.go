@@ -1,0 +1,20 @@
+// Package enum implements the explicit-state baselines that the paper's
+// symbolic method is measured against (Section 3.1):
+//
+//   - Exhaustive search (Figure 2 of the paper): breadth-first exploration
+//     of the global state space for a FIXED number of caches n, where a
+//     global state is the tuple (q1, ..., qn). Strict equivalence prunes
+//     only identical tuples, so the space grows like mⁿ and the visit count
+//     like n·k·mⁿ.
+//   - Counting equivalence (Definition 5): tuples that are permutations of
+//     one another are identified by their per-state cache counts, shrinking
+//     the space to multisets (at most C(n+m-1, m-1) states).
+//
+// Both enumerators run from the same fsm.Protocol definitions as the
+// symbolic engine and evaluate the same invariants (including Definition 3
+// data consistency, via the concrete versioned-data semantics of
+// internal/fsm), so a protocol bug is observable in all three analyzers.
+// The enumerators also export the reachable state sets so the
+// cross-validation harness can confirm Theorem 1: every reachable concrete
+// state is covered by a symbolic essential state.
+package enum

@@ -1,0 +1,257 @@
+package enum
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/fsm"
+)
+
+// Canonical data markers. Explicit-state enumeration would not terminate
+// over ever-growing store version numbers, so after every step the versions
+// are renamed onto the paper's abstract data domain: the latest version
+// becomes canonFresh, every older version becomes canonObsolete, and
+// fsm.NoData is kept. This is exactly the context-variable domain of
+// Definition 4 and preserves the stale-read check (version == Latest).
+const (
+	canonFresh    int64 = 0
+	canonObsolete int64 = -2
+)
+
+// Canonicalize rewrites the configuration's versions onto the abstract data
+// domain, in place. Afterwards c.Latest == canonFresh.
+func Canonicalize(c *fsm.Config) {
+	ren := func(v int64) int64 {
+		switch {
+		case v == fsm.NoData:
+			return fsm.NoData
+		case v == c.Latest:
+			return canonFresh
+		default:
+			return canonObsolete
+		}
+	}
+	for i := range c.Versions {
+		c.Versions[i] = ren(c.Versions[i])
+	}
+	c.MemVersion = ren(c.MemVersion)
+	c.Latest = canonFresh
+}
+
+// Options tune an enumeration run.
+type Options struct {
+	// MaxStates bounds the number of distinct states explored (0: 5_000_000).
+	MaxStates int
+	// KeepReachable retains every distinct canonical configuration in the
+	// result, for cross-validation against the symbolic essential states.
+	KeepReachable bool
+	// Strict enables the CleanShared extension check.
+	Strict bool
+	// StopOnViolation aborts at the first erroneous state.
+	StopOnViolation bool
+}
+
+const defaultMaxStates = 5000000
+
+// PathStep is one hop of a concrete witness path.
+type PathStep struct {
+	Cache int
+	Op    fsm.Op
+	To    string // canonical key of the state reached
+}
+
+// Violation pairs an erroneous concrete state with its violations and a
+// witness path from the initial configuration.
+type Violation struct {
+	Config     *fsm.Config
+	Violations []fsm.Violation
+	Path       []PathStep
+}
+
+// Result reports an enumeration run.
+type Result struct {
+	// Protocol and N identify the run.
+	Protocol *fsm.Protocol
+	N        int
+	// Unique counts distinct states explored under the run's equivalence
+	// (strict tuples for Exhaustive, multisets for Counting).
+	Unique int
+	// Visits counts generated successor states, the metric of Section 3.1
+	// (≈ n·k·mⁿ for exhaustive search without pruning of redundant visits).
+	Visits int
+	// TupleStates counts the distinct state-only tuples (ignoring data)
+	// among the explored states.
+	TupleStates int
+	// Violations lists erroneous states found.
+	Violations []Violation
+	// SpecErrors records protocol-definition-level failures.
+	SpecErrors []error
+	// Reachable holds every distinct configuration when KeepReachable was
+	// set, in discovery order.
+	Reachable []*fsm.Config
+	// Truncated reports that MaxStates was hit before the frontier emptied.
+	Truncated bool
+}
+
+// OK reports whether the protocol verified cleanly at this cache count.
+func (r *Result) OK() bool { return len(r.Violations) == 0 && len(r.SpecErrors) == 0 }
+
+// keyFunc maps a canonical configuration to its equivalence-class key.
+type keyFunc func(*fsm.Config) string
+
+// strictKey identifies configurations up to strict equality (Section 3.1).
+func strictKey(c *fsm.Config) string { return c.Key() }
+
+// countingKey identifies configurations up to cache permutation
+// (Definition 5, counting equivalence), extended with the per-cache data
+// class so the data-consistency attributes survive the quotient.
+func countingKey(c *fsm.Config) string {
+	pairs := make([]string, len(c.States))
+	for i, s := range c.States {
+		pairs[i] = fmt.Sprintf("%s:%d", s, c.Versions[i])
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, ",") + fmt.Sprintf("|m:%d", c.MemVersion)
+}
+
+// Exhaustive runs the paper's Figure 2 algorithm: breadth-first exploration
+// of all strict global states for n caches.
+func Exhaustive(p *fsm.Protocol, n int, opts Options) (*Result, error) {
+	return run(p, n, opts, strictKey, false)
+}
+
+// Counting runs the same exploration under counting equivalence
+// (Definition 5): permutations of a tuple collapse into one state, and
+// symmetric caches are expanded only once.
+func Counting(p *fsm.Protocol, n int, opts Options) (*Result, error) {
+	return run(p, n, opts, countingKey, true)
+}
+
+type parent struct {
+	key   string
+	cache int
+	op    fsm.Op
+}
+
+func run(p *fsm.Protocol, n int, opts Options, key keyFunc, symmetric bool) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("enum: need at least one cache, got %d", n)
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = defaultMaxStates
+	}
+	res := &Result{Protocol: p, N: n}
+
+	init := fsm.NewConfig(p, n)
+	Canonicalize(init)
+	ik := key(init)
+
+	visited := map[string]bool{ik: true}
+	parents := map[string]parent{ik: {}}
+	tuples := map[string]bool{init.StateKey(): true}
+	queue := []*fsm.Config{init}
+	if opts.KeepReachable {
+		res.Reachable = append(res.Reachable, init.Clone())
+	}
+	if v := fsm.CheckConfig(p, init, opts.Strict); len(v) > 0 {
+		res.Violations = append(res.Violations, Violation{Config: init.Clone(), Violations: v})
+		if opts.StopOnViolation {
+			res.Unique = len(visited)
+			res.TupleStates = len(tuples)
+			return res, nil
+		}
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		curKey := key(cur)
+
+		for i := 0; i < n; i++ {
+			if symmetric && shadowedBySibling(cur, i) {
+				continue
+			}
+			for _, op := range p.Ops {
+				if len(p.RulesFor(cur.States[i], op)) == 0 {
+					continue
+				}
+				next := cur.Clone()
+				if _, err := fsm.Step(p, next, i, op); err != nil {
+					res.SpecErrors = append(res.SpecErrors, err)
+					continue
+				}
+				Canonicalize(next)
+				res.Visits++
+				k := key(next)
+				if visited[k] {
+					continue
+				}
+				visited[k] = true
+				parents[k] = parent{key: curKey, cache: i, op: op}
+				tuples[next.StateKey()] = true
+				if v := fsm.CheckConfig(p, next, opts.Strict); len(v) > 0 {
+					res.Violations = append(res.Violations, Violation{
+						Config:     next.Clone(),
+						Violations: v,
+						Path:       witness(parents, k),
+					})
+					if opts.StopOnViolation {
+						res.Unique = len(visited)
+						res.TupleStates = len(tuples)
+						return res, nil
+					}
+				}
+				if opts.KeepReachable {
+					res.Reachable = append(res.Reachable, next.Clone())
+				}
+				if len(visited) >= maxStates {
+					res.Truncated = true
+					res.Unique = len(visited)
+					res.TupleStates = len(tuples)
+					return res, nil
+				}
+				queue = append(queue, next)
+			}
+		}
+	}
+	res.Unique = len(visited)
+	res.TupleStates = len(tuples)
+	return res, nil
+}
+
+// shadowedBySibling reports whether a lower-indexed cache is in the same
+// (state, data) class as cache i; under counting equivalence expanding both
+// produces permutation-equivalent successors, so only the first
+// representative of each class is expanded.
+func shadowedBySibling(c *fsm.Config, i int) bool {
+	for j := 0; j < i; j++ {
+		if c.States[j] == c.States[i] && c.Versions[j] == c.Versions[i] {
+			return true
+		}
+	}
+	return false
+}
+
+func witness(parents map[string]parent, k string) []PathStep {
+	var rev []PathStep
+	for {
+		pi, ok := parents[k]
+		if !ok || pi.key == "" {
+			break
+		}
+		rev = append(rev, PathStep{Cache: pi.cache, Op: pi.op, To: k})
+		k = pi.key
+		if len(rev) > 1000000 {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,176 @@
+package enum
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/fsm"
+)
+
+// ExhaustiveParallel runs the Figure 2 exhaustive search with a
+// level-synchronous parallel BFS: each frontier generation is partitioned
+// across a worker pool, successors are generated concurrently, and a
+// single-threaded merge deduplicates them into the next frontier. The
+// result is bit-for-bit identical to Exhaustive (same distinct states, same
+// visit count, same violations) because visits count generated successors —
+// independent of exploration order — and the merge applies workers' output
+// in deterministic worker order.
+//
+// workers ≤ 0 selects GOMAXPROCS. The mⁿ state spaces of Section 3.1 are
+// embarrassingly parallel per level; the speedup benchmark
+// (BenchmarkParallelEnumeration) measures the gain on large n.
+func ExhaustiveParallel(p *fsm.Protocol, n int, opts Options, workers int) (*Result, error) {
+	return runParallel(p, n, opts, strictKey, false, workers)
+}
+
+// CountingParallel is the counting-equivalence variant of ExhaustiveParallel.
+func CountingParallel(p *fsm.Protocol, n int, opts Options, workers int) (*Result, error) {
+	return runParallel(p, n, opts, countingKey, true, workers)
+}
+
+// succItem is one generated successor, tagged with provenance for witness
+// reconstruction. The equivalence key is computed inside the worker so the
+// sequential merge only performs map operations.
+type succItem struct {
+	cfg    *fsm.Config
+	key    string
+	parent string
+	cache  int
+	op     fsm.Op
+}
+
+// workerOut is the deterministic per-worker production of one level.
+type workerOut struct {
+	items    []succItem
+	specErrs []error
+}
+
+func runParallel(p *fsm.Protocol, n int, opts Options, key keyFunc, symmetric bool, workers int) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("enum: need at least one cache, got %d", n)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = defaultMaxStates
+	}
+	res := &Result{Protocol: p, N: n}
+
+	init := fsm.NewConfig(p, n)
+	Canonicalize(init)
+	ik := key(init)
+
+	visited := map[string]bool{ik: true}
+	parents := map[string]parent{ik: {}}
+	tuples := map[string]bool{init.StateKey(): true}
+	frontier := []*fsm.Config{init}
+	if opts.KeepReachable {
+		res.Reachable = append(res.Reachable, init.Clone())
+	}
+	if v := fsm.CheckConfig(p, init, opts.Strict); len(v) > 0 {
+		res.Violations = append(res.Violations, Violation{Config: init.Clone(), Violations: v})
+		if opts.StopOnViolation {
+			res.Unique = len(visited)
+			res.TupleStates = len(tuples)
+			return res, nil
+		}
+	}
+
+	for len(frontier) > 0 {
+		// Fan out: each worker expands a contiguous slice of the frontier.
+		nw := workers
+		if nw > len(frontier) {
+			nw = len(frontier)
+		}
+		outs := make([]workerOut, nw)
+		var wg sync.WaitGroup
+		chunk := (len(frontier) + nw - 1) / nw
+		for w := 0; w < nw; w++ {
+			lo := w * chunk
+			if lo > len(frontier) {
+				lo = len(frontier)
+			}
+			hi := lo + chunk
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				out := &outs[w]
+				for _, cur := range frontier[lo:hi] {
+					curKey := key(cur)
+					for i := 0; i < n; i++ {
+						if symmetric && shadowedBySibling(cur, i) {
+							continue
+						}
+						for _, op := range p.Ops {
+							if len(p.RulesFor(cur.States[i], op)) == 0 {
+								continue
+							}
+							next := cur.Clone()
+							if _, err := fsm.Step(p, next, i, op); err != nil {
+								out.specErrs = append(out.specErrs, err)
+								continue
+							}
+							Canonicalize(next)
+							out.items = append(out.items, succItem{
+								cfg: next, key: key(next),
+								parent: curKey, cache: i, op: op,
+							})
+						}
+					}
+				}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+
+		// Merge sequentially, in worker order, for determinism.
+		var next []*fsm.Config
+		for w := range outs {
+			res.SpecErrors = append(res.SpecErrors, outs[w].specErrs...)
+			for _, it := range outs[w].items {
+				res.Visits++
+				k := it.key
+				if visited[k] {
+					continue
+				}
+				visited[k] = true
+				parents[k] = parent{key: it.parent, cache: it.cache, op: it.op}
+				tuples[it.cfg.StateKey()] = true
+				if v := fsm.CheckConfig(p, it.cfg, opts.Strict); len(v) > 0 {
+					res.Violations = append(res.Violations, Violation{
+						Config:     it.cfg.Clone(),
+						Violations: v,
+						Path:       witness(parents, k),
+					})
+					if opts.StopOnViolation {
+						res.Unique = len(visited)
+						res.TupleStates = len(tuples)
+						return res, nil
+					}
+				}
+				if opts.KeepReachable {
+					res.Reachable = append(res.Reachable, it.cfg.Clone())
+				}
+				if len(visited) >= maxStates {
+					res.Truncated = true
+					res.Unique = len(visited)
+					res.TupleStates = len(tuples)
+					return res, nil
+				}
+				next = append(next, it.cfg)
+			}
+		}
+		frontier = next
+	}
+	res.Unique = len(visited)
+	res.TupleStates = len(tuples)
+	return res, nil
+}

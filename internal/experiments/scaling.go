@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/enum"
+	"repro/internal/protocols"
+	"repro/internal/report"
+	"repro/internal/symbolic"
+)
+
+// ScalingRow is one line of experiment E11: symbolic verification cost as
+// the number of per-cache states grows (the paper's closing claim that the
+// method extends to "much more complex protocols with large numbers of
+// cache states"), against explicit enumeration at a fixed cache count.
+type ScalingRow struct {
+	Levels         int
+	States         int // |Q| = Levels + 2
+	Essential      int
+	SymbolicVisits int
+	EnumN          int
+	EnumStates     int
+	EnumVisits     int
+}
+
+// Scaling verifies the synthetic protocol family for each level count and
+// enumerates it explicitly with enumN caches for comparison (enumN = 0
+// skips the enumeration for large |Q| where mⁿ becomes impractical).
+func Scaling(levels []int, enumN int) ([]ScalingRow, error) {
+	var rows []ScalingRow
+	for _, k := range levels {
+		p, err := protocols.Synthetic(k)
+		if err != nil {
+			return nil, err
+		}
+		res, err := symbolic.Expand(p, symbolic.Options{Strict: true})
+		if err != nil {
+			return nil, err
+		}
+		if !res.OK() {
+			return nil, fmt.Errorf("experiments: synthetic(%d) unexpectedly erroneous", k)
+		}
+		row := ScalingRow{
+			Levels:         k,
+			States:         p.NumStates(),
+			Essential:      len(res.Essential),
+			SymbolicVisits: res.Visits,
+			EnumN:          enumN,
+		}
+		if enumN > 0 {
+			er, err := enum.Exhaustive(p, enumN, enum.Options{})
+			if err != nil {
+				return nil, err
+			}
+			row.EnumStates = er.Unique
+			row.EnumVisits = er.Visits
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderScaling prints E11.
+func RenderScaling(w io.Writer, levels []int, enumN int) error {
+	rows, err := Scaling(levels, enumN)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("levels k", "|Q|", "essential states", "symbolic visits",
+		fmt.Sprintf("enum states (n=%d)", enumN), "enum visits")
+	for _, r := range rows {
+		t.AddRow(r.Levels, r.States, r.Essential, r.SymbolicVisits, r.EnumStates, r.EnumVisits)
+	}
+	fmt.Fprint(w, report.Section(
+		"E11 — scaling with the number of per-cache states (synthetic family)", t.String()))
+	return nil
+}

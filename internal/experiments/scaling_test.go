@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScalingLinearEssentialGrowth(t *testing.T) {
+	rows, err := Scaling([]int{1, 2, 4, 8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The synthetic family's essential-state count is exactly |Q|:
+		// one family per populated "highest" state class.
+		if r.Essential != r.States {
+			t.Errorf("levels=%d: %d essential states, want |Q|=%d",
+				r.Levels, r.Essential, r.States)
+		}
+	}
+	// Visits grow with |Q| but stay polynomial; spot-check monotonicity.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SymbolicVisits <= rows[i-1].SymbolicVisits {
+			t.Errorf("symbolic visits must grow with |Q|: %+v", rows)
+		}
+		if rows[i].EnumStates <= rows[i-1].EnumStates {
+			t.Errorf("enumeration must grow with |Q|: %+v", rows)
+		}
+	}
+}
+
+func TestScalingEnumerationOutpacesSymbolic(t *testing.T) {
+	// With n=4 caches, the explicit space grows like (k+2)⁴ while the
+	// symbolic cost grows polynomially in k alone; by k=8 enumeration
+	// visits must exceed symbolic visits.
+	rows, err := Scaling([]int{8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.EnumVisits <= r.SymbolicVisits {
+		t.Errorf("enum visits %d should exceed symbolic visits %d at k=8, n=4",
+			r.EnumVisits, r.SymbolicVisits)
+	}
+}
+
+func TestScalingSkipsEnumWhenDisabled(t *testing.T) {
+	rows, err := Scaling([]int{2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].EnumStates != 0 || rows[0].EnumVisits != 0 {
+		t.Error("enumN=0 must skip the enumeration")
+	}
+}
+
+func TestRenderScaling(t *testing.T) {
+	var b bytes.Buffer
+	if err := RenderScaling(&b, []int{1, 2}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "E11") {
+		t.Error("scaling render incomplete")
+	}
+}

@@ -1,0 +1,405 @@
+package fsm
+
+import (
+	"strings"
+	"testing"
+)
+
+// illinois builds the Illinois protocol locally to avoid an import cycle
+// with internal/protocols (which imports this package). Keeping a second,
+// independently written copy here also guards against accidental edits to
+// the canonical definition: the behavioral tests below would diverge.
+func illinois() *Protocol {
+	const (
+		inv = State("Invalid")
+		vex = State("Valid-Exclusive")
+		shd = State("Shared")
+		dty = State("Dirty")
+	)
+	valid := []State{vex, shd, dty}
+	invAll := map[State]State{vex: inv, shd: inv, dty: inv}
+	p := &Protocol{
+		Name:           "Illinois-local",
+		States:         []State{inv, vex, shd, dty},
+		Initial:        inv,
+		Ops:            []Op{OpRead, OpWrite, OpReplace},
+		Characteristic: CharSharing,
+		Inv: Invariants{
+			Exclusive:   []State{vex, dty},
+			Owners:      []State{dty},
+			Readable:    valid,
+			ValidCopy:   valid,
+			CleanShared: []State{vex, shd},
+		},
+		Rules: []Rule{
+			{Name: "rh-v", From: vex, On: OpRead, Guard: Always(), Next: vex, Data: DataEffect{Source: SrcKeep}},
+			{Name: "rh-s", From: shd, On: OpRead, Guard: Always(), Next: shd, Data: DataEffect{Source: SrcKeep}},
+			{Name: "rh-d", From: dty, On: OpRead, Guard: Always(), Next: dty, Data: DataEffect{Source: SrcKeep}},
+			{Name: "rm-d", From: inv, On: OpRead, Guard: AnyOther(dty), Next: shd,
+				Observe: map[State]State{dty: shd},
+				Data:    DataEffect{Source: SrcCache, Suppliers: []State{dty}, SupplierWriteBack: true}},
+			{Name: "rm-c", From: inv, On: OpRead, Guard: AnyOther(shd, vex), Next: shd,
+				Observe: map[State]State{vex: shd},
+				Data:    DataEffect{Source: SrcCache, Suppliers: []State{shd, vex}}},
+			{Name: "rm-m", From: inv, On: OpRead, Guard: NoOther(valid...), Next: vex,
+				Data: DataEffect{Source: SrcMemory}},
+			{Name: "wh-d", From: dty, On: OpWrite, Guard: Always(), Next: dty,
+				Data: DataEffect{Source: SrcKeep, Store: true}},
+			{Name: "wh-v", From: vex, On: OpWrite, Guard: Always(), Next: dty,
+				Data: DataEffect{Source: SrcKeep, Store: true}},
+			{Name: "wh-s", From: shd, On: OpWrite, Guard: Always(), Next: dty, Observe: invAll,
+				Data: DataEffect{Source: SrcKeep, Store: true}},
+			{Name: "wm-d", From: inv, On: OpWrite, Guard: AnyOther(dty), Next: dty, Observe: invAll,
+				Data: DataEffect{Source: SrcCache, Suppliers: []State{dty}, Store: true}},
+			{Name: "wm-c", From: inv, On: OpWrite, Guard: AnyOther(shd, vex), Next: dty, Observe: invAll,
+				Data: DataEffect{Source: SrcCache, Suppliers: []State{shd, vex}, Store: true}},
+			{Name: "wm-m", From: inv, On: OpWrite, Guard: NoOther(valid...), Next: dty,
+				Data: DataEffect{Source: SrcMemory, Store: true}},
+			{Name: "z-d", From: dty, On: OpReplace, Guard: Always(), Next: inv,
+				Data: DataEffect{Source: SrcKeep, WriteBackSelf: true, DropSelf: true}},
+			{Name: "z-v", From: vex, On: OpReplace, Guard: Always(), Next: inv,
+				Data: DataEffect{Source: SrcKeep, DropSelf: true}},
+			{Name: "z-s", From: shd, On: OpReplace, Guard: Always(), Next: inv,
+				Data: DataEffect{Source: SrcKeep, DropSelf: true}},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func mustStep(t *testing.T, p *Protocol, c *Config, i int, op Op) StepResult {
+	t.Helper()
+	res, err := Step(p, c, i, op)
+	if err != nil {
+		t.Fatalf("step cache %d op %s on %s: %v", i, op, c, err)
+	}
+	return res
+}
+
+func TestNewConfigInitialState(t *testing.T) {
+	p := illinois()
+	c := NewConfig(p, 3)
+	if c.N() != 3 {
+		t.Fatalf("N = %d", c.N())
+	}
+	for i := 0; i < 3; i++ {
+		if c.States[i] != p.Initial {
+			t.Errorf("cache %d starts in %s, want %s", i, c.States[i], p.Initial)
+		}
+		if c.Versions[i] != NoData {
+			t.Errorf("cache %d starts with data %d", i, c.Versions[i])
+		}
+	}
+	if c.MemVersion != 0 || c.Latest != 0 {
+		t.Errorf("memory should start fresh at version 0")
+	}
+}
+
+func TestReadMissFromMemoryLoadsExclusive(t *testing.T) {
+	p := illinois()
+	c := NewConfig(p, 3)
+	res := mustStep(t, p, c, 0, OpRead)
+	if res.Rule.Name != "rm-m" {
+		t.Fatalf("rule %s fired, want rm-m", res.Rule.Name)
+	}
+	if c.States[0] != "Valid-Exclusive" {
+		t.Fatalf("state %s, want Valid-Exclusive", c.States[0])
+	}
+	if res.ReadVersion != 0 || c.Versions[0] != 0 {
+		t.Fatalf("read version %d, want 0 (memory copy)", res.ReadVersion)
+	}
+	if res.Supplier != -1 {
+		t.Fatalf("memory service should have no cache supplier")
+	}
+}
+
+func TestReadMissFromDirtySupplierUpdatesMemory(t *testing.T) {
+	p := illinois()
+	c := NewConfig(p, 3)
+	mustStep(t, p, c, 0, OpWrite) // cache 0: Dirty with version 1, memory stale
+	if c.MemVersion != 0 || c.Latest != 1 {
+		t.Fatalf("after write: mem=%d latest=%d", c.MemVersion, c.Latest)
+	}
+	res := mustStep(t, p, c, 1, OpRead)
+	if res.Rule.Name != "rm-d" {
+		t.Fatalf("rule %s fired, want rm-d", res.Rule.Name)
+	}
+	if res.Supplier != 0 {
+		t.Fatalf("supplier %d, want cache 0", res.Supplier)
+	}
+	if c.States[0] != "Shared" || c.States[1] != "Shared" {
+		t.Fatalf("states %v, want both Shared", c.States)
+	}
+	if c.MemVersion != 1 {
+		t.Fatalf("memory not updated by the supplying dirty cache: %d", c.MemVersion)
+	}
+	if res.ReadVersion != c.Latest {
+		t.Fatalf("reader got stale version %d", res.ReadVersion)
+	}
+}
+
+func TestWriteInvalidatesRemoteCopies(t *testing.T) {
+	p := illinois()
+	c := NewConfig(p, 4)
+	mustStep(t, p, c, 0, OpRead) // V-Ex
+	mustStep(t, p, c, 1, OpRead) // both Shared
+	mustStep(t, p, c, 2, OpRead) // three Shared
+	res := mustStep(t, p, c, 1, OpWrite)
+	if res.Rule.Name != "wh-s" {
+		t.Fatalf("rule %s fired, want wh-s", res.Rule.Name)
+	}
+	want := []State{"Invalid", "Dirty", "Invalid", "Invalid"}
+	for i, s := range want {
+		if c.States[i] != s {
+			t.Fatalf("states %v, want %v", c.States, want)
+		}
+	}
+	for _, i := range []int{0, 2, 3} {
+		if c.Versions[i] != NoData {
+			t.Errorf("invalidated cache %d kept data %d", i, c.Versions[i])
+		}
+	}
+	if c.Versions[1] != c.Latest {
+		t.Errorf("writer version %d, latest %d", c.Versions[1], c.Latest)
+	}
+}
+
+func TestReplacementWritesBackDirty(t *testing.T) {
+	p := illinois()
+	c := NewConfig(p, 2)
+	mustStep(t, p, c, 0, OpWrite)
+	if c.MemVersion == c.Latest {
+		t.Fatal("memory should be stale before the write-back")
+	}
+	res := mustStep(t, p, c, 0, OpReplace)
+	if res.Rule.Name != "z-d" {
+		t.Fatalf("rule %s fired, want z-d", res.Rule.Name)
+	}
+	if c.States[0] != "Invalid" || c.Versions[0] != NoData {
+		t.Fatalf("replaced block still present: %s %d", c.States[0], c.Versions[0])
+	}
+	if c.MemVersion != c.Latest {
+		t.Fatal("dirty replacement must write back to memory")
+	}
+}
+
+func TestReplaceInvalidIsNoOp(t *testing.T) {
+	p := illinois()
+	c := NewConfig(p, 2)
+	res := mustStep(t, p, c, 0, OpReplace)
+	if res.Rule != nil {
+		t.Fatalf("replacement of an Invalid block fired rule %s", res.Rule.Name)
+	}
+	if c.States[0] != "Invalid" {
+		t.Fatalf("state changed by a no-op: %s", c.States[0])
+	}
+}
+
+func TestVExSilentUpgradeOnWrite(t *testing.T) {
+	p := illinois()
+	c := NewConfig(p, 2)
+	mustStep(t, p, c, 0, OpRead)
+	if c.States[0] != "Valid-Exclusive" {
+		t.Fatalf("setup failed: %v", c.States)
+	}
+	res := mustStep(t, p, c, 0, OpWrite)
+	if res.Rule.Name != "wh-v" {
+		t.Fatalf("rule %s fired, want wh-v", res.Rule.Name)
+	}
+	if c.States[0] != "Dirty" {
+		t.Fatalf("state %s, want Dirty", c.States[0])
+	}
+	if c.MemVersion == c.Latest {
+		t.Fatal("silent upgrade must leave memory stale")
+	}
+}
+
+func TestStepOutOfRangeCache(t *testing.T) {
+	p := illinois()
+	c := NewConfig(p, 2)
+	if _, err := Step(p, c, 5, OpRead); err == nil {
+		t.Fatal("expected an out-of-range error")
+	}
+	if _, err := Step(p, c, -1, OpRead); err == nil {
+		t.Fatal("expected an out-of-range error")
+	}
+}
+
+func TestStepMissingSupplierIsSpecError(t *testing.T) {
+	p := illinois()
+	c := NewConfig(p, 2)
+	// Force an inconsistent configuration: the guard says a Dirty copy
+	// exists but none does. Step must fail loudly instead of mis-servicing.
+	c.States[1] = "Dirty"
+	c.Versions[1] = 0
+	broken := p.Clone()
+	// Make the dirty-owner rule fire unconditionally.
+	for i := range broken.Rules {
+		if broken.Rules[i].Name == "rm-d" {
+			broken.Rules[i].Guard = AnyOther("Dirty", "Shared")
+		}
+	}
+	c2 := NewConfig(broken, 2)
+	c2.States[1] = "Shared" // guard true, but no Dirty supplier
+	c2.Versions[1] = 0
+	if _, err := Step(broken, c2, 0, OpRead); err == nil ||
+		!strings.Contains(err.Error(), "no supplier") {
+		t.Fatalf("want missing-supplier error, got %v", err)
+	}
+}
+
+func TestGuardEvaluation(t *testing.T) {
+	p := illinois()
+	c := NewConfig(p, 3)
+	c.States[1] = "Dirty"
+	cases := []struct {
+		g      Guard
+		origin int
+		want   bool
+	}{
+		{Always(), 0, true},
+		{AnyOther("Dirty"), 0, true},
+		{AnyOther("Dirty"), 1, false}, // the dirty cache itself
+		{NoOther("Dirty"), 0, false},
+		{NoOther("Dirty"), 1, true},
+		{AnyOther("Shared", "Valid-Exclusive"), 0, false},
+		{NoOther("Shared", "Valid-Exclusive"), 0, true},
+	}
+	for i, tc := range cases {
+		if got := EvalGuard(tc.g, c, tc.origin); got != tc.want {
+			t.Errorf("case %d: EvalGuard(%v, origin=%d) = %v, want %v",
+				i, tc.g, tc.origin, got, tc.want)
+		}
+	}
+}
+
+func TestCheckConfigExclusiveViolation(t *testing.T) {
+	p := illinois()
+	c := NewConfig(p, 3)
+	c.States[0], c.Versions[0] = "Dirty", 0
+	c.States[1], c.Versions[1] = "Shared", 0
+	vs := CheckConfig(p, c, false)
+	found := false
+	for _, v := range vs {
+		if v.Kind == ViolationExclusive {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Dirty+Shared must violate exclusivity, got %v", vs)
+	}
+}
+
+func TestCheckConfigMultipleOwners(t *testing.T) {
+	p := illinois()
+	c := NewConfig(p, 3)
+	c.States[0], c.Versions[0] = "Dirty", 0
+	c.States[1], c.Versions[1] = "Dirty", 0
+	vs := CheckConfig(p, c, false)
+	foundOwners := false
+	for _, v := range vs {
+		if v.Kind == ViolationOwners {
+			foundOwners = true
+		}
+	}
+	if !foundOwners {
+		t.Fatalf("two Dirty caches must violate single ownership, got %v", vs)
+	}
+}
+
+func TestCheckConfigStaleRead(t *testing.T) {
+	p := illinois()
+	c := NewConfig(p, 2)
+	c.States[0], c.Versions[0] = "Shared", 0
+	c.Latest = 5 // a newer store happened elsewhere
+	vs := CheckConfig(p, c, false)
+	if len(vs) == 0 || vs[0].Kind != ViolationStaleRead {
+		t.Fatalf("readable stale copy must be flagged, got %v", vs)
+	}
+}
+
+func TestCheckConfigCleanSharedOnlyWhenStrict(t *testing.T) {
+	p := illinois()
+	c := NewConfig(p, 2)
+	c.States[0], c.Versions[0] = "Shared", 0
+	c.MemVersion = -7 // memory disagrees with the clean copy
+	if vs := CheckConfig(p, c, false); len(vs) != 0 {
+		t.Fatalf("non-strict check should ignore clean/memory mismatch, got %v", vs)
+	}
+	vs := CheckConfig(p, c, true)
+	found := false
+	for _, v := range vs {
+		if v.Kind == ViolationCleanShared {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("strict check must flag clean/memory mismatch, got %v", vs)
+	}
+}
+
+func TestCheckConfigCleanOnPermissibleStates(t *testing.T) {
+	p := illinois()
+	c := NewConfig(p, 3)
+	if vs := CheckConfig(p, c, true); len(vs) != 0 {
+		t.Fatalf("initial state must be permissible, got %v", vs)
+	}
+	mustStep(t, p, c, 0, OpRead)
+	mustStep(t, p, c, 1, OpRead)
+	mustStep(t, p, c, 2, OpWrite)
+	mustStep(t, p, c, 0, OpRead)
+	if vs := CheckConfig(p, c, true); len(vs) != 0 {
+		t.Fatalf("reachable state must be permissible, got %v", vs)
+	}
+}
+
+func TestConfigKeyAndClone(t *testing.T) {
+	p := illinois()
+	c := NewConfig(p, 2)
+	mustStep(t, p, c, 0, OpWrite)
+	d := c.Clone()
+	if c.Key() != d.Key() {
+		t.Fatal("clone must have the same key")
+	}
+	mustStep(t, p, d, 1, OpRead)
+	if c.Key() == d.Key() {
+		t.Fatal("stepping the clone must not affect the original")
+	}
+	if c.StateKey() != "Dirty,Invalid" {
+		t.Fatalf("StateKey = %q", c.StateKey())
+	}
+	if c.String() != "(Dirty,Invalid)" {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+// TestRandomWalkNeverStale drives long pseudo-random walks and asserts that
+// no read ever returns stale data and every intermediate configuration is
+// permissible — the concrete counterpart of the paper's Definition 3.
+func TestRandomWalkNeverStale(t *testing.T) {
+	p := illinois()
+	ops := []Op{OpRead, OpRead, OpRead, OpWrite, OpWrite, OpReplace}
+	// Small deterministic LCG; math/rand would also do, but this keeps the
+	// walk stable across Go versions.
+	state := uint64(12345)
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	for n := 1; n <= 5; n++ {
+		c := NewConfig(p, n)
+		for k := 0; k < 20000; k++ {
+			i := next(n)
+			op := ops[next(len(ops))]
+			res := mustStep(t, p, c, i, op)
+			if op == OpRead && res.Rule != nil && res.ReadVersion != c.Latest {
+				t.Fatalf("n=%d step %d: stale read (%d != %d)", n, k, res.ReadVersion, c.Latest)
+			}
+			if vs := CheckConfig(p, c, true); len(vs) != 0 {
+				t.Fatalf("n=%d step %d: violation %v in %s", n, k, vs[0], c)
+			}
+		}
+	}
+}

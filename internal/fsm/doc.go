@@ -1,0 +1,29 @@
+// Package fsm defines the finite-state-machine protocol model of Pong and
+// Dubois, "The Verification of Cache Coherence Protocols" (SPAA 1993),
+// Section 2.
+//
+// A cache coherence protocol is modeled as a deterministic finite state
+// machine M = (Q, Σ, F, δ) (Definition 1 of the paper):
+//
+//   - Q is a finite set of per-cache state symbols (e.g. Invalid, Shared,
+//     Dirty for a block copy in one cache),
+//   - Σ is the set of operations causing state transitions (read, write,
+//     replacement),
+//   - F is a characteristic function, either null or the sharing-detection
+//     function (does any other cache hold a valid copy?), and
+//   - δ gives the transition functions F × Q × Σ → Q.
+//
+// The model in this package is richer than the bare automaton because a
+// single protocol definition drives three different interpreters in this
+// repository: the symbolic composite-state expansion engine
+// (internal/symbolic), the explicit-state enumerators (internal/enum), and
+// the concrete data-carrying multiprocessor simulator (internal/sim).
+// Each transition Rule therefore records, besides the originator's next
+// state, the coincident ("observed") transitions forced on all other caches
+// and the data-transfer effects used to track the context variables of
+// Definition 4 (cdata per cache, mdata for memory).
+//
+// Protocols also declare their correctness invariants (Section 2.1 and
+// Definition 3): which states must be exclusive, which states denote block
+// ownership, and which states allow a processor to read the local copy.
+package fsm

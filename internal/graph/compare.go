@@ -1,0 +1,310 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/fsm"
+)
+
+// The paper closes by noting that the global state graph "not only
+// facilitates the verification of data consistency but also demonstrates
+// the similarities and disparities among protocols". This file implements
+// that comparison: operation-labelled graph isomorphism between global
+// diagrams (state names differ across protocols, so only the operation
+// labels and the graph shape are compared) and a structural diff for the
+// non-isomorphic case.
+
+// opEdge is an edge retaining only the comparable label parts.
+type opEdge struct {
+	from, to int
+	op       fsm.Op
+}
+
+func opEdges(g *Global) map[opEdge]bool {
+	out := make(map[opEdge]bool, len(g.Edges))
+	for _, e := range g.Edges {
+		out[opEdge{e.From, e.To, e.Op}] = true
+	}
+	return out
+}
+
+// signature computes a per-node invariant used to prune the isomorphism
+// search: the multiset of (op, direction, self-loop) incidences.
+func signature(g *Global, node int) string {
+	var parts []string
+	for _, e := range g.Edges {
+		switch {
+		case e.From == node && e.To == node:
+			parts = append(parts, "s"+string(e.Op))
+		case e.From == node:
+			parts = append(parts, "o"+string(e.Op))
+		case e.To == node:
+			parts = append(parts, "i"+string(e.Op))
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// Isomorphic reports whether the two global diagrams are isomorphic as
+// operation-labelled digraphs with matched initial states, returning the
+// node mapping (a[i] in g1 corresponds to mapping[i] in g2) when they are.
+func Isomorphic(g1, g2 *Global) ([]int, bool) {
+	n := len(g1.Nodes)
+	if n != len(g2.Nodes) || len(opEdges(g1)) != len(opEdges(g2)) {
+		return nil, false
+	}
+	sig1 := make([]string, n)
+	sig2 := make([]string, n)
+	for i := 0; i < n; i++ {
+		sig1[i] = signature(g1, i)
+		sig2[i] = signature(g2, i)
+	}
+	e1 := opEdges(g1)
+	e2 := opEdges(g2)
+
+	mapping := make([]int, n)
+	used := make([]bool, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+
+	// The initial states must correspond.
+	var match func(i int) bool
+	consistent := func(i, j int) bool {
+		if sig1[i] != sig2[j] {
+			return false
+		}
+		// Check all edges between already-mapped nodes and i.
+		for e := range e1 {
+			var other int
+			switch {
+			case e.from == i && e.to == i:
+				if !e2[opEdge{j, j, e.op}] {
+					return false
+				}
+				continue
+			case e.from == i:
+				other = e.to
+			case e.to == i:
+				other = e.from
+			default:
+				continue
+			}
+			if mapping[other] < 0 {
+				continue
+			}
+			var want opEdge
+			if e.from == i {
+				want = opEdge{j, mapping[other], e.op}
+			} else {
+				want = opEdge{mapping[other], j, e.op}
+			}
+			if !e2[want] {
+				return false
+			}
+		}
+		// And the reverse direction: mapped g2 edges incident to j must
+		// exist in g1.
+		for e := range e2 {
+			var otherJ int
+			switch {
+			case e.from == j && e.to == j:
+				continue // covered above
+			case e.from == j:
+				otherJ = e.to
+			case e.to == j:
+				otherJ = e.from
+			default:
+				continue
+			}
+			otherI := -1
+			for a, b := range mapping {
+				if b == otherJ {
+					otherI = a
+				}
+			}
+			if otherI < 0 {
+				continue
+			}
+			var want opEdge
+			if e.from == j {
+				want = opEdge{i, otherI, e.op}
+			} else {
+				want = opEdge{otherI, i, e.op}
+			}
+			if !e1[want] {
+				return false
+			}
+		}
+		return true
+	}
+	match = func(i int) bool {
+		if i == n {
+			return true
+		}
+		if i == g1.Initial {
+			j := g2.Initial
+			if used[j] || !consistent(i, j) {
+				return false
+			}
+			mapping[i], used[j] = j, true
+			if match(i + 1) {
+				return true
+			}
+			mapping[i], used[j] = -1, false
+			return false
+		}
+		for j := 0; j < n; j++ {
+			if used[j] || j == g2.Initial {
+				continue
+			}
+			if !consistent(i, j) {
+				continue
+			}
+			mapping[i], used[j] = j, true
+			if match(i + 1) {
+				return true
+			}
+			mapping[i], used[j] = -1, false
+		}
+		return false
+	}
+	if !match(0) {
+		return nil, false
+	}
+	return mapping, true
+}
+
+// Diff summarizes the structural disparities between two global diagrams.
+type Diff struct {
+	NodesA, NodesB int
+	EdgesA, EdgesB int
+	// OpCounts maps each operation to its edge counts in A and B.
+	OpCounts map[fsm.Op][2]int
+	// Isomorphic is true when the diagrams match as op-labelled digraphs;
+	// Mapping then holds the node correspondence.
+	Isomorphic bool
+	Mapping    []int
+}
+
+// Compare builds the structural comparison between two global diagrams.
+func Compare(a, b *Global) *Diff {
+	d := &Diff{
+		NodesA:   len(a.Nodes),
+		NodesB:   len(b.Nodes),
+		EdgesA:   len(a.Edges),
+		EdgesB:   len(b.Edges),
+		OpCounts: map[fsm.Op][2]int{},
+	}
+	for _, e := range a.Edges {
+		c := d.OpCounts[e.Op]
+		c[0]++
+		d.OpCounts[e.Op] = c
+	}
+	for _, e := range b.Edges {
+		c := d.OpCounts[e.Op]
+		c[1]++
+		d.OpCounts[e.Op] = c
+	}
+	d.Mapping, d.Isomorphic = Isomorphic(a, b)
+	return d
+}
+
+// String renders the comparison.
+func (d *Diff) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nodes %d vs %d, edges %d vs %d\n", d.NodesA, d.NodesB, d.EdgesA, d.EdgesB)
+	ops := make([]string, 0, len(d.OpCounts))
+	for op := range d.OpCounts {
+		ops = append(ops, string(op))
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		c := d.OpCounts[fsm.Op(op)]
+		fmt.Fprintf(&b, "  %s edges: %d vs %d\n", op, c[0], c[1])
+	}
+	if d.Isomorphic {
+		fmt.Fprintf(&b, "isomorphic (node mapping %v)\n", d.Mapping)
+	} else {
+		b.WriteString("not isomorphic\n")
+	}
+	return b.String()
+}
+
+// StronglyConnected reports whether every node of the global diagram is
+// reachable from every other — the lift of Definition 1's strong
+// connectivity requirement to the global FSM.
+func (g *Global) StronglyConnected() bool {
+	n := len(g.Nodes)
+	if n == 0 {
+		return false
+	}
+	fwd := make(map[int][]int)
+	rev := make(map[int][]int)
+	for _, e := range g.Edges {
+		fwd[e.From] = append(fwd[e.From], e.To)
+		rev[e.To] = append(rev[e.To], e.From)
+	}
+	reach := func(adj map[int][]int) int {
+		seen := map[int]bool{0: true}
+		stack := []int{0}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, y := range adj[x] {
+				if !seen[y] {
+					seen[y] = true
+					stack = append(stack, y)
+				}
+			}
+		}
+		return len(seen)
+	}
+	return reach(fwd) == n && reach(rev) == n
+}
+
+// LocalStronglyConnected checks Definition 1's requirement on the per-cache
+// FSM: starting from any state there exists a path to every other state.
+func LocalStronglyConnected(p *fsm.Protocol) bool {
+	idx := make(map[fsm.State]int, len(p.States))
+	for i, s := range p.States {
+		idx[s] = i
+	}
+	n := len(p.States)
+	fwd := make([][]int, n)
+	rev := make([][]int, n)
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		a, b := idx[r.From], idx[r.Next]
+		fwd[a] = append(fwd[a], b)
+		rev[b] = append(rev[b], a)
+		// Coincident transitions also move caches between states.
+		for from, to := range r.Observe {
+			a, b := idx[from], idx[to]
+			fwd[a] = append(fwd[a], b)
+			rev[b] = append(rev[b], a)
+		}
+	}
+	reach := func(adj [][]int) int {
+		seen := make([]bool, n)
+		seen[0] = true
+		stack := []int{0}
+		count := 1
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, y := range adj[x] {
+				if !seen[y] {
+					seen[y] = true
+					count++
+					stack = append(stack, y)
+				}
+			}
+		}
+		return count
+	}
+	return reach(fwd) == n && reach(rev) == n
+}

@@ -1,0 +1,228 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fsm"
+	"repro/internal/protocols"
+	"repro/internal/symbolic"
+)
+
+func globalOf(t *testing.T, name string) *Global {
+	t.Helper()
+	p, err := protocols.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := symbolic.NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Expand(symbolic.Options{})
+	if !res.OK() {
+		t.Fatalf("%s must verify clean", name)
+	}
+	g, err := BuildGlobal(eng, res.Essential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestIsomorphicReflexive(t *testing.T) {
+	for _, name := range protocols.Names() {
+		g := globalOf(t, name)
+		mapping, ok := Isomorphic(g, g)
+		if !ok {
+			t.Errorf("%s: diagram not isomorphic to itself", name)
+			continue
+		}
+		for i, j := range mapping {
+			if i != j {
+				t.Errorf("%s: self-isomorphism should be identity-compatible, got %v", name, mapping)
+				break
+			}
+		}
+	}
+}
+
+func TestRenamedProtocolIsIsomorphic(t *testing.T) {
+	// A protocol with renamed states has the same global behavior; the
+	// comparison must see through the names.
+	p := protocols.MSI()
+	q := p.Clone()
+	q.Name = "MSI-renamed"
+	ren := map[fsm.State]fsm.State{
+		"Invalid": "Gone", "Shared": "Clean", "Modified": "Owned",
+	}
+	mapState := func(s fsm.State) fsm.State { return ren[s] }
+	for i := range q.States {
+		q.States[i] = mapState(q.States[i])
+	}
+	q.Initial = mapState(q.Initial)
+	mapSet := func(set []fsm.State) {
+		for i := range set {
+			set[i] = mapState(set[i])
+		}
+	}
+	mapSet(q.Inv.ValidCopy)
+	mapSet(q.Inv.Readable)
+	mapSet(q.Inv.Exclusive)
+	mapSet(q.Inv.Owners)
+	mapSet(q.Inv.CleanShared)
+	for i := range q.Rules {
+		r := &q.Rules[i]
+		r.From = mapState(r.From)
+		r.Next = mapState(r.Next)
+		mapSet(r.Guard.States)
+		mapSet(r.Data.Suppliers)
+		obs := make(map[fsm.State]fsm.State, len(r.Observe))
+		for a, b := range r.Observe {
+			obs[mapState(a)] = mapState(b)
+		}
+		r.Observe = obs
+	}
+	q = q.Clone() // rebuild indexes
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := symbolic.NewEngine(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Expand(symbolic.Options{})
+	gq, err := BuildGlobal(eng, res.Essential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp := globalOf(t, "msi")
+	mapping, ok := Isomorphic(gp, gq)
+	if !ok {
+		t.Fatal("a renamed protocol must be isomorphic to the original")
+	}
+	if mapping[gp.Initial] != gq.Initial {
+		t.Error("initial states must correspond")
+	}
+}
+
+func TestSynapseNotIsomorphicToMSI(t *testing.T) {
+	// The two three-state protocols differ in exactly one behavior: on a
+	// read miss, the Synapse Dirty holder writes back and invalidates
+	// itself (edge to the one-copy family), whereas the MSI owner degrades
+	// to Shared (edge to the many-copies family). The comparison must
+	// report the disparity.
+	syn := globalOf(t, "synapse")
+	msi := globalOf(t, "msi")
+	if _, ok := Isomorphic(syn, msi); ok {
+		t.Fatal("Synapse's self-invalidating owner distinguishes it from MSI")
+	}
+	// The disparity is visible as the R-edge out of the dirty state.
+	sd := syn.FindNode("(Invalid*, Dirty)")
+	s0 := syn.FindNode("(Invalid+, Valid*)")
+	if !syn.HasEdge(sd, s0, fsm.OpRead, "Invalid") {
+		t.Error("Synapse: a read miss at the dirty state must fall back to the no-sharers family")
+	}
+	md := msi.FindNode("(Invalid*, Modified)")
+	m1 := msi.FindNode("(Invalid*, Shared+)")
+	if !msi.HasEdge(md, m1, fsm.OpRead, "Invalid") {
+		t.Error("MSI: a read miss at the modified state must move to the shared family")
+	}
+}
+
+func TestSuiteIsomorphismCensus(t *testing.T) {
+	// Empirical "similarities and disparities" result over the whole suite:
+	// the only op-isomorphic pair is Illinois/MESI, which share the state
+	// machine and differ only in the data path (cache-to-cache vs memory
+	// supply on clean misses); every other pair is behaviorally distinct.
+	names := protocols.Names()
+	var isoPairs [][2]string
+	for i, a := range names {
+		ga := globalOf(t, a)
+		for _, b := range names[i+1:] {
+			gb := globalOf(t, b)
+			if _, ok := Isomorphic(ga, gb); ok {
+				isoPairs = append(isoPairs, [2]string{a, b})
+			}
+		}
+	}
+	if len(isoPairs) != 1 || isoPairs[0] != [2]string{"illinois", "mesi"} {
+		t.Fatalf("isomorphic pairs = %v, want exactly [illinois mesi]", isoPairs)
+	}
+}
+
+func TestIllinoisNotIsomorphicToMSI(t *testing.T) {
+	ill := globalOf(t, "illinois")
+	msi := globalOf(t, "msi")
+	if _, ok := Isomorphic(ill, msi); ok {
+		t.Fatal("5-state Illinois cannot be isomorphic to 3-state MSI")
+	}
+}
+
+func TestIllinoisVersusFireflyDisparity(t *testing.T) {
+	// Both have 5 essential states and identical structure strings, but the
+	// protocols behave differently (a Firefly write to a lone Shared block
+	// goes to Valid-Exclusive, not Dirty; Firefly never invalidates).
+	// Compare must report the disparity honestly, whatever it is, and the
+	// op-census must differ or the mapping must exist — pin the measured
+	// outcome so behavioral drifts become visible.
+	ill := globalOf(t, "illinois")
+	ff := globalOf(t, "firefly")
+	d := Compare(ill, ff)
+	if d.NodesA != 5 || d.NodesB != 5 {
+		t.Fatalf("both should have 5 nodes: %+v", d)
+	}
+	if d.Isomorphic {
+		t.Fatalf("Illinois and Firefly differ behaviorally; diagrams should not be op-isomorphic:\n%s", d)
+	}
+}
+
+func TestCompareString(t *testing.T) {
+	d := Compare(globalOf(t, "synapse"), globalOf(t, "msi"))
+	s := d.String()
+	if !strings.Contains(s, "isomorphic") || !strings.Contains(s, "edges") {
+		t.Errorf("comparison rendering incomplete: %s", s)
+	}
+}
+
+func TestGlobalDiagramsStronglyConnected(t *testing.T) {
+	// Every protocol here can always return to (Invalid⁺) via replacements
+	// and leave it via misses, so the global diagram is strongly connected.
+	for _, name := range protocols.Names() {
+		g := globalOf(t, name)
+		if !g.StronglyConnected() {
+			t.Errorf("%s: global diagram not strongly connected", name)
+		}
+	}
+}
+
+func TestLocalDiagramsStronglyConnected(t *testing.T) {
+	// Definition 1 requires the per-cache FSM to be strongly connected.
+	for _, p := range protocols.All() {
+		if !LocalStronglyConnected(p) {
+			t.Errorf("%s: per-cache FSM not strongly connected (Definition 1)", p.Name)
+		}
+	}
+}
+
+func TestLocalStronglyConnectedDetectsSinks(t *testing.T) {
+	p := protocols.Illinois()
+	// Remove every replacement rule: Dirty becomes inescapable only via
+	// observation... it does not: writes by others invalidate it. Instead
+	// remove all rules leaving Invalid: Invalid becomes a sink.
+	var rules []int
+	for i := range p.Rules {
+		if p.Rules[i].From != "Invalid" {
+			rules = append(rules, i)
+		}
+	}
+	q := p.Clone()
+	q.Rules = nil
+	for _, i := range rules {
+		q.Rules = append(q.Rules, p.Rules[i])
+	}
+	if LocalStronglyConnected(q) {
+		t.Fatal("a protocol whose Invalid state is a sink must fail the check")
+	}
+}

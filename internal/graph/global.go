@@ -1,0 +1,223 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/fsm"
+	"repro/internal/symbolic"
+)
+
+// Edge is one labelled transition of the global diagram between essential
+// states.
+type Edge struct {
+	From, To int // node indexes
+	Op       fsm.Op
+	Origin   fsm.State
+	NStep    bool
+	Rule     string
+}
+
+// Label renders the edge label in the paper's notation (e.g. "R^n_Invalid").
+func (e Edge) Label() string {
+	return symbolic.Label{Op: e.Op, Origin: e.Origin, NStep: e.NStep}.String()
+}
+
+// Global is the global transition diagram over essential states (Figure 4).
+type Global struct {
+	Protocol *fsm.Protocol
+	// Nodes are the essential states in canonical order (SortStates).
+	Nodes []*symbolic.CState
+	// Edges are deduplicated labelled transitions, sorted by (From, To, label).
+	Edges []Edge
+	// Initial is the node index of the initial state's representative.
+	Initial int
+}
+
+// BuildGlobal recomputes the one-step successors of every essential state
+// and maps each onto the containing essential state. Expansion must have
+// verified the protocol already: every successor of an essential state must
+// be covered by some essential state, otherwise BuildGlobal reports an
+// error (a completeness failure).
+func BuildGlobal(eng *symbolic.Engine, essential []*symbolic.CState) (*Global, error) {
+	p := eng.Protocol()
+	nodes := symbolic.SortStates(essential)
+	index := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		index[n.Key()] = i
+	}
+
+	g := &Global{Protocol: p, Nodes: nodes, Initial: -1}
+	init := eng.Initial()
+	for i, n := range nodes {
+		if symbolic.Contains(n, init) {
+			g.Initial = i
+			break
+		}
+	}
+	if g.Initial < 0 {
+		return nil, fmt.Errorf("graph: initial state %s not covered by any essential state", init.StructureString(p))
+	}
+
+	type edgeKey struct {
+		from, to int
+		op       fsm.Op
+		origin   fsm.State
+	}
+	seen := make(map[edgeKey]*Edge)
+	var order []edgeKey
+
+	// accumulating reports whether applying (op, origin) at node keeps it
+	// at node while growing (or shrinking) one class — the paper's N-steps
+	// rule 4: an arbitrary number of repetitions of the same event stays in
+	// the target family. Pure repetition requires the rule's coincident
+	// transitions to be the identity on the classes the target populates
+	// (e.g. consecutive read misses each add one Shared copy); events that
+	// merely exchange roles between caches (a write miss replacing the
+	// single Dirty owner) are not N-steps.
+	accumCache := make(map[edgeKey]bool)
+	accumulating := func(node int, op fsm.Op, origin fsm.State) bool {
+		k := edgeKey{node, node, op, origin}
+		if v, ok := accumCache[k]; ok {
+			return v
+		}
+		target := g.Nodes[node]
+		succs, _ := eng.Successors(target)
+		res := false
+		for _, su := range succs {
+			if su.Label.Op != op || su.Label.Origin != origin {
+				continue
+			}
+			if !symbolic.Contains(target, su.State) {
+				continue
+			}
+			if su.Rule.From == su.Rule.Next {
+				continue // a hit repeats nothing: no cache changes class
+			}
+			identity := true
+			for i, st := range p.States {
+				if target.Rep(i) != symbolic.RZero && su.Rule.ObservedNext(st) != st {
+					identity = false
+					break
+				}
+			}
+			if identity {
+				res = true
+				break
+			}
+		}
+		accumCache[k] = res
+		return res
+	}
+
+	for fi, node := range nodes {
+		succs, errs := eng.Successors(node)
+		if len(errs) > 0 {
+			return nil, fmt.Errorf("graph: expanding essential state %s: %v", node.StructureString(p), errs[0])
+		}
+		for _, su := range succs {
+			target, ok := symbolic.CoveredBy(su.State, nodes)
+			if !ok {
+				return nil, fmt.Errorf("graph: successor %s of %s not covered by any essential state",
+					su.State.StructureString(p), node.StructureString(p))
+			}
+			ti := index[target.Key()]
+			nstep := su.Label.NStep
+			if !nstep && accumulating(ti, su.Label.Op, su.Label.Origin) {
+				nstep = true
+			}
+			k := edgeKey{fi, ti, su.Label.Op, su.Label.Origin}
+			if prev, ok := seen[k]; ok {
+				// Keep the strongest annotation for a duplicated edge.
+				prev.NStep = prev.NStep || nstep
+				continue
+			}
+			seen[k] = &Edge{From: fi, To: ti, Op: su.Label.Op, Origin: su.Label.Origin, NStep: nstep, Rule: su.Rule.Name}
+			order = append(order, k)
+		}
+	}
+
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		if a.to != b.to {
+			return a.to < b.to
+		}
+		if a.op != b.op {
+			return a.op < b.op
+		}
+		return a.origin < b.origin
+	})
+	for _, k := range order {
+		g.Edges = append(g.Edges, *seen[k])
+	}
+	return g, nil
+}
+
+// NodeName returns a short name for node i ("s0", "s1", ...).
+func (g *Global) NodeName(i int) string { return fmt.Sprintf("s%d", i) }
+
+// HasEdge reports whether the diagram has an edge (from, to) labelled with
+// op originated by origin, ignoring the N-step annotation.
+func (g *Global) HasEdge(from, to int, op fsm.Op, origin fsm.State) bool {
+	for _, e := range g.Edges {
+		if e.From == from && e.To == to && e.Op == op && e.Origin == origin {
+			return true
+		}
+	}
+	return false
+}
+
+// FindNode returns the index of the essential state whose structure string
+// matches, or -1.
+func (g *Global) FindNode(structure string) int {
+	for i, n := range g.Nodes {
+		if n.StructureString(g.Protocol) == structure {
+			return i
+		}
+	}
+	return -1
+}
+
+// DOT renders the diagram in Graphviz format, with one record per node
+// showing the composite structure and the context variables.
+func (g *Global) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Protocol.Name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	for i, n := range g.Nodes {
+		label := fmt.Sprintf("%s\\n%s\\n%s", g.NodeName(i),
+			escape(n.StructureString(g.Protocol)), escape(n.ContextString(g.Protocol)))
+		attrs := ""
+		if i == g.Initial {
+			attrs = ", penwidth=2"
+		}
+		fmt.Fprintf(&b, "  %s [label=\"%s\"%s];\n", g.NodeName(i), label, attrs)
+	}
+	// Pool parallel edges into one arrow with a combined label.
+	type pair struct{ from, to int }
+	labels := make(map[pair][]string)
+	var pairs []pair
+	for _, e := range g.Edges {
+		pr := pair{e.From, e.To}
+		if _, ok := labels[pr]; !ok {
+			pairs = append(pairs, pr)
+		}
+		labels[pr] = append(labels[pr], e.Label())
+	}
+	for _, pr := range pairs {
+		fmt.Fprintf(&b, "  %s -> %s [label=\"%s\"];\n",
+			g.NodeName(pr.from), g.NodeName(pr.to), escape(strings.Join(labels[pr], ", ")))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}

@@ -1,0 +1,126 @@
+package protocols
+
+import "repro/internal/fsm"
+
+// State symbols of the Berkeley ownership protocol.
+const (
+	BerkInvalid     fsm.State = "Invalid"
+	BerkValid       fsm.State = "Valid"
+	BerkSharedDirty fsm.State = "Shared-Dirty"
+	BerkDirty       fsm.State = "Dirty"
+)
+
+// Berkeley returns the Berkeley ownership protocol as described by Archibald
+// and Baer. Misses are serviced by the block's owner (a cache in Dirty or
+// Shared-Dirty) without updating memory, so Valid copies may be newer than
+// the memory copy; the owner is responsible for the eventual write-back.
+// The characteristic function is null.
+func Berkeley() *fsm.Protocol {
+	valid := []fsm.State{BerkValid, BerkSharedDirty, BerkDirty}
+	owners := []fsm.State{BerkSharedDirty, BerkDirty}
+	invAll := map[fsm.State]fsm.State{
+		BerkValid:       BerkInvalid,
+		BerkSharedDirty: BerkInvalid,
+		BerkDirty:       BerkInvalid,
+	}
+	// On a bus read the owner degrades to Shared-Dirty (it keeps the
+	// write-back responsibility).
+	readObs := map[fsm.State]fsm.State{BerkDirty: BerkSharedDirty}
+	p := &fsm.Protocol{
+		Name:           "Berkeley",
+		States:         []fsm.State{BerkInvalid, BerkValid, BerkSharedDirty, BerkDirty},
+		Initial:        BerkInvalid,
+		Ops:            []fsm.Op{fsm.OpRead, fsm.OpWrite, fsm.OpReplace},
+		Characteristic: fsm.CharNull,
+		Inv: fsm.Invariants{
+			Exclusive: []fsm.State{BerkDirty},
+			Owners:    owners,
+			Readable:  valid,
+			ValidCopy: valid,
+			// No CleanShared states: Berkeley Valid copies may legitimately
+			// be newer than memory.
+		},
+		Rules: []fsm.Rule{
+			// --- Reads ---
+			{
+				Name: "read-hit-valid", From: BerkValid, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: BerkValid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep},
+			},
+			{
+				Name: "read-hit-shared-dirty", From: BerkSharedDirty, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: BerkSharedDirty,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep},
+			},
+			{
+				Name: "read-hit-dirty", From: BerkDirty, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: BerkDirty,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep},
+			},
+			{
+				Name: "read-miss-owned", From: BerkInvalid, On: fsm.OpRead,
+				Guard: fsm.AnyOther(owners...), Next: BerkValid,
+				Observe: readObs,
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: owners,
+				},
+			},
+			{
+				Name: "read-miss-unowned", From: BerkInvalid, On: fsm.OpRead,
+				Guard: fsm.NoOther(owners...), Next: BerkValid,
+				Observe: readObs,
+				Data:    fsm.DataEffect{Source: fsm.SrcMemory},
+			},
+			// --- Writes ---
+			{
+				Name: "write-hit-dirty", From: BerkDirty, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: BerkDirty,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+			},
+			{
+				Name: "write-hit-shared-dirty", From: BerkSharedDirty, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: BerkDirty,
+				Observe: invAll,
+				Data:    fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+			},
+			{
+				Name: "write-hit-valid", From: BerkValid, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: BerkDirty,
+				Observe: invAll,
+				Data:    fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+			},
+			{
+				Name: "write-miss-owned", From: BerkInvalid, On: fsm.OpWrite,
+				Guard: fsm.AnyOther(owners...), Next: BerkDirty,
+				Observe: invAll,
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: owners, Store: true,
+				},
+			},
+			{
+				Name: "write-miss-unowned", From: BerkInvalid, On: fsm.OpWrite,
+				Guard: fsm.NoOther(owners...), Next: BerkDirty,
+				Observe: invAll,
+				Data:    fsm.DataEffect{Source: fsm.SrcMemory, Store: true},
+			},
+			// --- Replacements ---
+			{
+				Name: "replace-dirty", From: BerkDirty, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: BerkInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, WriteBackSelf: true, DropSelf: true},
+			},
+			{
+				Name: "replace-shared-dirty", From: BerkSharedDirty, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: BerkInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, WriteBackSelf: true, DropSelf: true},
+			},
+			{
+				Name: "replace-valid", From: BerkValid, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: BerkInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, DropSelf: true},
+			},
+		},
+	}
+	mustValidate(p)
+	return p
+}

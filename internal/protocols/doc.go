@@ -1,0 +1,19 @@
+// Package protocols contains behavioral definitions of the classic snooping
+// cache coherence protocols verified by Pong and Dubois (SPAA 1993) and by
+// their companion technical report (USC CENG-92-20): the Illinois protocol
+// of Section 2.3 of the paper, and the remaining protocols of Archibald and
+// Baer's survey ("Cache Coherence Protocols: Evaluation Using a
+// Multiprocessor Simulation Model", ACM TOCS 4(4), 1986): Write-Once,
+// Synapse, Berkeley, Firefly, and Dragon. A minimal MSI protocol is included
+// as a pedagogical baseline.
+//
+// Each protocol is an *fsm.Protocol value whose rules simultaneously drive
+// the symbolic composite-state verifier (internal/symbolic), the
+// explicit-state enumerators (internal/enum) and the concrete multiprocessor
+// simulator (internal/sim), so there is a single source of truth for the
+// protocol's behavior.
+//
+// State-naming follows the paper: Invalid subsumes both "not present" and
+// "invalidated" (Section 2.1). Every definition passes (*fsm.Protocol).Validate
+// and is registered in the package registry; use All or ByName to enumerate.
+package protocols

@@ -1,0 +1,172 @@
+package protocols
+
+import "repro/internal/fsm"
+
+// State symbols of the Xerox Dragon protocol.
+const (
+	DrInvalid     fsm.State = "Invalid"
+	DrVEx         fsm.State = "Valid-Exclusive"
+	DrSharedClean fsm.State = "Shared-Clean"
+	DrSharedDirty fsm.State = "Shared-Dirty"
+	DrDirty       fsm.State = "Dirty"
+)
+
+// Dragon returns the Xerox Dragon write-update protocol as described by
+// Archibald and Baer. Like Firefly, writes to shared blocks are broadcast
+// and update the other cached copies, but memory is NOT updated: the most
+// recent writer becomes the block's owner (Shared-Dirty) and carries the
+// write-back responsibility. The SharedLine is the sharing-detection
+// characteristic function, so F is non-null.
+func Dragon() *fsm.Protocol {
+	valid := []fsm.State{DrVEx, DrSharedClean, DrSharedDirty, DrDirty}
+	owners := []fsm.State{DrSharedDirty, DrDirty}
+	p := &fsm.Protocol{
+		Name:           "Dragon",
+		States:         []fsm.State{DrInvalid, DrVEx, DrSharedClean, DrSharedDirty, DrDirty},
+		Initial:        DrInvalid,
+		Ops:            []fsm.Op{fsm.OpRead, fsm.OpWrite, fsm.OpReplace},
+		Characteristic: fsm.CharSharing,
+		Inv: fsm.Invariants{
+			Exclusive: []fsm.State{DrVEx, DrDirty},
+			Owners:    owners,
+			Readable:  valid,
+			ValidCopy: valid,
+			// Only Valid-Exclusive asserts consistency with memory:
+			// Shared-Clean copies may be newer than memory while an owner
+			// exists.
+			CleanShared: []fsm.State{DrVEx},
+		},
+		Rules: []fsm.Rule{
+			// --- Reads ---
+			{
+				Name: "read-hit-vex", From: DrVEx, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: DrVEx,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep},
+			},
+			{
+				Name: "read-hit-shared-clean", From: DrSharedClean, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: DrSharedClean,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep},
+			},
+			{
+				Name: "read-hit-shared-dirty", From: DrSharedDirty, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: DrSharedDirty,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep},
+			},
+			{
+				Name: "read-hit-dirty", From: DrDirty, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: DrDirty,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep},
+			},
+			{
+				// The owner supplies the block without a memory update and
+				// degrades to Shared-Dirty; the requester loads Shared-Clean.
+				Name: "read-miss-owned", From: DrInvalid, On: fsm.OpRead,
+				Guard: fsm.AnyOther(owners...), Next: DrSharedClean,
+				Observe: map[fsm.State]fsm.State{DrDirty: DrSharedDirty, DrVEx: DrSharedClean},
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: owners,
+				},
+			},
+			{
+				Name: "read-miss-shared-clean", From: DrInvalid, On: fsm.OpRead,
+				Guard: fsm.AnyOther(DrSharedClean, DrVEx), Next: DrSharedClean,
+				Observe: map[fsm.State]fsm.State{DrVEx: DrSharedClean},
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{DrSharedClean, DrVEx},
+				},
+			},
+			{
+				Name: "read-miss-from-memory", From: DrInvalid, On: fsm.OpRead,
+				Guard: fsm.NoOther(valid...), Next: DrVEx,
+				Data: fsm.DataEffect{Source: fsm.SrcMemory},
+			},
+			// --- Writes ---
+			{
+				Name: "write-hit-dirty", From: DrDirty, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: DrDirty,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+			},
+			{
+				Name: "write-hit-vex", From: DrVEx, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: DrDirty,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+			},
+			{
+				// Broadcast update; the writer takes ownership, a previous
+				// owner degrades to Shared-Clean. Memory is not updated.
+				Name: "write-hit-shared-dirty-line", From: DrSharedDirty, On: fsm.OpWrite,
+				Guard: fsm.AnyOther(valid...), Next: DrSharedDirty,
+				Data: fsm.DataEffect{
+					Source: fsm.SrcKeep, Store: true, UpdateSharers: true,
+				},
+			},
+			{
+				Name: "write-hit-shared-dirty-alone", From: DrSharedDirty, On: fsm.OpWrite,
+				Guard: fsm.NoOther(valid...), Next: DrDirty,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+			},
+			{
+				Name: "write-hit-shared-clean-line", From: DrSharedClean, On: fsm.OpWrite,
+				Guard: fsm.AnyOther(valid...), Next: DrSharedDirty,
+				Observe: map[fsm.State]fsm.State{DrSharedDirty: DrSharedClean},
+				Data: fsm.DataEffect{
+					Source: fsm.SrcKeep, Store: true, UpdateSharers: true,
+				},
+			},
+			{
+				Name: "write-hit-shared-clean-alone", From: DrSharedClean, On: fsm.OpWrite,
+				Guard: fsm.NoOther(valid...), Next: DrDirty,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+			},
+			{
+				Name: "write-miss-owned", From: DrInvalid, On: fsm.OpWrite,
+				Guard: fsm.AnyOther(owners...), Next: DrSharedDirty,
+				Observe: map[fsm.State]fsm.State{
+					DrDirty: DrSharedClean, DrSharedDirty: DrSharedClean, DrVEx: DrSharedClean,
+				},
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: owners,
+					Store: true, UpdateSharers: true,
+				},
+			},
+			{
+				Name: "write-miss-shared-clean", From: DrInvalid, On: fsm.OpWrite,
+				Guard: fsm.AnyOther(DrSharedClean, DrVEx), Next: DrSharedDirty,
+				Observe: map[fsm.State]fsm.State{DrVEx: DrSharedClean},
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{DrSharedClean, DrVEx},
+					Store: true, UpdateSharers: true,
+				},
+			},
+			{
+				Name: "write-miss-from-memory", From: DrInvalid, On: fsm.OpWrite,
+				Guard: fsm.NoOther(valid...), Next: DrDirty,
+				Data: fsm.DataEffect{Source: fsm.SrcMemory, Store: true},
+			},
+			// --- Replacements ---
+			{
+				Name: "replace-dirty", From: DrDirty, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: DrInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, WriteBackSelf: true, DropSelf: true},
+			},
+			{
+				Name: "replace-shared-dirty", From: DrSharedDirty, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: DrInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, WriteBackSelf: true, DropSelf: true},
+			},
+			{
+				Name: "replace-shared-clean", From: DrSharedClean, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: DrInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, DropSelf: true},
+			},
+			{
+				Name: "replace-vex", From: DrVEx, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: DrInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, DropSelf: true},
+			},
+		},
+	}
+	mustValidate(p)
+	return p
+}

@@ -1,0 +1,152 @@
+package protocols
+
+import "repro/internal/fsm"
+
+// State symbols of the DEC Firefly protocol.
+const (
+	FfInvalid fsm.State = "Invalid"
+	FfVEx     fsm.State = "Valid-Exclusive"
+	FfShared  fsm.State = "Shared"
+	FfDirty   fsm.State = "Dirty"
+)
+
+// Firefly returns the DEC Firefly write-broadcast protocol as described by
+// Archibald and Baer. Copies are never invalidated: writes to Shared blocks
+// are broadcast on the bus, updating both memory (write-through) and every
+// other cached copy. The SharedLine bus signal is the sharing-detection
+// characteristic function, so F is non-null: a write to a Shared block whose
+// SharedLine is no longer asserted promotes the block to Valid-Exclusive,
+// and a read miss with no remote copy loads Valid-Exclusive.
+func Firefly() *fsm.Protocol {
+	valid := []fsm.State{FfVEx, FfShared, FfDirty}
+	p := &fsm.Protocol{
+		Name:           "Firefly",
+		States:         []fsm.State{FfInvalid, FfVEx, FfShared, FfDirty},
+		Initial:        FfInvalid,
+		Ops:            []fsm.Op{fsm.OpRead, fsm.OpWrite, fsm.OpReplace},
+		Characteristic: fsm.CharSharing,
+		Inv: fsm.Invariants{
+			Exclusive: []fsm.State{FfVEx, FfDirty},
+			Owners:    []fsm.State{FfDirty},
+			Readable:  valid,
+			// Shared copies are clean thanks to write-through.
+			ValidCopy:   valid,
+			CleanShared: []fsm.State{FfVEx, FfShared},
+		},
+		Rules: []fsm.Rule{
+			// --- Reads ---
+			{
+				Name: "read-hit-vex", From: FfVEx, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: FfVEx,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep},
+			},
+			{
+				Name: "read-hit-shared", From: FfShared, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: FfShared,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep},
+			},
+			{
+				Name: "read-hit-dirty", From: FfDirty, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: FfDirty,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep},
+			},
+			{
+				// The Dirty holder supplies the block and writes it back;
+				// both copies end Shared.
+				Name: "read-miss-dirty-owner", From: FfInvalid, On: fsm.OpRead,
+				Guard: fsm.AnyOther(FfDirty), Next: FfShared,
+				Observe: map[fsm.State]fsm.State{FfDirty: FfShared, FfVEx: FfShared},
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{FfDirty},
+					SupplierWriteBack: true,
+				},
+			},
+			{
+				Name: "read-miss-shared", From: FfInvalid, On: fsm.OpRead,
+				Guard: fsm.AnyOther(FfShared, FfVEx), Next: FfShared,
+				Observe: map[fsm.State]fsm.State{FfVEx: FfShared},
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{FfShared, FfVEx},
+				},
+			},
+			{
+				Name: "read-miss-from-memory", From: FfInvalid, On: fsm.OpRead,
+				Guard: fsm.NoOther(valid...), Next: FfVEx,
+				Data: fsm.DataEffect{Source: fsm.SrcMemory},
+			},
+			// --- Writes ---
+			{
+				Name: "write-hit-dirty", From: FfDirty, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: FfDirty,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+			},
+			{
+				Name: "write-hit-vex", From: FfVEx, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: FfDirty,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+			},
+			{
+				// Broadcast write: memory and every other copy are updated;
+				// the block stays Shared while the SharedLine is asserted.
+				Name: "write-hit-shared-line", From: FfShared, On: fsm.OpWrite,
+				Guard: fsm.AnyOther(valid...), Next: FfShared,
+				Data: fsm.DataEffect{
+					Source: fsm.SrcKeep, Store: true,
+					WriteThrough: true, UpdateSharers: true,
+				},
+			},
+			{
+				// SharedLine dropped: the copy is the only one left; the
+				// write still goes through to memory, leaving the block
+				// clean and exclusive.
+				Name: "write-hit-shared-alone", From: FfShared, On: fsm.OpWrite,
+				Guard: fsm.NoOther(valid...), Next: FfVEx,
+				Data: fsm.DataEffect{
+					Source: fsm.SrcKeep, Store: true, WriteThrough: true,
+				},
+			},
+			{
+				Name: "write-miss-dirty-owner", From: FfInvalid, On: fsm.OpWrite,
+				Guard: fsm.AnyOther(FfDirty), Next: FfShared,
+				Observe: map[fsm.State]fsm.State{FfDirty: FfShared, FfVEx: FfShared},
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{FfDirty},
+					SupplierWriteBack: true, Store: true,
+					WriteThrough: true, UpdateSharers: true,
+				},
+			},
+			{
+				Name: "write-miss-shared", From: FfInvalid, On: fsm.OpWrite,
+				Guard: fsm.AnyOther(FfShared, FfVEx), Next: FfShared,
+				Observe: map[fsm.State]fsm.State{FfVEx: FfShared},
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{FfShared, FfVEx},
+					Store: true, WriteThrough: true, UpdateSharers: true,
+				},
+			},
+			{
+				Name: "write-miss-from-memory", From: FfInvalid, On: fsm.OpWrite,
+				Guard: fsm.NoOther(valid...), Next: FfDirty,
+				Data: fsm.DataEffect{Source: fsm.SrcMemory, Store: true},
+			},
+			// --- Replacements ---
+			{
+				Name: "replace-dirty", From: FfDirty, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: FfInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, WriteBackSelf: true, DropSelf: true},
+			},
+			{
+				Name: "replace-vex", From: FfVEx, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: FfInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, DropSelf: true},
+			},
+			{
+				Name: "replace-shared", From: FfShared, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: FfInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, DropSelf: true},
+			},
+		},
+	}
+	mustValidate(p)
+	return p
+}

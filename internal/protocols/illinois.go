@@ -1,0 +1,154 @@
+package protocols
+
+import "repro/internal/fsm"
+
+// State symbols of the Illinois protocol (paper Section 2.3 and Figure 1).
+const (
+	IllInvalid fsm.State = "Invalid"
+	IllVEx     fsm.State = "Valid-Exclusive"
+	IllShared  fsm.State = "Shared"
+	IllDirty   fsm.State = "Dirty"
+)
+
+// Illinois returns the Illinois (MESI) protocol exactly as specified in
+// Section 2.3 of the paper:
+//
+//   - Read hit: no coherence action.
+//   - Read miss: a Dirty cache supplies the block and updates memory, both
+//     end Shared; otherwise a Shared/Valid-Exclusive cache supplies and all
+//     copies end Shared; otherwise memory supplies and the block loads
+//     Valid-Exclusive. The choice depends on the sharing-detection function,
+//     so the characteristic function F is non-null.
+//   - Write hit: Dirty stays put; Valid-Exclusive silently becomes Dirty;
+//     Shared invalidates all remote copies and becomes Dirty.
+//   - Write miss: like a read miss but every remote copy is invalidated and
+//     the block loads Dirty.
+//   - Replacement: a Dirty block is written back to memory.
+func Illinois() *fsm.Protocol {
+	valid := []fsm.State{IllVEx, IllShared, IllDirty}
+	invAll := map[fsm.State]fsm.State{
+		IllVEx:    IllInvalid,
+		IllShared: IllInvalid,
+		IllDirty:  IllInvalid,
+	}
+	p := &fsm.Protocol{
+		Name:           "Illinois",
+		States:         []fsm.State{IllInvalid, IllVEx, IllShared, IllDirty},
+		Initial:        IllInvalid,
+		Ops:            []fsm.Op{fsm.OpRead, fsm.OpWrite, fsm.OpReplace},
+		Characteristic: fsm.CharSharing,
+		Inv: fsm.Invariants{
+			Exclusive:   []fsm.State{IllVEx, IllDirty},
+			Owners:      []fsm.State{IllDirty},
+			Readable:    valid,
+			ValidCopy:   valid,
+			CleanShared: []fsm.State{IllVEx, IllShared},
+		},
+		Rules: []fsm.Rule{
+			// --- Reads ---
+			{
+				Name: "read-hit-vex", From: IllVEx, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: IllVEx,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep},
+			},
+			{
+				Name: "read-hit-shared", From: IllShared, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: IllShared,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep},
+			},
+			{
+				Name: "read-hit-dirty", From: IllDirty, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: IllDirty,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep},
+			},
+			{
+				// "If cache Cj has a Dirty copy, Cj supplies the missing
+				// block and updates main memory at the same time; both Ci
+				// and Cj end up in state Shared."
+				Name: "read-miss-dirty-owner", From: IllInvalid, On: fsm.OpRead,
+				Guard: fsm.AnyOther(IllDirty), Next: IllShared,
+				Observe: map[fsm.State]fsm.State{IllDirty: IllShared},
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{IllDirty},
+					SupplierWriteBack: true,
+				},
+			},
+			{
+				// "If there are Shared or Valid-Exclusive copies in other
+				// caches, Ci gets the missing block from one of the caches
+				// and all caches with a copy end up in state Shared."
+				Name: "read-miss-from-cache", From: IllInvalid, On: fsm.OpRead,
+				Guard: fsm.AnyOther(IllShared, IllVEx), Next: IllShared,
+				Observe: map[fsm.State]fsm.State{IllVEx: IllShared},
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{IllShared, IllVEx},
+				},
+			},
+			{
+				// "If there is no cached copy, Ci receives a Valid-Exclusive
+				// copy from main memory."
+				Name: "read-miss-from-memory", From: IllInvalid, On: fsm.OpRead,
+				Guard: fsm.NoOther(IllVEx, IllShared, IllDirty), Next: IllVEx,
+				Data: fsm.DataEffect{Source: fsm.SrcMemory},
+			},
+			// --- Writes ---
+			{
+				Name: "write-hit-dirty", From: IllDirty, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: IllDirty,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+			},
+			{
+				Name: "write-hit-vex", From: IllVEx, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: IllDirty,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+			},
+			{
+				Name: "write-hit-shared", From: IllShared, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: IllDirty,
+				Observe: invAll,
+				Data:    fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+			},
+			{
+				Name: "write-miss-dirty-owner", From: IllInvalid, On: fsm.OpWrite,
+				Guard: fsm.AnyOther(IllDirty), Next: IllDirty,
+				Observe: invAll,
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{IllDirty},
+					Store: true,
+				},
+			},
+			{
+				Name: "write-miss-from-cache", From: IllInvalid, On: fsm.OpWrite,
+				Guard: fsm.AnyOther(IllShared, IllVEx), Next: IllDirty,
+				Observe: invAll,
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{IllShared, IllVEx},
+					Store: true,
+				},
+			},
+			{
+				Name: "write-miss-from-memory", From: IllInvalid, On: fsm.OpWrite,
+				Guard: fsm.NoOther(IllVEx, IllShared, IllDirty), Next: IllDirty,
+				Data: fsm.DataEffect{Source: fsm.SrcMemory, Store: true},
+			},
+			// --- Replacements ---
+			{
+				Name: "replace-dirty", From: IllDirty, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: IllInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, WriteBackSelf: true, DropSelf: true},
+			},
+			{
+				Name: "replace-vex", From: IllVEx, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: IllInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, DropSelf: true},
+			},
+			{
+				Name: "replace-shared", From: IllShared, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: IllInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, DropSelf: true},
+			},
+		},
+	}
+	mustValidate(p)
+	return p
+}

@@ -1,0 +1,172 @@
+package protocols
+
+import "repro/internal/fsm"
+
+// State symbols and extra operations of the Lock-MSI protocol.
+const (
+	LkInvalid  fsm.State = "Invalid"
+	LkShared   fsm.State = "Shared"
+	LkModified fsm.State = "Modified"
+	LkLocked   fsm.State = "Locked"
+
+	// OpAcquire is a test-and-set lock acquire; OpRelease releases it.
+	OpAcquire fsm.Op = "L"
+	OpRelease fsm.Op = "U"
+)
+
+// LockMSI returns an MSI protocol extended with a Locked state and
+// acquire/release operations — the "protocols with locked states" the
+// paper's conclusion names as a target for the method. A successful acquire
+// behaves like a write (it invalidates remote copies and takes the only
+// copy); an acquire that finds the block locked elsewhere SPINS: the
+// requester stays put and retries, so mutual exclusion — at most one cache
+// in Locked — is a protocol invariant the verifier can check (Locked is
+// declared exclusive). Release retains the (modified) data as an ordinary
+// Modified copy. Reads and writes by other processors spin while the block
+// is locked, modelling a QOLB-style blocking lock.
+func LockMSI() *fsm.Protocol {
+	valid := []fsm.State{LkShared, LkModified, LkLocked}
+	invAll := map[fsm.State]fsm.State{
+		LkShared: LkInvalid, LkModified: LkInvalid, LkLocked: LkInvalid,
+	}
+	p := &fsm.Protocol{
+		Name:    "Lock-MSI",
+		States:  []fsm.State{LkInvalid, LkShared, LkModified, LkLocked},
+		Initial: LkInvalid,
+		Ops:     []fsm.Op{fsm.OpRead, fsm.OpWrite, fsm.OpReplace, OpAcquire, OpRelease},
+		// Acquire outcomes depend on the global state (locked elsewhere or
+		// not), so the characteristic function is non-null.
+		Characteristic: fsm.CharSharing,
+		Inv: fsm.Invariants{
+			Exclusive: []fsm.State{LkModified, LkLocked},
+			Owners:    []fsm.State{LkModified, LkLocked},
+			Readable:  valid,
+			ValidCopy: valid,
+		},
+		Rules: []fsm.Rule{
+			// --- Reads ---
+			{Name: "read-hit-shared", From: LkShared, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: LkShared,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep}},
+			{Name: "read-hit-modified", From: LkModified, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: LkModified,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep}},
+			{Name: "read-hit-locked", From: LkLocked, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: LkLocked,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep}},
+			{
+				// Reads spin while another cache holds the lock.
+				Name: "read-miss-spin", From: LkInvalid, On: fsm.OpRead,
+				Guard: fsm.AnyOther(LkLocked), Next: LkInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcNone, Spin: true},
+			},
+			{
+				Name: "read-miss-owned", From: LkInvalid, On: fsm.OpRead,
+				Guard: fsm.AnyOther(LkModified), Next: LkShared,
+				Observe: map[fsm.State]fsm.State{LkModified: LkShared},
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{LkModified},
+					SupplierWriteBack: true,
+				},
+			},
+			{
+				Name: "read-miss-clean", From: LkInvalid, On: fsm.OpRead,
+				Guard: fsm.NoOther(LkModified, LkLocked), Next: LkShared,
+				Data: fsm.DataEffect{Source: fsm.SrcMemory},
+			},
+			// --- Writes ---
+			{Name: "write-hit-modified", From: LkModified, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: LkModified,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true}},
+			{Name: "write-hit-locked", From: LkLocked, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: LkLocked,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true}},
+			{
+				// Shared copies never coexist with a held lock (acquire
+				// invalidates everything), so the upgrade is unconditional.
+				Name: "write-hit-shared", From: LkShared, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: LkModified,
+				Observe: invAll,
+				Data:    fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+			},
+			{
+				Name: "write-miss-spin", From: LkInvalid, On: fsm.OpWrite,
+				Guard: fsm.AnyOther(LkLocked), Next: LkInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcNone, Spin: true},
+			},
+			{
+				Name: "write-miss-owned", From: LkInvalid, On: fsm.OpWrite,
+				Guard: fsm.AnyOther(LkModified), Next: LkModified,
+				Observe: invAll,
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{LkModified},
+					SupplierWriteBack: true, Store: true,
+				},
+			},
+			{
+				Name: "write-miss-clean", From: LkInvalid, On: fsm.OpWrite,
+				Guard: fsm.NoOther(LkModified, LkLocked), Next: LkModified,
+				Observe: invAll,
+				Data:    fsm.DataEffect{Source: fsm.SrcMemory, Store: true},
+			},
+			// --- Lock acquire ---
+			{
+				Name: "acquire-spin", From: LkInvalid, On: OpAcquire,
+				Guard: fsm.AnyOther(LkLocked), Next: LkInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcNone, Spin: true},
+			},
+			{
+				Name: "acquire-owned", From: LkInvalid, On: OpAcquire,
+				Guard: fsm.AnyOther(LkModified), Next: LkLocked,
+				Observe: invAll,
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{LkModified},
+					SupplierWriteBack: true, Store: true,
+				},
+			},
+			{
+				Name: "acquire-clean", From: LkInvalid, On: OpAcquire,
+				Guard: fsm.NoOther(LkModified, LkLocked), Next: LkLocked,
+				Observe: invAll,
+				Data:    fsm.DataEffect{Source: fsm.SrcMemory, Store: true},
+			},
+			{
+				// As above: a Shared copy proves no one holds the lock.
+				Name: "acquire-from-shared", From: LkShared, On: OpAcquire,
+				Guard: fsm.Always(), Next: LkLocked,
+				Observe: invAll,
+				Data:    fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+			},
+			{
+				// Acquiring through a Modified copy always succeeds: the
+				// copy is exclusive, so no one else can hold the lock.
+				Name: "acquire-from-modified", From: LkModified, On: OpAcquire,
+				Guard: fsm.Always(), Next: LkLocked,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+			},
+			{
+				// Recursive acquire while already holding the lock.
+				Name: "acquire-reentrant", From: LkLocked, On: OpAcquire,
+				Guard: fsm.Always(), Next: LkLocked,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep},
+			},
+			// --- Lock release ---
+			{
+				Name: "release", From: LkLocked, On: OpRelease,
+				Guard: fsm.Always(), Next: LkModified,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+			},
+			// --- Replacements ---
+			{Name: "replace-modified", From: LkModified, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: LkInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, WriteBackSelf: true, DropSelf: true}},
+			{Name: "replace-shared", From: LkShared, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: LkInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, DropSelf: true}},
+			// A Locked block is never replaced (it is pinned while held):
+			// no rule for (Locked, Z), so the operation is a no-op.
+		},
+	}
+	mustValidate(p)
+	return p
+}

@@ -1,0 +1,30 @@
+package protocols
+
+import "repro/internal/fsm"
+
+// MESI returns the textbook MESI protocol: the same four states and the
+// same state machine as Illinois, but with the commercial data path —
+// misses on clean blocks are serviced by MEMORY rather than
+// cache-to-cache. (The Illinois paper's distinguishing feature was
+// precisely that caches supply clean blocks; most implementations dropped
+// it.) Because only the data path differs, the global transition diagram of
+// MESI is operation-isomorphic to Illinois's — a positive example for the
+// "similarities among protocols" comparison — while the bus-traffic
+// statistics of the simulator tell the two apart.
+func MESI() *fsm.Protocol {
+	p := Illinois()
+	p.Name = "MESI"
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		switch r.Name {
+		case "read-miss-from-cache", "write-miss-from-cache":
+			// Clean copies are consistent with memory; let memory service
+			// the miss instead of a cache.
+			r.Data.Source = fsm.SrcMemory
+			r.Data.Suppliers = nil
+		}
+	}
+	q := p.Clone() // rebuild internal indexes after the edit
+	mustValidate(q)
+	return q
+}

@@ -1,0 +1,51 @@
+package protocols
+
+import (
+	"testing"
+
+	"repro/internal/fsm"
+)
+
+func TestMESISameMachineAsIllinois(t *testing.T) {
+	ill, mesi := Illinois(), MESI()
+	if len(ill.Rules) != len(mesi.Rules) {
+		t.Fatalf("rule counts differ: %d vs %d", len(ill.Rules), len(mesi.Rules))
+	}
+	for i := range ill.Rules {
+		a, b := &ill.Rules[i], &mesi.Rules[i]
+		if a.Name != b.Name || a.From != b.From || a.On != b.On || a.Next != b.Next {
+			t.Errorf("rule %d: state machine differs (%s vs %s)", i, a.Name, b.Name)
+		}
+	}
+}
+
+func TestMESICleanMissesServicedByMemory(t *testing.T) {
+	p := MESI()
+	c := fsm.NewConfig(p, 3)
+	if _, err := fsm.Step(p, c, 0, fsm.OpRead); err != nil {
+		t.Fatal(err)
+	}
+	// Cache 1 misses while cache 0 holds a clean V-Ex copy: Illinois would
+	// supply cache-to-cache; MESI must go to memory.
+	res, err := fsm.Step(p, c, 1, fsm.OpRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Supplier != -1 {
+		t.Fatalf("MESI clean miss must be serviced by memory, got supplier %d", res.Supplier)
+	}
+	if c.States[0] != "Shared" || c.States[1] != "Shared" {
+		t.Fatalf("state machine must still match Illinois: %v", c.States)
+	}
+	// Dirty misses are still cache-to-cache (the owner must supply).
+	if _, err := fsm.Step(p, c, 1, fsm.OpWrite); err != nil {
+		t.Fatal(err)
+	}
+	res, err = fsm.Step(p, c, 2, fsm.OpRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Supplier != 1 {
+		t.Fatalf("a dirty miss must be supplied by the owner, got %d", res.Supplier)
+	}
+}

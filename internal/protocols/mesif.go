@@ -1,0 +1,145 @@
+package protocols
+
+import "repro/internal/fsm"
+
+// State symbols of the MESIF protocol.
+const (
+	MfInvalid   fsm.State = "Invalid"
+	MfShared    fsm.State = "Shared"
+	MfExclusive fsm.State = "Exclusive"
+	MfForward   fsm.State = "Forward"
+	MfModified  fsm.State = "Modified"
+)
+
+// MESIF returns the five-state MESIF protocol (Intel's MESI variant):
+// among the clean sharers, at most one holds the block in Forward and is
+// the designated responder for misses; plain Shared copies never supply.
+// The most recent requester becomes the forwarder. All shared states are
+// consistent with memory (a Modified supplier writes back as it degrades),
+// so when no Forward copy exists a miss falls through to memory even though
+// Shared copies are present — the behavior that distinguishes MESIF's
+// global diagram from MOESI's.
+func MESIF() *fsm.Protocol {
+	valid := []fsm.State{MfShared, MfExclusive, MfForward, MfModified}
+	invAll := map[fsm.State]fsm.State{
+		MfShared: MfInvalid, MfExclusive: MfInvalid,
+		MfForward: MfInvalid, MfModified: MfInvalid,
+	}
+	p := &fsm.Protocol{
+		Name:           "MESIF",
+		States:         []fsm.State{MfInvalid, MfShared, MfExclusive, MfForward, MfModified},
+		Initial:        MfInvalid,
+		Ops:            []fsm.Op{fsm.OpRead, fsm.OpWrite, fsm.OpReplace},
+		Characteristic: fsm.CharSharing,
+		Inv: fsm.Invariants{
+			Exclusive: []fsm.State{MfExclusive, MfModified},
+			// At most one cache may be the designated responder (Forward)
+			// or the modified owner; the Owners invariant enforces the
+			// at-most-one-total rule across both.
+			Owners:      []fsm.State{MfForward, MfModified},
+			Readable:    valid,
+			ValidCopy:   valid,
+			CleanShared: []fsm.State{MfShared, MfExclusive, MfForward},
+		},
+		Rules: []fsm.Rule{
+			// --- Reads ---
+			{Name: "read-hit-shared", From: MfShared, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: MfShared,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep}},
+			{Name: "read-hit-exclusive", From: MfExclusive, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: MfExclusive,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep}},
+			{Name: "read-hit-forward", From: MfForward, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: MfForward,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep}},
+			{Name: "read-hit-modified", From: MfModified, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: MfModified,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep}},
+			{
+				// A Modified holder supplies, writes back and degrades to
+				// Shared; the requester becomes the forwarder.
+				Name: "read-miss-modified", From: MfInvalid, On: fsm.OpRead,
+				Guard: fsm.AnyOther(MfModified), Next: MfForward,
+				Observe: map[fsm.State]fsm.State{MfModified: MfShared},
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{MfModified},
+					SupplierWriteBack: true,
+				},
+			},
+			{
+				// The forwarder (or an Exclusive holder) supplies and
+				// degrades to Shared; forwarding duty moves to the
+				// requester.
+				Name: "read-miss-forward", From: MfInvalid, On: fsm.OpRead,
+				Guard: fsm.AnyOther(MfForward, MfExclusive), Next: MfForward,
+				Observe: map[fsm.State]fsm.State{MfForward: MfShared, MfExclusive: MfShared},
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{MfForward, MfExclusive},
+				},
+			},
+			{
+				// Plain Shared copies never respond: after the forwarder is
+				// evicted, misses fall through to (consistent) memory and
+				// the requester picks up the forwarding duty.
+				Name: "read-miss-shared-memory", From: MfInvalid, On: fsm.OpRead,
+				Guard: fsm.AnyOther(MfShared), Next: MfForward,
+				Data: fsm.DataEffect{Source: fsm.SrcMemory},
+			},
+			{
+				Name: "read-miss-from-memory", From: MfInvalid, On: fsm.OpRead,
+				Guard: fsm.NoOther(valid...), Next: MfExclusive,
+				Data: fsm.DataEffect{Source: fsm.SrcMemory},
+			},
+			// --- Writes ---
+			{Name: "write-hit-modified", From: MfModified, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: MfModified,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true}},
+			{Name: "write-hit-exclusive", From: MfExclusive, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: MfModified,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true}},
+			{Name: "write-hit-forward", From: MfForward, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: MfModified, Observe: invAll,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true}},
+			{Name: "write-hit-shared", From: MfShared, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: MfModified, Observe: invAll,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true}},
+			{
+				Name: "write-miss-modified", From: MfInvalid, On: fsm.OpWrite,
+				Guard: fsm.AnyOther(MfModified), Next: MfModified,
+				Observe: invAll,
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{MfModified},
+					Store: true,
+				},
+			},
+			{
+				// Clean copies exist: memory is consistent, fetch from it
+				// and invalidate everyone.
+				Name: "write-miss-clean", From: MfInvalid, On: fsm.OpWrite,
+				Guard: fsm.AnyOther(MfForward, MfExclusive, MfShared), Next: MfModified,
+				Observe: invAll,
+				Data:    fsm.DataEffect{Source: fsm.SrcMemory, Store: true},
+			},
+			{
+				Name: "write-miss-from-memory", From: MfInvalid, On: fsm.OpWrite,
+				Guard: fsm.NoOther(valid...), Next: MfModified,
+				Data: fsm.DataEffect{Source: fsm.SrcMemory, Store: true},
+			},
+			// --- Replacements ---
+			{Name: "replace-modified", From: MfModified, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: MfInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, WriteBackSelf: true, DropSelf: true}},
+			{Name: "replace-forward", From: MfForward, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: MfInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, DropSelf: true}},
+			{Name: "replace-exclusive", From: MfExclusive, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: MfInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, DropSelf: true}},
+			{Name: "replace-shared", From: MfShared, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: MfInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, DropSelf: true}},
+		},
+	}
+	mustValidate(p)
+	return p
+}

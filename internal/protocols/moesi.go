@@ -1,0 +1,132 @@
+package protocols
+
+import "repro/internal/fsm"
+
+// State symbols of the MOESI protocol.
+const (
+	MoInvalid   fsm.State = "Invalid"
+	MoShared    fsm.State = "Shared"
+	MoExclusive fsm.State = "Exclusive"
+	MoOwned     fsm.State = "Owned"
+	MoModified  fsm.State = "Modified"
+)
+
+// MOESI returns the five-state MOESI protocol (the AMD-style generalization
+// of Illinois/MESI with Berkeley-style ownership): a Modified block that is
+// read by another cache degrades to Owned instead of writing back, keeping
+// the write-back responsibility while Shared copies — possibly newer than
+// memory — circulate. Post-dating the paper, it is included because it
+// composes the two mechanisms (sharing detection AND dirty sharing) that
+// the paper's protocols exhibit separately, stressing both at once.
+func MOESI() *fsm.Protocol {
+	valid := []fsm.State{MoShared, MoExclusive, MoOwned, MoModified}
+	owners := []fsm.State{MoOwned, MoModified}
+	invAll := map[fsm.State]fsm.State{
+		MoShared: MoInvalid, MoExclusive: MoInvalid,
+		MoOwned: MoInvalid, MoModified: MoInvalid,
+	}
+	p := &fsm.Protocol{
+		Name:           "MOESI",
+		States:         []fsm.State{MoInvalid, MoShared, MoExclusive, MoOwned, MoModified},
+		Initial:        MoInvalid,
+		Ops:            []fsm.Op{fsm.OpRead, fsm.OpWrite, fsm.OpReplace},
+		Characteristic: fsm.CharSharing,
+		Inv: fsm.Invariants{
+			Exclusive: []fsm.State{MoExclusive, MoModified},
+			Owners:    owners,
+			Readable:  valid,
+			ValidCopy: valid,
+			// Only Exclusive asserts memory consistency: Shared copies may
+			// be newer than memory while an Owned copy exists.
+			CleanShared: []fsm.State{MoExclusive},
+		},
+		Rules: []fsm.Rule{
+			// --- Reads ---
+			{Name: "read-hit-shared", From: MoShared, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: MoShared,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep}},
+			{Name: "read-hit-exclusive", From: MoExclusive, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: MoExclusive,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep}},
+			{Name: "read-hit-owned", From: MoOwned, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: MoOwned,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep}},
+			{Name: "read-hit-modified", From: MoModified, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: MoModified,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep}},
+			{
+				// An owner supplies without touching memory; a Modified
+				// owner degrades to Owned and keeps the write-back duty.
+				Name: "read-miss-owned", From: MoInvalid, On: fsm.OpRead,
+				Guard: fsm.AnyOther(owners...), Next: MoShared,
+				Observe: map[fsm.State]fsm.State{MoModified: MoOwned, MoExclusive: MoShared},
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: owners,
+				},
+			},
+			{
+				Name: "read-miss-clean", From: MoInvalid, On: fsm.OpRead,
+				Guard: fsm.AnyOther(MoExclusive, MoShared), Next: MoShared,
+				Observe: map[fsm.State]fsm.State{MoExclusive: MoShared},
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{MoShared, MoExclusive},
+				},
+			},
+			{
+				Name: "read-miss-from-memory", From: MoInvalid, On: fsm.OpRead,
+				Guard: fsm.NoOther(valid...), Next: MoExclusive,
+				Data: fsm.DataEffect{Source: fsm.SrcMemory},
+			},
+			// --- Writes ---
+			{Name: "write-hit-modified", From: MoModified, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: MoModified,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true}},
+			{Name: "write-hit-exclusive", From: MoExclusive, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: MoModified,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true}},
+			{Name: "write-hit-owned", From: MoOwned, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: MoModified, Observe: invAll,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true}},
+			{Name: "write-hit-shared", From: MoShared, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: MoModified, Observe: invAll,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true}},
+			{
+				Name: "write-miss-owned", From: MoInvalid, On: fsm.OpWrite,
+				Guard: fsm.AnyOther(owners...), Next: MoModified,
+				Observe: invAll,
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: owners, Store: true,
+				},
+			},
+			{
+				Name: "write-miss-clean", From: MoInvalid, On: fsm.OpWrite,
+				Guard: fsm.AnyOther(MoExclusive, MoShared), Next: MoModified,
+				Observe: invAll,
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{MoShared, MoExclusive},
+					Store: true,
+				},
+			},
+			{
+				Name: "write-miss-from-memory", From: MoInvalid, On: fsm.OpWrite,
+				Guard: fsm.NoOther(valid...), Next: MoModified,
+				Data: fsm.DataEffect{Source: fsm.SrcMemory, Store: true},
+			},
+			// --- Replacements ---
+			{Name: "replace-modified", From: MoModified, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: MoInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, WriteBackSelf: true, DropSelf: true}},
+			{Name: "replace-owned", From: MoOwned, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: MoInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, WriteBackSelf: true, DropSelf: true}},
+			{Name: "replace-exclusive", From: MoExclusive, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: MoInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, DropSelf: true}},
+			{Name: "replace-shared", From: MoShared, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: MoInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, DropSelf: true}},
+		},
+	}
+	mustValidate(p)
+	return p
+}

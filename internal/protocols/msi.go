@@ -1,0 +1,102 @@
+package protocols
+
+import "repro/internal/fsm"
+
+// State symbols of the three-state MSI protocol.
+const (
+	MSIInvalid  fsm.State = "Invalid"
+	MSIShared   fsm.State = "Shared"
+	MSIModified fsm.State = "Modified"
+)
+
+// MSI returns a minimal three-state write-invalidate protocol, included as a
+// pedagogical baseline (it is not part of Archibald & Baer's survey but is
+// the simplest protocol exercising the verifier). Its characteristic
+// function is null: a read miss always loads Shared.
+func MSI() *fsm.Protocol {
+	valid := []fsm.State{MSIShared, MSIModified}
+	invAll := map[fsm.State]fsm.State{
+		MSIShared:   MSIInvalid,
+		MSIModified: MSIInvalid,
+	}
+	readObs := map[fsm.State]fsm.State{MSIModified: MSIShared}
+	p := &fsm.Protocol{
+		Name:           "MSI",
+		States:         []fsm.State{MSIInvalid, MSIShared, MSIModified},
+		Initial:        MSIInvalid,
+		Ops:            []fsm.Op{fsm.OpRead, fsm.OpWrite, fsm.OpReplace},
+		Characteristic: fsm.CharNull,
+		Inv: fsm.Invariants{
+			Exclusive:   []fsm.State{MSIModified},
+			Owners:      []fsm.State{MSIModified},
+			Readable:    valid,
+			ValidCopy:   valid,
+			CleanShared: []fsm.State{MSIShared},
+		},
+		Rules: []fsm.Rule{
+			{
+				Name: "read-hit-shared", From: MSIShared, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: MSIShared,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep},
+			},
+			{
+				Name: "read-hit-modified", From: MSIModified, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: MSIModified,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep},
+			},
+			{
+				Name: "read-miss-owned", From: MSIInvalid, On: fsm.OpRead,
+				Guard: fsm.AnyOther(MSIModified), Next: MSIShared,
+				Observe: readObs,
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{MSIModified},
+					SupplierWriteBack: true,
+				},
+			},
+			{
+				Name: "read-miss-clean", From: MSIInvalid, On: fsm.OpRead,
+				Guard: fsm.NoOther(MSIModified), Next: MSIShared,
+				Observe: readObs,
+				Data:    fsm.DataEffect{Source: fsm.SrcMemory},
+			},
+			{
+				Name: "write-hit-modified", From: MSIModified, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: MSIModified,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+			},
+			{
+				Name: "write-hit-shared", From: MSIShared, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: MSIModified,
+				Observe: invAll,
+				Data:    fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+			},
+			{
+				Name: "write-miss-owned", From: MSIInvalid, On: fsm.OpWrite,
+				Guard: fsm.AnyOther(MSIModified), Next: MSIModified,
+				Observe: invAll,
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{MSIModified},
+					SupplierWriteBack: true, Store: true,
+				},
+			},
+			{
+				Name: "write-miss-clean", From: MSIInvalid, On: fsm.OpWrite,
+				Guard: fsm.NoOther(MSIModified), Next: MSIModified,
+				Observe: invAll,
+				Data:    fsm.DataEffect{Source: fsm.SrcMemory, Store: true},
+			},
+			{
+				Name: "replace-modified", From: MSIModified, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: MSIInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, WriteBackSelf: true, DropSelf: true},
+			},
+			{
+				Name: "replace-shared", From: MSIShared, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: MSIInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, DropSelf: true},
+			},
+		},
+	}
+	mustValidate(p)
+	return p
+}

@@ -1,0 +1,69 @@
+package protocols
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/fsm"
+)
+
+// mustValidate panics when a built-in protocol definition is ill-formed.
+// Built-in definitions are program constants, so a failure here is a bug in
+// this package, not a runtime condition.
+func mustValidate(p *fsm.Protocol) {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("protocols: built-in definition invalid: %v", err))
+	}
+}
+
+// Builder constructs a fresh protocol value.
+type Builder func() *fsm.Protocol
+
+var registry = map[string]Builder{
+	"illinois":      Illinois,
+	"write-once":    WriteOnce,
+	"write-through": WriteThrough,
+	"synapse":       Synapse,
+	"berkeley":      Berkeley,
+	"firefly":       Firefly,
+	"dragon":        Dragon,
+	"msi":           MSI,
+	"moesi":         MOESI,
+	"mesif":         MESIF,
+	"mesi":          MESI,
+	"lock-msi":      LockMSI,
+}
+
+// Names returns the registered protocol names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName returns a fresh instance of the named protocol. Lookup is
+// case-insensitive and tolerates the conventional display names
+// ("Illinois", "Write-Once").
+func ByName(name string) (*fsm.Protocol, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	key = strings.ReplaceAll(key, "_", "-")
+	key = strings.ReplaceAll(key, " ", "-")
+	if b, ok := registry[key]; ok {
+		return b(), nil
+	}
+	return nil, fmt.Errorf("protocols: unknown protocol %q (have %s)", name, strings.Join(Names(), ", "))
+}
+
+// All returns fresh instances of every registered protocol, sorted by name.
+func All() []*fsm.Protocol {
+	names := Names()
+	out := make([]*fsm.Protocol, 0, len(names))
+	for _, n := range names {
+		out = append(out, registry[n]())
+	}
+	return out
+}

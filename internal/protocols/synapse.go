@@ -1,0 +1,112 @@
+package protocols
+
+import "repro/internal/fsm"
+
+// State symbols of the Synapse N+1 protocol.
+const (
+	SynInvalid fsm.State = "Invalid"
+	SynValid   fsm.State = "Valid"
+	SynDirty   fsm.State = "Dirty"
+)
+
+// Synapse returns the Synapse N+1 protocol as described by Archibald and
+// Baer. Its distinguishing behavior: when a miss finds a Dirty copy in
+// another cache, that cache writes the block back to memory and invalidates
+// its own copy; memory then services the miss. A write hit on a Valid block
+// is handled like a write miss. The characteristic function is null.
+func Synapse() *fsm.Protocol {
+	valid := []fsm.State{SynValid, SynDirty}
+	invAll := map[fsm.State]fsm.State{
+		SynValid: SynInvalid,
+		SynDirty: SynInvalid,
+	}
+	readObs := map[fsm.State]fsm.State{SynDirty: SynInvalid}
+	p := &fsm.Protocol{
+		Name:           "Synapse",
+		States:         []fsm.State{SynInvalid, SynValid, SynDirty},
+		Initial:        SynInvalid,
+		Ops:            []fsm.Op{fsm.OpRead, fsm.OpWrite, fsm.OpReplace},
+		Characteristic: fsm.CharNull,
+		Inv: fsm.Invariants{
+			Exclusive:   []fsm.State{SynDirty},
+			Owners:      []fsm.State{SynDirty},
+			Readable:    valid,
+			ValidCopy:   valid,
+			CleanShared: []fsm.State{SynValid},
+		},
+		Rules: []fsm.Rule{
+			// --- Reads ---
+			{
+				Name: "read-hit-valid", From: SynValid, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: SynValid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep},
+			},
+			{
+				Name: "read-hit-dirty", From: SynDirty, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: SynDirty,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep},
+			},
+			{
+				// The Dirty holder writes back and invalidates itself;
+				// the requester is then serviced with the (now fresh)
+				// memory copy.
+				Name: "read-miss-dirty-owner", From: SynInvalid, On: fsm.OpRead,
+				Guard: fsm.AnyOther(SynDirty), Next: SynValid,
+				Observe: readObs,
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{SynDirty},
+					SupplierWriteBack: true,
+				},
+			},
+			{
+				Name: "read-miss-clean", From: SynInvalid, On: fsm.OpRead,
+				Guard: fsm.NoOther(SynDirty), Next: SynValid,
+				Observe: readObs,
+				Data:    fsm.DataEffect{Source: fsm.SrcMemory},
+			},
+			// --- Writes ---
+			{
+				Name: "write-hit-dirty", From: SynDirty, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: SynDirty,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+			},
+			{
+				// Synapse has no invalidation signal separate from the bus
+				// transaction: a write hit on Valid runs a full write-miss
+				// sequence, invalidating remote copies.
+				Name: "write-hit-valid", From: SynValid, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: SynDirty,
+				Observe: invAll,
+				Data:    fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+			},
+			{
+				Name: "write-miss-dirty-owner", From: SynInvalid, On: fsm.OpWrite,
+				Guard: fsm.AnyOther(SynDirty), Next: SynDirty,
+				Observe: invAll,
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{SynDirty},
+					SupplierWriteBack: true, Store: true,
+				},
+			},
+			{
+				Name: "write-miss-clean", From: SynInvalid, On: fsm.OpWrite,
+				Guard: fsm.NoOther(SynDirty), Next: SynDirty,
+				Observe: invAll,
+				Data:    fsm.DataEffect{Source: fsm.SrcMemory, Store: true},
+			},
+			// --- Replacements ---
+			{
+				Name: "replace-dirty", From: SynDirty, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: SynInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, WriteBackSelf: true, DropSelf: true},
+			},
+			{
+				Name: "replace-valid", From: SynValid, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: SynInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, DropSelf: true},
+			},
+		},
+	}
+	mustValidate(p)
+	return p
+}

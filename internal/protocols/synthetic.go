@@ -1,0 +1,152 @@
+package protocols
+
+import (
+	"fmt"
+
+	"repro/internal/fsm"
+)
+
+// Synthetic returns a parameterized write-invalidate protocol with `levels`
+// clean shared states L1..Lk plus Invalid and Dirty. Read hits promote a
+// clean copy one level (L1 → L2 → ... → Lk, saturating) — a caricature of
+// protocols that track block "temperature" or generation in the state
+// symbol. Coherence-wise it behaves like MSI: any write invalidates the
+// remote copies and leaves the writer Dirty.
+//
+// The family exists to exercise the paper's closing claim that the symbolic
+// method can handle "much more complex protocols with large numbers of
+// cache states": |Q| = levels+2 grows without touching the protocol logic,
+// and the scaling experiment (E11) measures how the essential-state count
+// and visit count grow with |Q| while explicit enumeration grows like
+// (levels+2)ⁿ.
+func Synthetic(levels int) (*fsm.Protocol, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("protocols: synthetic protocol needs at least one level, got %d", levels)
+	}
+	const (
+		inv = fsm.State("Invalid")
+		dty = fsm.State("Dirty")
+	)
+	level := func(i int) fsm.State { return fsm.State(fmt.Sprintf("L%d", i)) }
+
+	states := []fsm.State{inv}
+	valid := []fsm.State{}
+	clean := []fsm.State{}
+	for i := 1; i <= levels; i++ {
+		states = append(states, level(i))
+		valid = append(valid, level(i))
+		clean = append(clean, level(i))
+	}
+	states = append(states, dty)
+	valid = append(valid, dty)
+
+	invAll := make(map[fsm.State]fsm.State, levels+1)
+	for _, s := range valid {
+		invAll[s] = inv
+	}
+
+	p := &fsm.Protocol{
+		Name:           fmt.Sprintf("Synthetic-%d", levels),
+		States:         states,
+		Initial:        inv,
+		Ops:            []fsm.Op{fsm.OpRead, fsm.OpWrite, fsm.OpReplace},
+		Characteristic: fsm.CharNull,
+		Inv: fsm.Invariants{
+			Exclusive:   []fsm.State{dty},
+			Owners:      []fsm.State{dty},
+			Readable:    valid,
+			ValidCopy:   valid,
+			CleanShared: clean,
+		},
+	}
+
+	// Read hits: promote one level, saturating at Lk.
+	for i := 1; i <= levels; i++ {
+		next := level(i + 1)
+		if i == levels {
+			next = level(levels)
+		}
+		p.Rules = append(p.Rules, fsm.Rule{
+			Name: fmt.Sprintf("read-hit-l%d", i), From: level(i), On: fsm.OpRead,
+			Guard: fsm.Always(), Next: next,
+			Data: fsm.DataEffect{Source: fsm.SrcKeep},
+		})
+	}
+	p.Rules = append(p.Rules, fsm.Rule{
+		Name: "read-hit-dirty", From: dty, On: fsm.OpRead,
+		Guard: fsm.Always(), Next: dty,
+		Data: fsm.DataEffect{Source: fsm.SrcKeep},
+	})
+
+	// Read miss: the dirty owner (if any) supplies and writes back,
+	// degrading to L1; otherwise memory supplies. The requester loads L1.
+	readObs := map[fsm.State]fsm.State{dty: level(1)}
+	p.Rules = append(p.Rules,
+		fsm.Rule{
+			Name: "read-miss-owned", From: inv, On: fsm.OpRead,
+			Guard: fsm.AnyOther(dty), Next: level(1),
+			Observe: readObs,
+			Data: fsm.DataEffect{
+				Source: fsm.SrcCache, Suppliers: []fsm.State{dty},
+				SupplierWriteBack: true,
+			},
+		},
+		fsm.Rule{
+			Name: "read-miss-clean", From: inv, On: fsm.OpRead,
+			Guard: fsm.NoOther(dty), Next: level(1),
+			Observe: readObs,
+			Data:    fsm.DataEffect{Source: fsm.SrcMemory},
+		},
+	)
+
+	// Writes: invalidate everything else, end Dirty.
+	p.Rules = append(p.Rules, fsm.Rule{
+		Name: "write-hit-dirty", From: dty, On: fsm.OpWrite,
+		Guard: fsm.Always(), Next: dty,
+		Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+	})
+	for i := 1; i <= levels; i++ {
+		p.Rules = append(p.Rules, fsm.Rule{
+			Name: fmt.Sprintf("write-hit-l%d", i), From: level(i), On: fsm.OpWrite,
+			Guard: fsm.Always(), Next: dty,
+			Observe: invAll,
+			Data:    fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+		})
+	}
+	p.Rules = append(p.Rules,
+		fsm.Rule{
+			Name: "write-miss-owned", From: inv, On: fsm.OpWrite,
+			Guard: fsm.AnyOther(dty), Next: dty,
+			Observe: invAll,
+			Data: fsm.DataEffect{
+				Source: fsm.SrcCache, Suppliers: []fsm.State{dty},
+				SupplierWriteBack: true, Store: true,
+			},
+		},
+		fsm.Rule{
+			Name: "write-miss-clean", From: inv, On: fsm.OpWrite,
+			Guard: fsm.NoOther(dty), Next: dty,
+			Observe: invAll,
+			Data:    fsm.DataEffect{Source: fsm.SrcMemory, Store: true},
+		},
+	)
+
+	// Replacements.
+	p.Rules = append(p.Rules, fsm.Rule{
+		Name: "replace-dirty", From: dty, On: fsm.OpReplace,
+		Guard: fsm.Always(), Next: inv,
+		Data: fsm.DataEffect{Source: fsm.SrcKeep, WriteBackSelf: true, DropSelf: true},
+	})
+	for i := 1; i <= levels; i++ {
+		p.Rules = append(p.Rules, fsm.Rule{
+			Name: fmt.Sprintf("replace-l%d", i), From: level(i), On: fsm.OpReplace,
+			Guard: fsm.Always(), Next: inv,
+			Data: fsm.DataEffect{Source: fsm.SrcKeep, DropSelf: true},
+		})
+	}
+
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("protocols: synthetic(%d): %w", levels, err)
+	}
+	return p, nil
+}

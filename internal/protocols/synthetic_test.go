@@ -1,0 +1,55 @@
+package protocols
+
+import "testing"
+
+func TestSyntheticShapes(t *testing.T) {
+	for _, levels := range []int{1, 2, 4, 8} {
+		p, err := Synthetic(levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(p.States); got != levels+2 {
+			t.Errorf("levels=%d: %d states, want %d", levels, got, levels+2)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("levels=%d: %v", levels, err)
+		}
+	}
+}
+
+func TestSyntheticRejectsZeroLevels(t *testing.T) {
+	if _, err := Synthetic(0); err == nil {
+		t.Fatal("zero levels must be rejected")
+	}
+	if _, err := Synthetic(-3); err == nil {
+		t.Fatal("negative levels must be rejected")
+	}
+}
+
+func TestSyntheticOneLevelBehavesLikeMSI(t *testing.T) {
+	p, err := Synthetic(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a single level there is no promotion; the rule census matches
+	// the MSI structure (modulo naming).
+	msi := MSI()
+	if len(p.States) != len(msi.States) {
+		t.Errorf("synthetic(1) has %d states, MSI has %d", len(p.States), len(msi.States))
+	}
+}
+
+func TestSyntheticPromotionSaturates(t *testing.T) {
+	p, err := Synthetic(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.RulesFor("L3", "R")
+	if len(r) != 1 || r[0].Next != "L3" {
+		t.Fatalf("top level must saturate on read hits, got %v", r)
+	}
+	r = p.RulesFor("L1", "R")
+	if len(r) != 1 || r[0].Next != "L2" {
+		t.Fatalf("read hit must promote L1 to L2, got %v", r)
+	}
+}

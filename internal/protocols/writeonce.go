@@ -1,0 +1,134 @@
+package protocols
+
+import "repro/internal/fsm"
+
+// State symbols of Goodman's Write-Once protocol.
+const (
+	WOInvalid  fsm.State = "Invalid"
+	WOValid    fsm.State = "Valid"
+	WOReserved fsm.State = "Reserved"
+	WODirty    fsm.State = "Dirty"
+)
+
+// WriteOnce returns Goodman's Write-Once protocol as described by Archibald
+// and Baer. The first write to a Valid block is written through to memory
+// (the "write once"), leaving the block Reserved and invalidating remote
+// copies; subsequent writes are local and leave the block Dirty. The
+// characteristic function is null: next states never depend on the global
+// state, only the data path does (memory vs dirty-owner supply).
+func WriteOnce() *fsm.Protocol {
+	valid := []fsm.State{WOValid, WOReserved, WODirty}
+	invAll := map[fsm.State]fsm.State{
+		WOValid:    WOInvalid,
+		WOReserved: WOInvalid,
+		WODirty:    WOInvalid,
+	}
+	// On any bus read, exclusive clean/dirty holders degrade to Valid.
+	readObs := map[fsm.State]fsm.State{
+		WODirty:    WOValid,
+		WOReserved: WOValid,
+	}
+	p := &fsm.Protocol{
+		Name:           "Write-Once",
+		States:         []fsm.State{WOInvalid, WOValid, WOReserved, WODirty},
+		Initial:        WOInvalid,
+		Ops:            []fsm.Op{fsm.OpRead, fsm.OpWrite, fsm.OpReplace},
+		Characteristic: fsm.CharNull,
+		Inv: fsm.Invariants{
+			Exclusive:   []fsm.State{WOReserved, WODirty},
+			Owners:      []fsm.State{WODirty},
+			Readable:    valid,
+			ValidCopy:   valid,
+			CleanShared: []fsm.State{WOValid, WOReserved},
+		},
+		Rules: []fsm.Rule{
+			// --- Reads ---
+			{
+				Name: "read-hit-valid", From: WOValid, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: WOValid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep},
+			},
+			{
+				Name: "read-hit-reserved", From: WOReserved, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: WOReserved,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep},
+			},
+			{
+				Name: "read-hit-dirty", From: WODirty, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: WODirty,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep},
+			},
+			{
+				// A Dirty owner inhibits memory, supplies the block and
+				// writes it back; every copy ends Valid.
+				Name: "read-miss-dirty-owner", From: WOInvalid, On: fsm.OpRead,
+				Guard: fsm.AnyOther(WODirty), Next: WOValid,
+				Observe: readObs,
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{WODirty},
+					SupplierWriteBack: true,
+				},
+			},
+			{
+				Name: "read-miss-clean", From: WOInvalid, On: fsm.OpRead,
+				Guard: fsm.NoOther(WODirty), Next: WOValid,
+				Observe: readObs,
+				Data:    fsm.DataEffect{Source: fsm.SrcMemory},
+			},
+			// --- Writes ---
+			{
+				Name: "write-hit-dirty", From: WODirty, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: WODirty,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+			},
+			{
+				Name: "write-hit-reserved", From: WOReserved, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: WODirty,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, Store: true},
+			},
+			{
+				// The write-once: write through to memory, invalidate remote
+				// copies, keep the block Reserved.
+				Name: "write-once", From: WOValid, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: WOReserved,
+				Observe: invAll,
+				Data:    fsm.DataEffect{Source: fsm.SrcKeep, Store: true, WriteThrough: true},
+			},
+			{
+				Name: "write-miss-dirty-owner", From: WOInvalid, On: fsm.OpWrite,
+				Guard: fsm.AnyOther(WODirty), Next: WODirty,
+				Observe: invAll,
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: []fsm.State{WODirty},
+					SupplierWriteBack: true, Store: true,
+				},
+			},
+			{
+				Name: "write-miss-clean", From: WOInvalid, On: fsm.OpWrite,
+				Guard: fsm.NoOther(WODirty), Next: WODirty,
+				Observe: invAll,
+				Data:    fsm.DataEffect{Source: fsm.SrcMemory, Store: true},
+			},
+			// --- Replacements ---
+			{
+				Name: "replace-dirty", From: WODirty, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: WOInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, WriteBackSelf: true, DropSelf: true},
+			},
+			{
+				// Reserved blocks are consistent with memory thanks to the
+				// write-through, so replacement is silent.
+				Name: "replace-reserved", From: WOReserved, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: WOInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, DropSelf: true},
+			},
+			{
+				Name: "replace-valid", From: WOValid, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: WOInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, DropSelf: true},
+			},
+		},
+	}
+	mustValidate(p)
+	return p
+}

@@ -1,0 +1,65 @@
+package protocols
+
+import "repro/internal/fsm"
+
+// State symbols of the write-through-with-invalidate scheme.
+const (
+	WTInvalid fsm.State = "Invalid"
+	WTValid   fsm.State = "Valid"
+)
+
+// WriteThrough returns the baseline write-through-with-invalidate scheme
+// that opens Archibald and Baer's survey: every write goes straight to
+// memory and invalidates all other cached copies, so memory always holds
+// the freshest value and a cache block is only ever Invalid or Valid. It is
+// the simplest coherent protocol and the degenerate case of the verifier:
+// two composite states suffice.
+func WriteThrough() *fsm.Protocol {
+	invAll := map[fsm.State]fsm.State{WTValid: WTInvalid}
+	p := &fsm.Protocol{
+		Name:           "Write-Through",
+		States:         []fsm.State{WTInvalid, WTValid},
+		Initial:        WTInvalid,
+		Ops:            []fsm.Op{fsm.OpRead, fsm.OpWrite, fsm.OpReplace},
+		Characteristic: fsm.CharNull,
+		Inv: fsm.Invariants{
+			Readable:    []fsm.State{WTValid},
+			ValidCopy:   []fsm.State{WTValid},
+			CleanShared: []fsm.State{WTValid},
+		},
+		Rules: []fsm.Rule{
+			{
+				Name: "read-hit", From: WTValid, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: WTValid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep},
+			},
+			{
+				// Memory is always fresh under write-through, so every
+				// miss is serviced by memory.
+				Name: "read-miss", From: WTInvalid, On: fsm.OpRead,
+				Guard: fsm.Always(), Next: WTValid,
+				Data: fsm.DataEffect{Source: fsm.SrcMemory},
+			},
+			{
+				Name: "write-hit", From: WTValid, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: WTValid,
+				Observe: invAll,
+				Data:    fsm.DataEffect{Source: fsm.SrcKeep, Store: true, WriteThrough: true},
+			},
+			{
+				Name: "write-miss", From: WTInvalid, On: fsm.OpWrite,
+				Guard: fsm.Always(), Next: WTValid,
+				Observe: invAll,
+				Data:    fsm.DataEffect{Source: fsm.SrcMemory, Store: true, WriteThrough: true},
+			},
+			{
+				// Valid blocks are always consistent with memory: silent drop.
+				Name: "replace-valid", From: WTValid, On: fsm.OpReplace,
+				Guard: fsm.Always(), Next: WTInvalid,
+				Data: fsm.DataEffect{Source: fsm.SrcKeep, DropSelf: true},
+			},
+		},
+	}
+	mustValidate(p)
+	return p
+}

@@ -1,0 +1,168 @@
+// Package randproto generates random — but well-formed — cache coherence
+// protocols for differential testing of the verifier. Most generated
+// protocols are incoherent by accident, which is exactly the point: the
+// symbolic verifier and the explicit-state enumerator must AGREE on every
+// one of them. Concretely (see the tests):
+//
+//   - soundness: a violation reachable with a fixed number of caches must
+//     also be found symbolically;
+//   - completeness: a protocol the symbolic verifier declares permissible
+//     must enumerate clean for every tested cache count; and
+//   - coverage: every enumerated state must abstract into some essential
+//     state (Theorem 1 must hold even for erroneous protocols, because the
+//     expansion does not stop at violations).
+package randproto
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fsm"
+)
+
+// New generates a random protocol with the given number of valid states
+// (1..4 is sensible). The generated protocol always passes
+// (*fsm.Protocol).Validate: guard cascades are total, suppliers are
+// guaranteed by their guards, and CharNull protocols keep their next states
+// and observe maps guard-independent. Everything else — next states,
+// coincident transitions, data flags, invariant declarations — is drawn at
+// random, so the protocol is usually incoherent.
+func New(rng *rand.Rand, validStates int) *fsm.Protocol {
+	if validStates < 1 {
+		validStates = 1
+	}
+	if validStates > 4 {
+		validStates = 4
+	}
+	const inv = fsm.State("I")
+	valid := make([]fsm.State, validStates)
+	for i := range valid {
+		valid[i] = fsm.State(fmt.Sprintf("V%d", i+1))
+	}
+	states := append([]fsm.State{inv}, valid...)
+
+	char := fsm.CharNull
+	if rng.Intn(2) == 0 {
+		char = fsm.CharSharing
+	}
+
+	pickValid := func() fsm.State { return valid[rng.Intn(len(valid))] }
+	subset := func() []fsm.State {
+		var out []fsm.State
+		for _, s := range valid {
+			if rng.Intn(2) == 0 {
+				out = append(out, s)
+			}
+		}
+		if len(out) == 0 {
+			out = append(out, pickValid())
+		}
+		return out
+	}
+	randomObserve := func() map[fsm.State]fsm.State {
+		obs := map[fsm.State]fsm.State{}
+		for _, s := range valid {
+			switch rng.Intn(3) {
+			case 0: // identity
+			case 1:
+				obs[s] = inv
+			case 2:
+				obs[s] = pickValid()
+			}
+		}
+		if len(obs) == 0 {
+			return nil
+		}
+		return obs
+	}
+
+	p := &fsm.Protocol{
+		Name:           fmt.Sprintf("Random-%d", rng.Int31()),
+		States:         states,
+		Initial:        inv,
+		Ops:            []fsm.Op{fsm.OpRead, fsm.OpWrite, fsm.OpReplace},
+		Characteristic: char,
+		Inv: fsm.Invariants{
+			ValidCopy: valid,
+			Readable:  valid,
+			Exclusive: subset(),
+			Owners:    subset(),
+		},
+	}
+
+	// Hits: every valid state handles R and W locally (possibly moving to
+	// another valid state — most bugs come from here and from forgotten
+	// invalidations).
+	for _, s := range valid {
+		p.Rules = append(p.Rules, fsm.Rule{
+			Name: fmt.Sprintf("read-hit-%s", s), From: s, On: fsm.OpRead,
+			Guard: fsm.Always(), Next: pickValid(),
+			Data: fsm.DataEffect{Source: fsm.SrcKeep},
+		})
+		w := fsm.Rule{
+			Name: fmt.Sprintf("write-hit-%s", s), From: s, On: fsm.OpWrite,
+			Guard: fsm.Always(), Next: pickValid(),
+			Observe: randomObserve(),
+			Data: fsm.DataEffect{
+				Source: fsm.SrcKeep, Store: true,
+				WriteThrough:  rng.Intn(3) == 0,
+				UpdateSharers: rng.Intn(3) == 0,
+			},
+		}
+		p.Rules = append(p.Rules, w)
+		p.Rules = append(p.Rules, fsm.Rule{
+			Name: fmt.Sprintf("replace-%s", s), From: s, On: fsm.OpReplace,
+			Guard: fsm.Always(), Next: inv,
+			Data: fsm.DataEffect{
+				Source: fsm.SrcKeep, DropSelf: true,
+				WriteBackSelf: rng.Intn(2) == 0,
+			},
+		})
+	}
+
+	// Misses: a two-rule cascade per operation — suppliers when a guarded
+	// subset is populated, memory otherwise. CharNull protocols must keep
+	// next/observe guard-independent (Validate enforces it).
+	addMiss := func(op fsm.Op, store bool) {
+		guardSet := subset()
+		nextA, nextB := pickValid(), pickValid()
+		obsA, obsB := randomObserve(), randomObserve()
+		if char == fsm.CharNull {
+			nextB = nextA
+			obsB = obsA
+		}
+		p.Rules = append(p.Rules,
+			fsm.Rule{
+				Name: fmt.Sprintf("%s-miss-cache", op), From: inv, On: op,
+				Guard: fsm.AnyOther(guardSet...), Next: nextA,
+				Observe: obsA,
+				Data: fsm.DataEffect{
+					Source: fsm.SrcCache, Suppliers: guardSet,
+					SupplierWriteBack: rng.Intn(2) == 0,
+					Store:             store,
+					WriteThrough:      store && rng.Intn(3) == 0,
+					UpdateSharers:     store && rng.Intn(3) == 0,
+				},
+			},
+			fsm.Rule{
+				Name: fmt.Sprintf("%s-miss-memory", op), From: inv, On: op,
+				Guard: fsm.NoOther(guardSet...), Next: nextB,
+				Observe: obsB,
+				Data: fsm.DataEffect{
+					Source:       fsm.SrcMemory,
+					Store:        store,
+					WriteThrough: store && rng.Intn(3) == 0,
+				},
+			},
+		)
+	}
+	addMiss(fsm.OpRead, false)
+	addMiss(fsm.OpWrite, true)
+
+	if err := p.Validate(); err != nil {
+		// The construction above satisfies every Validate rule; a failure
+		// is a bug in this generator.
+		panic(fmt.Sprintf("randproto: generated protocol invalid: %v", err))
+	}
+	return p
+}

@@ -1,0 +1,115 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignsColumns(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("x", 1)
+	tb.AddRow("longer-name", 22)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header+separator+2 rows, got %d lines:\n%s", len(lines), out)
+	}
+	// The value column must start at the same offset on every line.
+	col := strings.Index(lines[0], "value")
+	if col < 0 {
+		t.Fatal("header missing")
+	}
+	if lines[2][col:col+1] != "1" {
+		t.Errorf("row 1 misaligned:\n%s", out)
+	}
+	if lines[3][col:col+2] != "22" {
+		t.Errorf("row 2 misaligned:\n%s", out)
+	}
+}
+
+func TestTableSeparatorMatchesWidths(t *testing.T) {
+	tb := NewTable("abc", "de")
+	tb.AddRow("x", "y")
+	lines := strings.Split(tb.String(), "\n")
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("separator wrong: %q", lines[1])
+	}
+}
+
+func TestTableHandlesWideRows(t *testing.T) {
+	tb := NewTable("a")
+	tb.AddRow("x", "extra", "columns")
+	out := tb.String()
+	if !strings.Contains(out, "extra") || !strings.Contains(out, "columns") {
+		t.Errorf("extra columns dropped:\n%s", out)
+	}
+}
+
+func TestTableUnicodeWidths(t *testing.T) {
+	// Composite-state glyphs (superscripts, set notation) are multi-byte
+	// but single-column; alignment must count runes.
+	tb := NewTable("state", "n")
+	tb.AddRow("(Shared⁺, Invalid∗)", 1)
+	tb.AddRow("plain", 2)
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	col := strings.IndexRune(lines[0], 'n')
+	runesAt := func(s string, want string) bool {
+		rs := []rune(s)
+		if col >= len(rs) {
+			return false
+		}
+		return string(rs[col:col+1]) == want
+	}
+	if !runesAt(lines[2], "1") || !runesAt(lines[3], "2") {
+		t.Errorf("unicode misalignment:\n%s", tb.String())
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := NewTable("a", "b")
+	out := tb.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Errorf("empty table must still render headers: %q", out)
+	}
+}
+
+func TestHeaderlessTable(t *testing.T) {
+	tb := NewTable()
+	tb.AddRow("x", "y")
+	out := tb.String()
+	if strings.Contains(out, "---") {
+		t.Errorf("headerless table must not render a separator: %q", out)
+	}
+	if !strings.Contains(out, "x") {
+		t.Errorf("row missing: %q", out)
+	}
+}
+
+func TestSection(t *testing.T) {
+	s := Section("Title", "body text")
+	lines := strings.Split(s, "\n")
+	if lines[0] != "Title" {
+		t.Errorf("title line %q", lines[0])
+	}
+	if lines[1] != "=====" {
+		t.Errorf("underline %q must match the title width", lines[1])
+	}
+	if !strings.Contains(s, "body text") {
+		t.Error("body missing")
+	}
+	if !strings.HasSuffix(s, "\n") {
+		t.Error("section must end with a newline")
+	}
+}
+
+func TestDisplayWidthCountsRunes(t *testing.T) {
+	if displayWidth("abc") != 3 {
+		t.Error("ascii width wrong")
+	}
+	if displayWidth("⁺∗≥") != 3 {
+		t.Error("unicode width must count runes, not bytes")
+	}
+	if displayWidth("") != 0 {
+		t.Error("empty width wrong")
+	}
+}

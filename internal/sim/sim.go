@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/fsm"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a machine.
+type Config struct {
+	// Protocol drives every cache and the bus.
+	Protocol *fsm.Protocol
+	// Caches is the number of processors/private caches (n ≥ 1).
+	Caches int
+	// Blocks is the number of distinct memory blocks (≥ 1). Coherence is
+	// tracked per block, as in the paper (footnote 1).
+	Blocks int
+	// Capacity bounds the number of blocks simultaneously resident in one
+	// cache; 0 means unbounded. When an access would exceed the capacity,
+	// the least-recently-used resident block is replaced first.
+	Capacity int
+	// Strict enables the CleanShared extension check in CheckInvariants.
+	Strict bool
+}
+
+// Stats aggregates the classic coherence-traffic counters.
+type Stats struct {
+	Ops          int64
+	Reads        int64
+	Writes       int64
+	Replacements int64
+
+	ReadHits    int64
+	ReadMisses  int64
+	WriteHits   int64
+	WriteMisses int64
+
+	Invalidations     int64 // remote copies killed by coincident transitions
+	Updates           int64 // remote copies refreshed by broadcast writes
+	CacheSupplies     int64 // misses serviced cache-to-cache
+	MemorySupplies    int64 // misses serviced from memory
+	WriteBacks        int64 // memory updates (supplier, write-back, write-through)
+	BusTransactions   int64 // transactions that needed the bus at all
+	CapacityEvictions int64 // replacements forced by finite capacity
+
+	StaleReads int64 // reads returning a value older than the last store
+}
+
+// MissRatio returns misses/references for reads and writes combined.
+func (s *Stats) MissRatio() float64 {
+	refs := s.Reads + s.Writes
+	if refs == 0 {
+		return 0
+	}
+	return float64(s.ReadMisses+s.WriteMisses) / float64(refs)
+}
+
+// Machine is a running simulated multiprocessor.
+type Machine struct {
+	cfg   Config
+	p     *fsm.Protocol
+	block []*fsm.Config // per-block coherence state
+	// lru[i] lists cache i's resident blocks, most recently used last.
+	lru        [][]int
+	stats      Stats
+	ruleCounts map[string]int64
+}
+
+// New builds a machine in the initial state: all caches empty, memory fresh.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("sim: nil protocol")
+	}
+	if err := cfg.Protocol.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Caches < 1 {
+		return nil, fmt.Errorf("sim: need at least one cache, got %d", cfg.Caches)
+	}
+	if cfg.Blocks < 1 {
+		return nil, fmt.Errorf("sim: need at least one block, got %d", cfg.Blocks)
+	}
+	if cfg.Capacity < 0 {
+		return nil, fmt.Errorf("sim: negative capacity")
+	}
+	m := &Machine{cfg: cfg, p: cfg.Protocol}
+	m.block = make([]*fsm.Config, cfg.Blocks)
+	for b := range m.block {
+		m.block[b] = fsm.NewConfig(cfg.Protocol, cfg.Caches)
+	}
+	m.lru = make([][]int, cfg.Caches)
+	m.ruleCounts = make(map[string]int64, len(cfg.Protocol.Rules))
+	return m, nil
+}
+
+// RuleCounts returns how often each protocol rule fired, keyed by rule
+// name. Rules that never fired are absent; compare against
+// core.DeadRules for the static counterpart of this dynamic coverage.
+func (m *Machine) RuleCounts() map[string]int64 {
+	out := make(map[string]int64, len(m.ruleCounts))
+	for k, v := range m.ruleCounts {
+		out[k] = v
+	}
+	return out
+}
+
+// Stats returns a copy of the accumulated counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Block exposes the coherence state of one block (for inspection/tests).
+func (m *Machine) Block(b int) *fsm.Config { return m.block[b] }
+
+// resident reports whether cache i holds a valid copy of block b.
+func (m *Machine) resident(i, b int) bool {
+	return m.p.IsValidCopy(m.block[b].States[i])
+}
+
+// touch moves block b to the MRU position of cache i's LRU list.
+func (m *Machine) touch(i, b int) {
+	l := m.lru[i]
+	for k, x := range l {
+		if x == b {
+			copy(l[k:], l[k+1:])
+			l[len(l)-1] = b
+			return
+		}
+	}
+	m.lru[i] = append(l, b)
+}
+
+// drop removes block b from cache i's LRU list.
+func (m *Machine) drop(i, b int) {
+	l := m.lru[i]
+	for k, x := range l {
+		if x == b {
+			m.lru[i] = append(l[:k], l[k+1:]...)
+			return
+		}
+	}
+}
+
+// syncLRU reconciles the LRU list of cache i with the actual residency of
+// its blocks (coincident invalidations remove blocks without local action).
+func (m *Machine) syncLRU() {
+	for i := range m.lru {
+		l := m.lru[i][:0]
+		for _, b := range m.lru[i] {
+			if m.resident(i, b) {
+				l = append(l, b)
+			}
+		}
+		m.lru[i] = l
+	}
+}
+
+// Apply issues one memory reference and returns the step result of the
+// protocol rule that fired. A read or write to a non-resident block with a
+// full cache first replaces the LRU resident block.
+func (m *Machine) Apply(ref trace.Ref) (fsm.StepResult, error) {
+	var zero fsm.StepResult
+	if ref.Cache < 0 || ref.Cache >= m.cfg.Caches {
+		return zero, fmt.Errorf("sim: cache %d out of range", ref.Cache)
+	}
+	if ref.Block < 0 || ref.Block >= m.cfg.Blocks {
+		return zero, fmt.Errorf("sim: block %d out of range", ref.Block)
+	}
+
+	// Capacity management for block-allocating operations.
+	if ref.Op != fsm.OpReplace && m.cfg.Capacity > 0 && !m.resident(ref.Cache, ref.Block) {
+		for len(m.lru[ref.Cache]) >= m.cfg.Capacity {
+			victim := m.lru[ref.Cache][0]
+			if _, err := m.step(trace.Ref{Cache: ref.Cache, Op: fsm.OpReplace, Block: victim}); err != nil {
+				return zero, err
+			}
+			m.stats.CapacityEvictions++
+		}
+	}
+	return m.step(ref)
+}
+
+// step applies the reference to the block's coherence state and updates the
+// statistics.
+func (m *Machine) step(ref trace.Ref) (fsm.StepResult, error) {
+	cfg := m.block[ref.Block]
+	before := append([]fsm.State(nil), cfg.States...)
+	wasResident := m.p.IsValidCopy(before[ref.Cache])
+
+	res, err := fsm.Step(m.p, cfg, ref.Cache, ref.Op)
+	if err != nil {
+		return res, err
+	}
+
+	m.stats.Ops++
+	switch ref.Op {
+	case fsm.OpRead:
+		m.stats.Reads++
+		if wasResident {
+			m.stats.ReadHits++
+		} else {
+			m.stats.ReadMisses++
+		}
+		if res.Rule != nil && !res.Rule.Data.Spin && res.ReadVersion != cfg.Latest {
+			m.stats.StaleReads++
+		}
+	case fsm.OpWrite:
+		m.stats.Writes++
+		if wasResident {
+			m.stats.WriteHits++
+		} else {
+			m.stats.WriteMisses++
+		}
+	case fsm.OpReplace:
+		m.stats.Replacements++
+	}
+
+	if res.Rule != nil {
+		m.ruleCounts[res.Rule.Name]++
+		d := res.Rule.Data
+		bus := false
+		if res.Supplier >= 0 {
+			m.stats.CacheSupplies++
+			bus = true
+		}
+		if d.Source == fsm.SrcMemory {
+			m.stats.MemorySupplies++
+			bus = true
+		}
+		if d.SupplierWriteBack || d.WriteBackSelf || (d.Store && d.WriteThrough) {
+			m.stats.WriteBacks++
+			bus = true
+		}
+		// Coincident effects on remote copies.
+		for j, prev := range before {
+			if j == ref.Cache {
+				continue
+			}
+			next := cfg.States[j]
+			if m.p.IsValidCopy(prev) && !m.p.IsValidCopy(next) {
+				m.stats.Invalidations++
+				bus = true
+			}
+		}
+		if d.Store && d.UpdateSharers {
+			for j := range before {
+				if j != ref.Cache && m.p.IsValidCopy(cfg.States[j]) {
+					m.stats.Updates++
+					bus = true
+				}
+			}
+		}
+		if bus {
+			m.stats.BusTransactions++
+		}
+	}
+
+	// Maintain residency bookkeeping.
+	if m.resident(ref.Cache, ref.Block) {
+		m.touch(ref.Cache, ref.Block)
+	} else {
+		m.drop(ref.Cache, ref.Block)
+	}
+	m.syncLRU()
+	return res, nil
+}
+
+// Run drives the machine with nops references from the workload, stopping
+// early on an execution error. The returned stats are the machine's
+// cumulative counters.
+func (m *Machine) Run(w trace.Workload, nops int) (Stats, error) {
+	for k := 0; k < nops; k++ {
+		if _, err := m.Apply(w.Next()); err != nil {
+			return m.stats, fmt.Errorf("sim: op %d: %w", k, err)
+		}
+	}
+	return m.stats, nil
+}
+
+// CheckInvariants evaluates the protocol invariants over every block's
+// current state and returns all violations.
+func (m *Machine) CheckInvariants() []fsm.Violation {
+	var out []fsm.Violation
+	for b := range m.block {
+		out = append(out, fsm.CheckConfig(m.p, m.block[b], m.cfg.Strict)...)
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package symbolic
+
+import (
+	"testing"
+
+	"repro/internal/protocols"
+)
+
+// TestAblationNoContainment compares the expansion with the paper's
+// containment pruning (Definition 9) against identity-only deduplication.
+// Without pruning the history list holds every distinct reachable composite
+// state; with pruning it holds only the essential states, and every
+// unpruned state must be contained in an essential one (completeness).
+func TestAblationNoContainment(t *testing.T) {
+	for _, p := range protocols.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			pruned, err := Expand(p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := Expand(p, Options{NoContainment: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pruned.OK() || !raw.OK() {
+				t.Fatal("both runs must verify clean")
+			}
+			if len(raw.Essential) < len(pruned.Essential) {
+				t.Fatalf("ablated run found fewer states (%d) than essential (%d)",
+					len(raw.Essential), len(pruned.Essential))
+			}
+			for _, s := range raw.Essential {
+				if _, ok := CoveredBy(s, pruned.Essential); !ok {
+					t.Errorf("unpruned state %s %v not covered by the essential set",
+						s.StructureString(p), s.Attr())
+				}
+			}
+			if raw.Visits < pruned.Visits {
+				t.Errorf("ablated run visited fewer states (%d < %d)",
+					raw.Visits, pruned.Visits)
+			}
+		})
+	}
+}
+
+// TestAblationStillFindsBugs: disabling the pruning must not lose
+// violations (it only weakens compression, not soundness).
+func TestAblationStillFindsBugs(t *testing.T) {
+	p := brokenIllinois()
+	raw, err := Expand(p, Options{NoContainment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.OK() {
+		t.Fatal("ablated expansion must still refute the broken protocol")
+	}
+}
+
+// TestAblationCompressionNumbers pins the size of the compression for
+// Illinois so regressions are visible: 5 essential states versus the full
+// distinct composite space.
+func TestAblationCompressionNumbers(t *testing.T) {
+	pruned, err := Expand(protocols.Illinois(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Expand(protocols.Illinois(), Options{NoContainment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned.Essential) != 5 {
+		t.Fatalf("essential = %d", len(pruned.Essential))
+	}
+	if len(raw.Essential) <= len(pruned.Essential) {
+		t.Fatalf("ablation should enumerate more states: %d vs %d",
+			len(raw.Essential), len(pruned.Essential))
+	}
+	t.Logf("Illinois: %d essential states (%d visits) vs %d distinct composite states (%d visits) without containment",
+		len(pruned.Essential), pruned.Visits, len(raw.Essential), raw.Visits)
+}

@@ -1,0 +1,146 @@
+package symbolic
+
+import (
+	"fmt"
+
+	"repro/internal/fsm"
+)
+
+// Check evaluates the protocol invariants over a composite state and returns
+// every violation that SOME concretization of the state would exhibit. The
+// check is possibilistic: because a composite state stands for a family of
+// concrete global states, a violation is reported as soon as one member of
+// the family violates an invariant, taking the copy-count attribute into
+// account (e.g. (Dirty*, Shared*) with exactly one copy cannot actually put
+// a Dirty and a Shared cache side by side).
+//
+// With strict set, the CleanShared memory-consistency check (an extension
+// beyond the paper's Definition 3) is evaluated as well.
+func (e *Engine) Check(s *CState, strict bool) []fsm.Violation {
+	var out []fsm.Violation
+	p := e.p
+
+	idxs := func(states []fsm.State) []int {
+		r := make([]int, 0, len(states))
+		for _, st := range states {
+			r = append(r, p.StateIndex(st))
+		}
+		return r
+	}
+
+	// Exclusive states must be the sole valid copy.
+	for _, x := range idxs(p.Inv.Exclusive) {
+		if s.reps[x] == RZero {
+			continue
+		}
+		// Pairing with another populated valid class.
+		for _, t := range e.validIdxs {
+			if t == x || s.reps[t] == RZero {
+				continue
+			}
+			if e.possible(s, map[int]int{x: 1, t: 1}) {
+				out = append(out, fsm.Violation{
+					Kind: fsm.ViolationExclusive,
+					Detail: fmt.Sprintf("exclusive state %s may coexist with a copy in %s in %s",
+						p.States[x], p.States[t], s.StructureString(p)),
+				})
+			}
+		}
+		// Two caches in the exclusive state itself.
+		if s.reps[x].Max() >= 2 && e.possible(s, map[int]int{x: 2}) {
+			out = append(out, fsm.Violation{
+				Kind: fsm.ViolationExclusive,
+				Detail: fmt.Sprintf("two caches may hold exclusive state %s in %s",
+					p.States[x], s.StructureString(p)),
+			})
+		}
+	}
+
+	// At most one owner across all owner states.
+	owners := idxs(p.Inv.Owners)
+	for i, a := range owners {
+		if s.reps[a] == RZero {
+			continue
+		}
+		if s.reps[a].Max() >= 2 && e.possible(s, map[int]int{a: 2}) {
+			// Reported even when the state is also exclusive (which yields
+			// its own violation): the concrete checker reports both kinds,
+			// and the differential tests require kind-for-kind agreement.
+			out = append(out, fsm.Violation{
+				Kind: fsm.ViolationOwners,
+				Detail: fmt.Sprintf("two caches may own the block in state %s in %s",
+					p.States[a], s.StructureString(p)),
+			})
+		}
+		for _, b := range owners[i+1:] {
+			if s.reps[b] == RZero {
+				continue
+			}
+			if e.possible(s, map[int]int{a: 1, b: 1}) {
+				out = append(out, fsm.Violation{
+					Kind: fsm.ViolationOwners,
+					Detail: fmt.Sprintf("owners in %s and %s may coexist in %s",
+						p.States[a], p.States[b], s.StructureString(p)),
+				})
+			}
+		}
+	}
+
+	// Data consistency (Definition 3): a readable copy must be fresh.
+	for _, r := range idxs(p.Inv.Readable) {
+		if s.reps[r] == RZero || s.cdata[r] == DFresh {
+			continue
+		}
+		if e.possible(s, map[int]int{r: 1}) {
+			out = append(out, fsm.Violation{
+				Kind: fsm.ViolationStaleRead,
+				Detail: fmt.Sprintf("a processor may read %s data in readable state %s in %s",
+					s.cdata[r], p.States[r], s.StructureString(p)),
+			})
+		}
+	}
+
+	if strict {
+		for _, c := range idxs(p.Inv.CleanShared) {
+			if s.reps[c] == RZero {
+				continue
+			}
+			mismatch := (s.cdata[c] == DFresh && s.mdata == DObsolete) ||
+				(s.cdata[c] == DObsolete && s.mdata == DFresh)
+			if mismatch && e.possible(s, map[int]int{c: 1}) {
+				out = append(out, fsm.Violation{
+					Kind: fsm.ViolationCleanShared,
+					Detail: fmt.Sprintf("clean state %s (%s) disagrees with memory (%s) in %s",
+						p.States[c], s.cdata[c], s.mdata, s.StructureString(p)),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// possible reports whether some concretization of s satisfies the per-class
+// minimum instance counts given in need, consistently with the class
+// operators and the copy-count attribute.
+func (e *Engine) possible(s *CState, need map[int]int) bool {
+	for i, n := range need {
+		if s.reps[i].Max() < n {
+			return false
+		}
+	}
+	if s.attr == CountNull {
+		return true
+	}
+	bound := s.attr.interval()
+	min, max := 0, 0
+	for _, i := range e.validIdxs {
+		m := s.reps[i].Min()
+		if n, ok := need[i]; ok && n > m {
+			m = n
+		}
+		min += m
+		max += s.reps[i].Max()
+	}
+	// Demands on non-valid classes do not affect the copy count.
+	return satur(min) <= bound.hi && satur(max) >= bound.lo
+}

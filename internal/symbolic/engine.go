@@ -1,0 +1,656 @@
+package symbolic
+
+import (
+	"fmt"
+
+	"repro/internal/fsm"
+)
+
+// Engine computes symbolic successors of composite states for one protocol.
+// It implements the expansion rules of Section 3.2.3 (aggregation, coincident
+// transitions, one-step transitions and the N-steps transitions, the latter
+// via abstract copy-count arithmetic plus containment pruning).
+type Engine struct {
+	p     *fsm.Protocol
+	n     int
+	valid []bool
+	// validIdxs caches the indexes of the valid-copy states.
+	validIdxs []int
+}
+
+// NewEngine validates the protocol and returns an engine for it.
+func NewEngine(p *fsm.Protocol) (*Engine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{p: p, n: p.NumStates()}
+	e.valid = make([]bool, e.n)
+	for _, s := range p.Inv.ValidCopy {
+		e.valid[p.StateIndex(s)] = true
+	}
+	for i, v := range e.valid {
+		if v {
+			e.validIdxs = append(e.validIdxs, i)
+		}
+	}
+	return e, nil
+}
+
+// Protocol returns the protocol the engine was built for.
+func (e *Engine) Protocol() *fsm.Protocol { return e.p }
+
+// Initial returns the paper's initial composite state: every cache Invalid
+// with no data — (Initial⁺) — and memory fresh.
+func (e *Engine) Initial() *CState {
+	reps := make([]Rep, e.n)
+	cdata := make([]Data, e.n)
+	reps[e.p.StateIndex(e.p.Initial)] = RPlus
+	attr := CountNull
+	if e.p.Characteristic == fsm.CharSharing {
+		attr = CountZero
+	}
+	st, ok := e.normalize(reps, cdata, attr, DFresh)
+	if !ok {
+		panic("symbolic: initial state infeasible")
+	}
+	return st
+}
+
+// MakeState builds a normalized composite state from explicit components;
+// it returns false when the combination is infeasible. Primarily used by
+// tests and by the abstraction function of the cross-validation harness.
+func (e *Engine) MakeState(reps []Rep, cdata []Data, attr Count, mdata Data) (*CState, bool) {
+	r := append([]Rep(nil), reps...)
+	d := append([]Data(nil), cdata...)
+	return e.normalize(r, d, attr, mdata)
+}
+
+// Label identifies a symbolic transition: the operation, the state class of
+// the originating cache, and whether the edge stands for an N-steps
+// derivation (rule 4 of Section 3.2.3).
+type Label struct {
+	Op     fsm.Op
+	Origin fsm.State
+	NStep  bool
+}
+
+// String renders the label like the paper's Figure 4: operation with the
+// originator class as a subscript and the N-step superscript, e.g. "R^n_inv".
+func (l Label) String() string {
+	s := string(l.Op)
+	if l.NStep {
+		s += "^n"
+	}
+	if l.Origin != "" {
+		s += "_" + string(l.Origin)
+	}
+	return s
+}
+
+// Succ is one symbolic successor.
+type Succ struct {
+	Label Label
+	Rule  *fsm.Rule
+	State *CState
+}
+
+// scenario is a refinement of a composite state during one transition: the
+// originating cache has been removed, star classes may have been pinned
+// non-empty (RPlus) or empty (RZero) to decide guards and suppliers, and
+// othersIval bounds the number of valid copies held by the other caches.
+type scenario struct {
+	rem        []Rep // post-removal repetition operators
+	cdata      []Data
+	mdata      Data
+	othersIval ival
+	origIdx    int
+	origData   Data
+}
+
+func (sc *scenario) clone() *scenario {
+	c := *sc
+	c.rem = append([]Rep(nil), sc.rem...)
+	c.cdata = append([]Data(nil), sc.cdata...)
+	return &c
+}
+
+// feasible checks the scenario's class operators against its copy-count
+// bound.
+func (e *Engine) feasible(sc *scenario) bool {
+	min, max := 0, 0
+	for _, i := range e.validIdxs {
+		min += sc.rem[i].Min()
+		max += sc.rem[i].Max()
+	}
+	return satur(min) <= sc.othersIval.hi && satur(max) >= sc.othersIval.lo
+}
+
+// propagate tightens a scenario's class operators against its copy-count
+// bound and reports feasibility. Two propagations matter for precision:
+// when the bound forbids any copy, every star-operated valid class must be
+// empty; and when the bound is exact and already met by the definite
+// instances, stars must be empty and plus classes are pinned to singletons.
+// Without this, classes that a guard has proven empty would ride along as
+// "ghosts" and later be mistaken for populated classes.
+func (e *Engine) propagate(sc *scenario) bool {
+	if !e.feasible(sc) {
+		return false
+	}
+	b := sc.othersIval
+	if b.hi == 0 {
+		for _, i := range e.validIdxs {
+			if sc.rem[i] == RStar {
+				sc.rem[i] = RZero
+			}
+		}
+		return true
+	}
+	if b.lo == b.hi && b.hi < manyCount {
+		min := 0
+		for _, i := range e.validIdxs {
+			min += sc.rem[i].Min()
+		}
+		if min == b.hi {
+			for _, i := range e.validIdxs {
+				switch sc.rem[i] {
+				case RStar:
+					sc.rem[i] = RZero
+				case RPlus:
+					sc.rem[i] = ROne
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Successors expands every applicable (class, operation) pair of s and
+// returns the generated successors. Spec-level problems (a guard cascade
+// that fails to cover a reachable scenario, or a rule firing with no
+// available supplier) are returned as errors alongside the successors that
+// could be generated; they indicate an ill-formed protocol definition.
+func (e *Engine) Successors(s *CState) ([]Succ, []error) {
+	var out []Succ
+	var errs []error
+	for oi := 0; oi < e.n; oi++ {
+		if !s.reps[oi].CanBePositive() {
+			continue
+		}
+		for _, op := range e.p.Ops {
+			rules := e.p.RulesFor(e.p.States[oi], op)
+			if len(rules) == 0 {
+				continue
+			}
+			succs, err := e.expandEvent(s, oi, op, rules)
+			out = append(out, succs...)
+			if err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return out, errs
+}
+
+// expandEvent applies operation op originated by a cache in class oi.
+func (e *Engine) expandEvent(s *CState, oi int, op fsm.Op, rules []*fsm.Rule) ([]Succ, error) {
+	// Build the base scenario: pin the origin class non-empty, remove the
+	// originator, and derive the copy-count bound for the other caches.
+	base := &scenario{
+		rem:     append([]Rep(nil), s.reps...),
+		cdata:   append([]Data(nil), s.cdata...),
+		mdata:   s.mdata,
+		origIdx: oi,
+	}
+	if base.rem[oi] == RStar {
+		base.rem[oi] = RPlus // originate only from the non-empty members
+	}
+	rem, err := removeOne(base.rem[oi])
+	if err != nil {
+		return nil, err
+	}
+	base.rem[oi] = rem
+	base.origData = s.cdata[oi]
+	base.othersIval = s.attr.interval()
+	if e.valid[oi] && s.attr != CountNull {
+		base.othersIval = base.othersIval.sub1()
+	}
+	if !e.propagate(base) {
+		return nil, nil // the origin class cannot actually be populated
+	}
+
+	// Resolve the guard cascade, splitting scenarios over ambiguity.
+	type pick struct {
+		sc   *scenario
+		rule *fsm.Rule
+	}
+	var picks []pick
+	pending := []*scenario{base}
+	for _, rule := range rules {
+		if len(pending) == 0 {
+			break
+		}
+		var still []*scenario
+		for _, sc := range pending {
+			matched, unmatched := e.splitGuard(sc, rule.Guard)
+			for _, m := range matched {
+				picks = append(picks, pick{m, rule})
+			}
+			still = append(still, unmatched...)
+		}
+		pending = still
+	}
+	var specErr error
+	if len(pending) > 0 {
+		specErr = fmt.Errorf("symbolic: protocol %s: guard cascade for (%s,%s) does not cover state %s",
+			e.p.Name, e.p.States[oi], op, s.StructureString(e.p))
+	}
+
+	var out []Succ
+	seen := make(map[string]bool)
+	for _, pk := range picks {
+		succs, err := e.applyRule(pk.sc, pk.rule, op)
+		if err != nil && specErr == nil {
+			specErr = err
+		}
+		for _, su := range succs {
+			k := su.State.Key()
+			dk := k + "/" + fmt.Sprint(su.Label.NStep)
+			if seen[dk] {
+				continue
+			}
+			seen[dk] = true
+			out = append(out, su)
+		}
+	}
+	return out, specErr
+}
+
+// splitGuard refines scenario sc until rule guard g is decided, returning
+// the scenarios in which it holds and those in which it does not.
+func (e *Engine) splitGuard(sc *scenario, g fsm.Guard) (matched, unmatched []*scenario) {
+	switch g.Kind {
+	case fsm.GuardAlways:
+		return []*scenario{sc}, nil
+	case fsm.GuardAnyOther, fsm.GuardNoOther:
+		exists, scenariosTrue, scenarioFalse := e.splitExists(sc, g.States)
+		if g.Kind == fsm.GuardAnyOther {
+			switch exists {
+			case condTrue:
+				return []*scenario{sc}, nil
+			case condFalse:
+				return nil, oneOrNone(scenarioFalse)
+			default:
+				return scenariosTrue, oneOrNone(scenarioFalse)
+			}
+		}
+		// NoOther
+		switch exists {
+		case condTrue:
+			return nil, []*scenario{sc}
+		case condFalse:
+			return oneOrNone(scenarioFalse), nil
+		default:
+			return oneOrNone(scenarioFalse), scenariosTrue
+		}
+	default:
+		return nil, []*scenario{sc}
+	}
+}
+
+func oneOrNone(sc *scenario) []*scenario {
+	if sc == nil {
+		return nil
+	}
+	return []*scenario{sc}
+}
+
+type cond int
+
+const (
+	condTrue cond = iota
+	condFalse
+	condAmbiguous
+)
+
+// splitExists decides "∃ another cache in one of the states". When the
+// answer is ambiguous it returns refined scenarios: one per star class in
+// the set pinned non-empty (their union covers the ∃ case) and one with all
+// of them pinned empty (the ∄ case). Infeasible refinements are dropped.
+// In the definite-false cases the returned false scenario has the set's
+// star classes zeroed out (they are provably empty), so downstream rules do
+// not mistake ghost classes for populated ones.
+func (e *Engine) splitExists(sc *scenario, states []fsm.State) (cond, []*scenario, *scenario) {
+	zeroSet := func(from *scenario) *scenario {
+		f := from.clone()
+		for _, st := range states {
+			i := e.p.StateIndex(st)
+			if f.rem[i] == RStar {
+				f.rem[i] = RZero
+			}
+		}
+		if !e.propagate(f) {
+			return nil
+		}
+		return f
+	}
+
+	// Fast path: when the tested set is exactly the valid-copy set and the
+	// copy count is tracked, the bound decides existence outright.
+	if e.isValidSet(states) && sc.othersIval.lo >= 1 {
+		return condTrue, nil, nil
+	}
+	if e.isValidSet(states) && sc.othersIval.hi == 0 {
+		return condFalse, nil, zeroSet(sc)
+	}
+
+	var stars []int
+	for _, st := range states {
+		i := e.p.StateIndex(st)
+		switch sc.rem[i] {
+		case ROne, RPlus:
+			return condTrue, nil, nil
+		case RStar:
+			stars = append(stars, i)
+		}
+	}
+	if len(stars) == 0 {
+		return condFalse, nil, sc
+	}
+	var trueScs []*scenario
+	for _, i := range stars {
+		t := sc.clone()
+		t.rem[i] = RPlus
+		if e.propagate(t) {
+			trueScs = append(trueScs, t)
+		}
+	}
+	falseSc := zeroSet(sc)
+	if len(trueScs) == 0 {
+		if falseSc == nil {
+			return condFalse, nil, sc // cannot happen for a normalized state
+		}
+		return condFalse, nil, falseSc
+	}
+	if falseSc == nil {
+		// All-empty is infeasible: existence is certain.
+		return condTrue, nil, nil
+	}
+	return condAmbiguous, trueScs, falseSc
+}
+
+func (e *Engine) isValidSet(states []fsm.State) bool {
+	if len(states) != len(e.validIdxs) {
+		return false
+	}
+	for _, st := range states {
+		i := e.p.StateIndex(st)
+		if i < 0 || !e.valid[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyRule performs the transition on a guard-resolved scenario, branching
+// over supplier choice and over copy-count ambiguity.
+func (e *Engine) applyRule(sc *scenario, rule *fsm.Rule, op fsm.Op) ([]Succ, error) {
+	// Resolve the data supplier.
+	type supplied struct {
+		sc   *scenario
+		data Data
+	}
+	var branches []supplied
+	if rule.Data.Source == fsm.SrcCache {
+		for _, ss := range rule.Data.Suppliers {
+			i := e.p.StateIndex(ss)
+			if !sc.rem[i].CanBePositive() {
+				continue
+			}
+			t := sc.clone()
+			if t.rem[i] == RStar {
+				t.rem[i] = RPlus
+			}
+			if !e.propagate(t) {
+				continue
+			}
+			branches = append(branches, supplied{t, t.cdata[i]})
+		}
+		if len(branches) == 0 {
+			return nil, fmt.Errorf("symbolic: protocol %s: rule %s fired with no possible supplier in %v",
+				e.p.Name, rule.Name, rule.Data.Suppliers)
+		}
+	} else {
+		branches = []supplied{{sc, DNone}}
+	}
+
+	var out []Succ
+	for _, br := range branches {
+		succs := e.applySupplied(br.sc, rule, op, br.data)
+		out = append(out, succs...)
+	}
+	return out, nil
+}
+
+func (e *Engine) applySupplied(sc *scenario, rule *fsm.Rule, op fsm.Op, supplierData Data) []Succ {
+	// 1. Originator's incoming data and supplier write-back.
+	var origVal Data
+	newMdata := sc.mdata
+	switch rule.Data.Source {
+	case fsm.SrcNone:
+		origVal = DNone
+	case fsm.SrcKeep:
+		origVal = sc.origData
+	case fsm.SrcMemory:
+		origVal = sc.mdata
+	case fsm.SrcCache:
+		origVal = supplierData
+		if rule.Data.SupplierWriteBack {
+			newMdata = supplierData
+		}
+	}
+
+	// 2. Coincident transitions: pool every remaining class into its
+	// observed target (aggregation rules).
+	newReps := make([]Rep, e.n)
+	newData := make([]Data, e.n)
+	hasContrib := make([]bool, e.n)
+	for c := 0; c < e.n; c++ {
+		if sc.rem[c] == RZero {
+			continue
+		}
+		t := e.p.StateIndex(rule.ObservedNext(e.p.States[c]))
+		newReps[t] = merge(newReps[t], sc.rem[c])
+		d := DNone
+		if e.valid[t] {
+			d = sc.cdata[c]
+		}
+		if hasContrib[t] {
+			newData[t] = mergeData(newData[t], d)
+		} else {
+			newData[t] = d
+			hasContrib[t] = true
+		}
+	}
+
+	// 3. Abstract copy-count arithmetic over the other caches.
+	survivors := ival{0, 0}
+	gained := ival{0, 0}
+	allValidSurvive := true
+	for c := 0; c < e.n; c++ {
+		if sc.rem[c] == RZero {
+			continue
+		}
+		t := e.p.StateIndex(rule.ObservedNext(e.p.States[c]))
+		contributes := e.valid[t]
+		r := ival{sc.rem[c].Min(), sc.rem[c].Max()}
+		switch {
+		case e.valid[c] && contributes:
+			survivors = survivors.add(r)
+		case e.valid[c] && !contributes:
+			allValidSurvive = false
+		case !e.valid[c] && contributes:
+			gained = gained.add(r)
+		}
+	}
+	var othersAfter ival
+	var ok bool
+	if allValidSurvive {
+		othersAfter, ok = survivors.intersect(sc.othersIval)
+	} else {
+		othersAfter, ok = survivors.intersect(ival{0, sc.othersIval.hi})
+	}
+	if !ok {
+		return nil
+	}
+	othersAfter = othersAfter.add(gained)
+
+	// 4. Store semantics on the context variables.
+	if rule.Data.Store {
+		for t := 0; t < e.n; t++ {
+			newData[t] = downgrade(newData[t])
+		}
+		newMdata = downgrade(newMdata)
+		origVal = DFresh
+		if rule.Data.WriteThrough {
+			newMdata = DFresh
+		}
+		if rule.Data.UpdateSharers {
+			for t := 0; t < e.n; t++ {
+				if e.valid[t] && newReps[t] != RZero {
+					newData[t] = DFresh
+				}
+			}
+		}
+	}
+
+	// 5. Self write-back and drop.
+	if rule.Data.WriteBackSelf {
+		newMdata = origVal
+	}
+	if rule.Data.DropSelf {
+		origVal = DNone
+	}
+
+	// 6. Re-insert the originator into its next class.
+	ni := e.p.StateIndex(rule.Next)
+	newReps[ni] = addOne(newReps[ni])
+	d := DNone
+	if e.valid[ni] {
+		d = origVal
+	}
+	if hasContrib[ni] {
+		newData[ni] = mergeData(newData[ni], d)
+	} else {
+		newData[ni] = d
+		hasContrib[ni] = true
+	}
+
+	total := othersAfter
+	if e.valid[ni] {
+		total = total.add(ival{1, 1})
+	}
+
+	// 7. Classify the new copy count and emit one successor per feasible
+	// classification. A branch that decreases the classification below the
+	// maximum corresponds to the paper's N-steps rule 4(b) (the same event
+	// applied repeatedly until the characteristic function changes) and is
+	// tagged NStep.
+	origin := e.p.States[sc.origIdx]
+	if e.p.Characteristic != fsm.CharSharing {
+		st, ok := e.normalize(newReps, newData, CountNull, newMdata)
+		if !ok {
+			return nil
+		}
+		return []Succ{{Label: Label{Op: op, Origin: origin}, Rule: rule, State: st}}
+	}
+	counts := total.counts()
+	var maxCount Count
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var out []Succ
+	for _, cnt := range counts {
+		r := append([]Rep(nil), newReps...)
+		dd := append([]Data(nil), newData...)
+		st, ok := e.normalize(r, dd, cnt, newMdata)
+		if !ok {
+			continue
+		}
+		out = append(out, Succ{
+			Label: Label{Op: op, Origin: origin, NStep: len(counts) > 1 && cnt != maxCount},
+			Rule:  rule,
+			State: st,
+		})
+	}
+	return out
+}
+
+// normalize canonicalizes a candidate composite state against its copy-count
+// attribute (pinning singletons, collapsing impossible star classes) and
+// scrubs the context variables of empty and invalid classes. It reports
+// false when the combination is infeasible. The slices are owned by the
+// caller and may be modified.
+func (e *Engine) normalize(reps []Rep, cdata []Data, attr Count, mdata Data) (*CState, bool) {
+	if attr != CountNull {
+		bound := attr.interval()
+		if attr == CountZero {
+			for _, i := range e.validIdxs {
+				switch reps[i] {
+				case ROne, RPlus:
+					return nil, false
+				case RStar:
+					reps[i] = RZero
+				}
+			}
+		}
+		min, max := 0, 0
+		nonZero := -1
+		multi := false
+		for _, i := range e.validIdxs {
+			min += reps[i].Min()
+			max += reps[i].Max()
+			if reps[i] != RZero {
+				if nonZero >= 0 {
+					multi = true
+				}
+				nonZero = i
+			}
+		}
+		if satur(min) > bound.hi || satur(max) < bound.lo {
+			return nil, false
+		}
+		if attr == CountOne && min == 1 {
+			// The definite instances already account for the single copy:
+			// stars must be empty and plus classes are singletons.
+			for _, i := range e.validIdxs {
+				switch reps[i] {
+				case RStar:
+					reps[i] = RZero
+				case RPlus:
+					reps[i] = ROne
+				}
+			}
+		}
+		if nonZero >= 0 && !multi {
+			// A single populated valid class: pin its operator to the
+			// tightest form compatible with the copy count.
+			switch attr {
+			case CountOne:
+				reps[nonZero] = ROne
+			case CountMany:
+				if reps[nonZero] == ROne {
+					return nil, false
+				}
+				reps[nonZero] = RPlus
+			}
+		}
+	}
+	for i := 0; i < e.n; i++ {
+		if reps[i] == RZero || !e.valid[i] {
+			cdata[i] = DNone
+		}
+	}
+	return newCState(reps, cdata, attr, mdata), true
+}

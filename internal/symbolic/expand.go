@@ -1,0 +1,324 @@
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fsm"
+)
+
+// Options tune the Expand run.
+type Options struct {
+	// MaxVisits bounds the number of generated successor states as a
+	// safety net against ill-formed protocols; 0 means the default (100000).
+	MaxVisits int
+	// RecordLog keeps the full visit log (the Appendix A.2 listing).
+	RecordLog bool
+	// StopOnViolation aborts the expansion at the first erroneous state;
+	// otherwise the expansion continues and collects every violation.
+	StopOnViolation bool
+	// Strict enables the CleanShared memory-consistency extension check.
+	Strict bool
+	// NoContainment is an ABLATION switch: it disables the containment
+	// pruning of Definition 9 and deduplicates states by identity only.
+	// The expansion still terminates (the composite state space is finite)
+	// and still finds every violation, but the history list holds all
+	// distinct reachable composite states instead of just the essential
+	// ones — quantifying what the paper's pruning buys.
+	NoContainment bool
+}
+
+const defaultMaxVisits = 100000
+
+// Outcome classifies what happened to a generated successor state.
+type Outcome int
+
+const (
+	// OutcomeNew: the state entered the working list.
+	OutcomeNew Outcome = iota
+	// OutcomeContained: the state was discarded because an existing state
+	// contains it.
+	OutcomeContained
+	// OutcomeSupersedes: the state entered the working list and evicted one
+	// or more contained states.
+	OutcomeSupersedes
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeNew:
+		return "new"
+	case OutcomeContained:
+		return "contained"
+	case OutcomeSupersedes:
+		return "supersedes"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// VisitRecord is one line of the expansion log, corresponding to one line of
+// the paper's Appendix A.2: a source state, a transition label, the
+// generated state and how the algorithm disposed of it.
+type VisitRecord struct {
+	From    *CState
+	Label   Label
+	Rule    string
+	To      *CState
+	Outcome Outcome
+}
+
+// PathStep is one hop of a witness path from the initial state.
+type PathStep struct {
+	Label Label
+	To    *CState
+}
+
+// StateViolation pairs an erroneous state (Definition 3 and the
+// compatibility conditions of Section 2.1) with its violations and a witness
+// path from the initial state.
+type StateViolation struct {
+	State      *CState
+	Violations []fsm.Violation
+	Path       []PathStep
+}
+
+// Result is the outcome of a symbolic expansion run.
+type Result struct {
+	// Protocol is the verified protocol.
+	Protocol *fsm.Protocol
+	// Essential is the final history list H of Figure 3: the essential
+	// states of Definition 10, in canonical (discovery, then key) order.
+	Essential []*CState
+	// Visits counts every generated successor state, the paper's "state
+	// visits" metric (22 for Illinois).
+	Visits int
+	// Expansions counts worklist states that were fully expanded.
+	Expansions int
+	// Superseded counts worklist states discarded because a successor
+	// contained them (the "discard A and start a new run" branch).
+	Superseded int
+	// Log is the visit log when Options.RecordLog was set.
+	Log []VisitRecord
+	// Violations lists every erroneous state found, with witnesses.
+	Violations []StateViolation
+	// SpecErrors lists specification-level problems (incomplete guard
+	// cascades, missing suppliers); non-empty SpecErrors mean the protocol
+	// definition itself is broken.
+	SpecErrors []error
+}
+
+// OK reports whether the protocol verified cleanly: no erroneous states and
+// no specification errors.
+func (r *Result) OK() bool { return len(r.Violations) == 0 && len(r.SpecErrors) == 0 }
+
+// parentInfo supports witness reconstruction.
+type parentInfo struct {
+	parent *CState
+	label  Label
+}
+
+// Expand runs the essential-states generation algorithm of Figure 3 from the
+// protocol's initial composite state.
+func Expand(p *fsm.Protocol, opts Options) (*Result, error) {
+	e, err := NewEngine(p)
+	if err != nil {
+		return nil, err
+	}
+	return e.Expand(opts), nil
+}
+
+// Expand runs the essential-states generation algorithm of Figure 3.
+func (e *Engine) Expand(opts Options) *Result {
+	maxVisits := opts.MaxVisits
+	if maxVisits <= 0 {
+		maxVisits = defaultMaxVisits
+	}
+	res := &Result{Protocol: e.p}
+	init := e.Initial()
+
+	parents := map[string]parentInfo{init.Key(): {}}
+	if v := e.Check(init, opts.Strict); len(v) > 0 {
+		res.Violations = append(res.Violations, StateViolation{State: init, Violations: v})
+		if opts.StopOnViolation {
+			return res
+		}
+	}
+
+	work := []*CState{init}
+	var hist []*CState
+	reported := map[string]bool{}
+	seenKeys := map[string]struct{}{init.Key(): {}}
+
+	for len(work) > 0 && res.Visits < maxVisits {
+		a := work[0]
+		work = work[1:]
+		superseded := false
+
+	expandA:
+		for oi := 0; oi < a.NumClasses() && !superseded; oi++ {
+			if !a.reps[oi].CanBePositive() {
+				continue
+			}
+			for _, op := range e.p.Ops {
+				rules := e.p.RulesFor(e.p.States[oi], op)
+				if len(rules) == 0 {
+					continue
+				}
+				succs, specErr := e.expandEvent(a, oi, op, rules)
+				if specErr != nil {
+					res.SpecErrors = append(res.SpecErrors, specErr)
+				}
+				for _, su := range succs {
+					res.Visits++
+					ap := su.State
+					if _, seen := parents[ap.Key()]; !seen {
+						parents[ap.Key()] = parentInfo{parent: a, label: su.Label}
+					}
+
+					// Erroneous-state detection happens before pruning so
+					// containment can never hide a violation.
+					if !reported[ap.Key()] {
+						if v := e.Check(ap, opts.Strict); len(v) > 0 {
+							reported[ap.Key()] = true
+							res.Violations = append(res.Violations, StateViolation{
+								State:      ap,
+								Violations: v,
+								Path:       e.witness(parents, ap),
+							})
+							if opts.StopOnViolation {
+								res.Essential = append(hist, work...)
+								return res
+							}
+						}
+					}
+
+					outcome := OutcomeNew
+					switch {
+					case opts.NoContainment:
+						if _, dup := seenKeys[ap.Key()]; dup {
+							outcome = OutcomeContained
+						} else {
+							seenKeys[ap.Key()] = struct{}{}
+							work = append(work, ap)
+						}
+					case Contains(a, ap):
+						outcome = OutcomeContained
+					case containedInAny(ap, work) || containedInAny(ap, hist):
+						outcome = OutcomeContained
+					default:
+						var removed int
+						work, removed = removeContained(work, ap)
+						if removed > 0 {
+							outcome = OutcomeSupersedes
+						}
+						hist, removed = removeContained(hist, ap)
+						if removed > 0 {
+							outcome = OutcomeSupersedes
+						}
+						work = append(work, ap)
+						if Contains(ap, a) {
+							// "discard A and terminate all FOR loops
+							// starting a new run."
+							superseded = true
+							res.Superseded++
+						}
+					}
+					if opts.RecordLog {
+						res.Log = append(res.Log, VisitRecord{
+							From: a, Label: su.Label, Rule: su.Rule.Name,
+							To: ap, Outcome: outcome,
+						})
+					}
+					if res.Visits >= maxVisits {
+						break expandA
+					}
+					if superseded {
+						break expandA
+					}
+				}
+			}
+		}
+		if !superseded {
+			res.Expansions++
+			if opts.NoContainment {
+				hist = append(hist, a)
+			} else if !containedInAny(a, hist) && !containedInAny(a, work) {
+				hist = append(hist, a)
+			}
+		}
+	}
+	res.Essential = hist
+	return res
+}
+
+func containedInAny(s *CState, list []*CState) bool {
+	for _, t := range list {
+		if Contains(t, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// removeContained drops every state of list contained in s and returns the
+// filtered list with the number of removals.
+func removeContained(list []*CState, s *CState) ([]*CState, int) {
+	out := list[:0]
+	removed := 0
+	for _, t := range list {
+		if Contains(s, t) {
+			removed++
+			continue
+		}
+		out = append(out, t)
+	}
+	return out, removed
+}
+
+// witness reconstructs a path from the initial state to s using the parent
+// map populated during expansion.
+func (e *Engine) witness(parents map[string]parentInfo, s *CState) []PathStep {
+	var rev []PathStep
+	cur := s
+	for {
+		pi, ok := parents[cur.Key()]
+		if !ok || pi.parent == nil {
+			break
+		}
+		rev = append(rev, PathStep{Label: pi.label, To: cur})
+		cur = pi.parent
+		if len(rev) > 10000 {
+			break // defensive: parent chains are acyclic by construction
+		}
+	}
+	// Reverse.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// SortStates orders composite states deterministically: by decreasing
+// "generality" (number of star/plus classes) and then by key. Reports and
+// tests use this to present essential states stably.
+func SortStates(states []*CState) []*CState {
+	out := append([]*CState(nil), states...)
+	gen := func(s *CState) int {
+		g := 0
+		for _, r := range s.reps {
+			if r == RStar || r == RPlus {
+				g++
+			}
+		}
+		return g
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		gi, gj := gen(out[i]), gen(out[j])
+		if gi != gj {
+			return gi > gj
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out
+}

@@ -1,0 +1,176 @@
+package symbolic
+
+import (
+	"testing"
+
+	"repro/internal/fsm"
+	"repro/internal/protocols"
+)
+
+// mkScenario builds a post-removal scenario for white-box testing of the
+// guard refinement machinery.
+func mkScenario(e *Engine, rem []Rep, others ival) *scenario {
+	return &scenario{
+		rem:        append([]Rep(nil), rem...),
+		cdata:      make([]Data, e.n),
+		mdata:      DFresh,
+		othersIval: others,
+	}
+}
+
+func TestSplitExistsDefiniteTrue(t *testing.T) {
+	e := illinoisEngine(t)
+	p := e.Protocol()
+	rem := make([]Rep, e.n)
+	rem[p.StateIndex("Dirty")] = ROne
+	rem[p.StateIndex("Invalid")] = RStar
+	sc := mkScenario(e, rem, ival{1, 1})
+	cond, trues, falseSc := e.splitExists(sc, []fsm.State{"Dirty"})
+	if cond != condTrue || trues != nil || falseSc != nil {
+		t.Fatalf("a singleton class must decide existence: %v", cond)
+	}
+}
+
+func TestSplitExistsDefiniteFalse(t *testing.T) {
+	e := illinoisEngine(t)
+	p := e.Protocol()
+	rem := make([]Rep, e.n)
+	rem[p.StateIndex("Shared")] = ROne
+	rem[p.StateIndex("Invalid")] = RStar
+	sc := mkScenario(e, rem, ival{1, 1})
+	cond, _, falseSc := e.splitExists(sc, []fsm.State{"Dirty"})
+	if cond != condFalse {
+		t.Fatalf("an empty class must refute existence: %v", cond)
+	}
+	if falseSc == nil {
+		t.Fatal("the false scenario must be returned")
+	}
+}
+
+func TestSplitExistsAmbiguousBranches(t *testing.T) {
+	// A star class with a loose copy-count bound branches into a pinned
+	// non-empty scenario and a pinned empty one.
+	e := illinoisEngine(t)
+	p := e.Protocol()
+	si, di := p.StateIndex("Shared"), p.StateIndex("Dirty")
+	rem := make([]Rep, e.n)
+	rem[si] = RStar
+	rem[di] = ROne
+	rem[p.StateIndex("Invalid")] = RStar
+	sc := mkScenario(e, rem, ival{1, 2})
+	cond, trues, falseSc := e.splitExists(sc, []fsm.State{"Shared"})
+	if cond != condAmbiguous {
+		t.Fatalf("cond = %v, want ambiguous", cond)
+	}
+	if len(trues) != 1 || trues[0].rem[si] != RPlus {
+		t.Fatalf("true branch must pin Shared to +, got %v", trues)
+	}
+	if falseSc == nil || falseSc.rem[si] != RZero {
+		t.Fatalf("false branch must zero the Shared ghost, got %v", falseSc)
+	}
+}
+
+func TestSplitExistsFastPathOnValidSet(t *testing.T) {
+	// With the sharing-detection attribute, existence over the full
+	// valid-copy set is decided by the copy-count bound alone.
+	e := illinoisEngine(t)
+	p := e.Protocol()
+	valid := []fsm.State{"Valid-Exclusive", "Shared", "Dirty"}
+	rem := make([]Rep, e.n)
+	rem[p.StateIndex("Invalid")] = RPlus
+	rem[p.StateIndex("Shared")] = RStar
+
+	sc := mkScenario(e, rem, ival{1, 1})
+	if cond, _, _ := e.splitExists(sc, valid); cond != condTrue {
+		t.Fatalf("bound lo≥1 must prove existence, got %v", cond)
+	}
+	sc = mkScenario(e, rem, ival{0, 0})
+	cond, _, falseSc := e.splitExists(sc, valid)
+	if cond != condFalse {
+		t.Fatalf("bound hi=0 must refute existence, got %v", cond)
+	}
+	if falseSc == nil || falseSc.rem[p.StateIndex("Shared")] != RZero {
+		t.Fatal("the false scenario must drop the star class")
+	}
+}
+
+func TestPropagateZeroBoundClearsStars(t *testing.T) {
+	e := illinoisEngine(t)
+	p := e.Protocol()
+	rem := make([]Rep, e.n)
+	rem[p.StateIndex("Invalid")] = RPlus
+	rem[p.StateIndex("Shared")] = RStar
+	rem[p.StateIndex("Dirty")] = RStar
+	sc := mkScenario(e, rem, ival{0, 0})
+	if !e.propagate(sc) {
+		t.Fatal("scenario should be feasible")
+	}
+	if sc.rem[p.StateIndex("Shared")] != RZero || sc.rem[p.StateIndex("Dirty")] != RZero {
+		t.Fatalf("zero bound must clear star copy classes: %v", sc.rem)
+	}
+}
+
+func TestPropagateExactBoundPins(t *testing.T) {
+	e := illinoisEngine(t)
+	p := e.Protocol()
+	rem := make([]Rep, e.n)
+	rem[p.StateIndex("Invalid")] = RPlus
+	rem[p.StateIndex("Dirty")] = RPlus
+	rem[p.StateIndex("Shared")] = RStar
+	sc := mkScenario(e, rem, ival{1, 1})
+	if !e.propagate(sc) {
+		t.Fatal("scenario should be feasible")
+	}
+	if sc.rem[p.StateIndex("Dirty")] != ROne {
+		t.Fatalf("Dirty+ must pin to a singleton under an exact bound of 1: %v", sc.rem)
+	}
+	if sc.rem[p.StateIndex("Shared")] != RZero {
+		t.Fatalf("Shared* must be empty under an exact bound already met: %v", sc.rem)
+	}
+}
+
+func TestPropagateDetectsInfeasible(t *testing.T) {
+	e := illinoisEngine(t)
+	p := e.Protocol()
+	rem := make([]Rep, e.n)
+	rem[p.StateIndex("Dirty")] = ROne
+	rem[p.StateIndex("Shared")] = ROne
+	sc := mkScenario(e, rem, ival{1, 1})
+	if e.propagate(sc) {
+		t.Fatal("two definite copies cannot satisfy an exact bound of 1")
+	}
+}
+
+func TestPropagateLeavesManyBoundLoose(t *testing.T) {
+	// The ≥2 bound is saturated, not exact: stars must NOT be cleared.
+	e := illinoisEngine(t)
+	p := e.Protocol()
+	rem := make([]Rep, e.n)
+	rem[p.StateIndex("Shared")] = RPlus
+	rem[p.StateIndex("Dirty")] = RStar
+	sc := mkScenario(e, rem, ival{2, 2})
+	if !e.propagate(sc) {
+		t.Fatal("scenario should be feasible")
+	}
+	if sc.rem[p.StateIndex("Dirty")] != RStar {
+		t.Fatal("a saturated ≥2 bound must not pin star classes")
+	}
+}
+
+func TestExpandEventSkipsInfeasibleOrigin(t *testing.T) {
+	// Originating from a star class that the copy count proves empty must
+	// produce no successors: e.g. Shared* in a state whose count is zero.
+	e := illinoisEngine(t)
+	p := protocols.Illinois()
+	// The initial state has only the Invalid class; a hand-made state with
+	// Shared* and CountZero normalizes Shared away entirely, so construct
+	// the scenario through the public API and check no Shared-originated
+	// successors appear.
+	init := e.Initial()
+	succs, _ := e.Successors(init)
+	for _, su := range succs {
+		if su.Label.Origin == "Shared" || su.Label.Origin == "Dirty" {
+			t.Fatalf("empty classes cannot originate transitions: %v (protocol %s)", su.Label, p.Name)
+		}
+	}
+}

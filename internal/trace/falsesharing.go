@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fsm"
+)
+
+// FalseSharing models the classic false-sharing pattern: every processor
+// reads and writes ONLY its own word, but neighboring processors' words sit
+// in consecutive addresses. With one word per coherence block there is no
+// sharing at all; once blocks span several words the processors fight over
+// block ownership despite never touching each other's data. References are
+// emitted at WORD granularity (Ref.Block is a word index); compose with
+// BlockMapper to fold words into blocks of a chosen size.
+type FalseSharing struct {
+	rng    *rand.Rand
+	caches int
+	groups int
+	pWrite float64
+}
+
+// NewFalseSharing builds the workload: `groups` independent groups of
+// `caches` consecutive words, processor p touching word group*caches+p.
+func NewFalseSharing(seed int64, caches, groups int, pWrite float64) (*FalseSharing, error) {
+	if caches < 2 || groups < 1 {
+		return nil, fmt.Errorf("trace: false sharing needs ≥2 caches and ≥1 group")
+	}
+	if pWrite < 0 || pWrite > 1 {
+		return nil, fmt.Errorf("trace: invalid pWrite %v", pWrite)
+	}
+	return &FalseSharing{
+		rng:    rand.New(rand.NewSource(seed)),
+		caches: caches, groups: groups, pWrite: pWrite,
+	}, nil
+}
+
+// Name implements Workload.
+func (f *FalseSharing) Name() string { return "false-sharing" }
+
+// Next implements Workload. The emitted Block field is a WORD index.
+func (f *FalseSharing) Next() Ref {
+	p := f.rng.Intn(f.caches)
+	g := f.rng.Intn(f.groups)
+	r := Ref{Cache: p, Block: g*f.caches + p, Op: fsm.OpRead}
+	if f.rng.Float64() < f.pWrite {
+		r.Op = fsm.OpWrite
+	}
+	return r
+}
+
+// Words returns the total number of distinct word addresses the workload
+// touches.
+func (f *FalseSharing) Words() int { return f.caches * f.groups }
+
+// BlockMapper folds the word addresses of an inner workload into coherence
+// blocks of WordsPerBlock consecutive words, modelling the cache block
+// size. Coherence (and therefore invalidation and update traffic) acts at
+// block granularity while the program's true sharing is at word
+// granularity.
+type BlockMapper struct {
+	Inner         Workload
+	WordsPerBlock int
+}
+
+// NewBlockMapper wraps a word-granular workload.
+func NewBlockMapper(inner Workload, wordsPerBlock int) (*BlockMapper, error) {
+	if wordsPerBlock < 1 {
+		return nil, fmt.Errorf("trace: words per block must be positive, got %d", wordsPerBlock)
+	}
+	return &BlockMapper{Inner: inner, WordsPerBlock: wordsPerBlock}, nil
+}
+
+// Name implements Workload.
+func (b *BlockMapper) Name() string {
+	return fmt.Sprintf("%s/wpb=%d", b.Inner.Name(), b.WordsPerBlock)
+}
+
+// Next implements Workload.
+func (b *BlockMapper) Next() Ref {
+	r := b.Inner.Next()
+	r.Block /= b.WordsPerBlock
+	return r
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/fsm"
+)
+
+func TestFalseSharingEachProcessorOwnsItsWord(t *testing.T) {
+	w, err := NewFalseSharing(7, 4, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Words() != 12 {
+		t.Fatalf("Words() = %d, want 12", w.Words())
+	}
+	for i := 0; i < 20000; i++ {
+		r := w.Next()
+		if r.Block%4 != r.Cache {
+			t.Fatalf("processor %d touched word %d (owner %d)", r.Cache, r.Block, r.Block%4)
+		}
+		if r.Block < 0 || r.Block >= 12 {
+			t.Fatalf("word %d out of range", r.Block)
+		}
+		if r.Op != fsm.OpRead && r.Op != fsm.OpWrite {
+			t.Fatalf("unexpected op %s", r.Op)
+		}
+	}
+}
+
+func TestFalseSharingWriteMix(t *testing.T) {
+	w, err := NewFalseSharing(3, 2, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if w.Next().Op == fsm.OpWrite {
+			writes++
+		}
+	}
+	if frac := float64(writes) / n; frac < 0.45 || frac > 0.55 {
+		t.Errorf("write fraction %f, want ≈0.5", frac)
+	}
+}
+
+func TestFalseSharingRejectsBadParameters(t *testing.T) {
+	if _, err := NewFalseSharing(1, 1, 2, 0.5); err == nil {
+		t.Error("one cache must be rejected")
+	}
+	if _, err := NewFalseSharing(1, 2, 0, 0.5); err == nil {
+		t.Error("zero groups must be rejected")
+	}
+	if _, err := NewFalseSharing(1, 2, 2, 1.5); err == nil {
+		t.Error("pWrite > 1 must be rejected")
+	}
+}
+
+func TestBlockMapperFoldsWords(t *testing.T) {
+	inner, err := NewFixed("words", []Ref{
+		{Cache: 0, Op: fsm.OpRead, Block: 0},
+		{Cache: 1, Op: fsm.OpRead, Block: 3},
+		{Cache: 2, Op: fsm.OpRead, Block: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewBlockMapper(inner, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 1}
+	for i, wb := range want {
+		if got := m.Next().Block; got != wb {
+			t.Errorf("ref %d: block %d, want %d", i, got, wb)
+		}
+	}
+	if m.Name() != "words/wpb=4" {
+		t.Errorf("name = %q", m.Name())
+	}
+	if _, err := NewBlockMapper(inner, 0); err == nil {
+		t.Error("zero words per block must be rejected")
+	}
+}

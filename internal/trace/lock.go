@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fsm"
+)
+
+// CriticalSection drives a lock-based protocol (e.g. protocols.LockMSI):
+// each processor loops acquire → a few reads and writes of the protected
+// block → release. Acquires may spin (the protocol reports them as
+// incomplete); the generator retries the acquire until the machine actually
+// holds the lock, which the caller signals through Acquired.
+//
+// The generator is structured as a per-processor script so that the global
+// reference stream interleaves critical sections from all processors — the
+// pattern that makes mutual exclusion worth verifying.
+type CriticalSection struct {
+	rng      *rand.Rand
+	caches   int
+	blocks   int
+	workLen  int
+	acquire  fsm.Op
+	release  fsm.Op
+	phase    []int // per processor: 0 = acquiring, 1..workLen = in section, workLen+1 = releasing
+	lockOf   []int // block each processor is working on
+	lastProc int
+}
+
+// NewCriticalSection builds the workload. acquireOp/releaseOp are the
+// protocol's lock operations (protocols.OpAcquire / protocols.OpRelease).
+func NewCriticalSection(seed int64, caches, blocks, workLen int, acquireOp, releaseOp fsm.Op) (*CriticalSection, error) {
+	if caches < 2 || blocks < 1 || workLen < 1 {
+		return nil, fmt.Errorf("trace: critical section needs ≥2 caches, ≥1 block, ≥1 work refs")
+	}
+	cs := &CriticalSection{
+		rng:    rand.New(rand.NewSource(seed)),
+		caches: caches, blocks: blocks, workLen: workLen,
+		acquire: acquireOp, release: releaseOp,
+		phase:  make([]int, caches),
+		lockOf: make([]int, caches),
+	}
+	for p := range cs.lockOf {
+		cs.lockOf[p] = cs.rng.Intn(blocks)
+	}
+	return cs, nil
+}
+
+// Name implements Workload.
+func (cs *CriticalSection) Name() string { return "critical-section" }
+
+// Next implements Workload.
+func (cs *CriticalSection) Next() Ref {
+	p := cs.rng.Intn(cs.caches)
+	cs.lastProc = p
+	b := cs.lockOf[p]
+	switch {
+	case cs.phase[p] == 0:
+		return Ref{Cache: p, Op: cs.acquire, Block: b}
+	case cs.phase[p] <= cs.workLen:
+		cs.phase[p]++
+		op := fsm.OpRead
+		if cs.rng.Intn(2) == 0 {
+			op = fsm.OpWrite
+		}
+		return Ref{Cache: p, Op: op, Block: b}
+	default:
+		cs.phase[p] = 0
+		cs.lockOf[p] = cs.rng.Intn(cs.blocks)
+		return Ref{Cache: p, Op: cs.release, Block: b}
+	}
+}
+
+// Acquired tells the generator that the last emitted acquire succeeded (the
+// machine holds the lock), moving the processor into its critical section.
+// Call it after applying an acquire reference that did not spin.
+func (cs *CriticalSection) Acquired() {
+	if cs.phase[cs.lastProc] == 0 {
+		cs.phase[cs.lastProc] = 1
+	}
+}

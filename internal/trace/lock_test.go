@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/fsm"
+)
+
+const (
+	opL fsm.Op = "L"
+	opU fsm.Op = "U"
+)
+
+func TestCriticalSectionLifecycle(t *testing.T) {
+	w, err := NewCriticalSection(3, 2, 1, 2, opL, opU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "critical-section" {
+		t.Error("name wrong")
+	}
+	// Track per-processor protocol: acquire (possibly repeated) → exactly
+	// workLen work refs → release.
+	inSection := map[int]bool{}
+	work := map[int]int{}
+	for i := 0; i < 20000; i++ {
+		r := w.Next()
+		switch r.Op {
+		case opL:
+			if inSection[r.Cache] {
+				t.Fatalf("ref %d: acquire inside a critical section", i)
+			}
+			// Simulate a successful acquire every time (single lock, but
+			// the generator does not know the machine state).
+			w.Acquired()
+			inSection[r.Cache] = true
+			work[r.Cache] = 0
+		case opU:
+			if !inSection[r.Cache] {
+				t.Fatalf("ref %d: release outside a critical section", i)
+			}
+			if work[r.Cache] != 2 {
+				t.Fatalf("ref %d: released after %d work refs, want 2", i, work[r.Cache])
+			}
+			inSection[r.Cache] = false
+		case fsm.OpRead, fsm.OpWrite:
+			if !inSection[r.Cache] {
+				t.Fatalf("ref %d: work outside a critical section", i)
+			}
+			work[r.Cache]++
+		default:
+			t.Fatalf("unexpected op %s", r.Op)
+		}
+	}
+}
+
+func TestCriticalSectionSpinsRepeatAcquire(t *testing.T) {
+	w, err := NewCriticalSection(9, 2, 1, 1, opL, opU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never call Acquired: every reference must remain an acquire attempt.
+	for i := 0; i < 100; i++ {
+		if r := w.Next(); r.Op != opL {
+			t.Fatalf("ref %d: got %s while spinning, want acquire", i, r.Op)
+		}
+	}
+}
+
+func TestCriticalSectionRejectsBadParameters(t *testing.T) {
+	if _, err := NewCriticalSection(1, 1, 1, 1, opL, opU); err == nil {
+		t.Error("one cache must be rejected")
+	}
+	if _, err := NewCriticalSection(1, 2, 0, 1, opL, opU); err == nil {
+		t.Error("zero blocks must be rejected")
+	}
+	if _, err := NewCriticalSection(1, 2, 1, 0, opL, opU); err == nil {
+		t.Error("zero work refs must be rejected")
+	}
+}

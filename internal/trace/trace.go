@@ -1,0 +1,236 @@
+// Package trace generates synthetic memory-reference workloads for the
+// concrete multiprocessor simulator (internal/sim). The paper's evaluation
+// is analytic, but its protocol suite comes from Archibald & Baer's
+// simulation study; these generators provide the canonical sharing patterns
+// of that literature (uniform random access, hot blocks, migratory sharing,
+// producer–consumer) with deterministic seeding so every experiment is
+// reproducible.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fsm"
+)
+
+// Ref is one memory reference: cache (processor) index, operation, block.
+type Ref struct {
+	Cache int
+	Op    fsm.Op
+	Block int
+}
+
+// Workload produces an endless stream of references.
+type Workload interface {
+	// Next returns the next reference.
+	Next() Ref
+	// Name identifies the workload in reports.
+	Name() string
+}
+
+// Uniform issues independent uniformly-random references.
+type Uniform struct {
+	rng    *rand.Rand
+	caches int
+	blocks int
+	// PWrite and PReplace are the probabilities of a write and of an
+	// explicit replacement; the remainder are reads.
+	pWrite   float64
+	pReplace float64
+}
+
+// NewUniform builds a uniform workload. pWrite+pReplace must be ≤ 1.
+func NewUniform(seed int64, caches, blocks int, pWrite, pReplace float64) (*Uniform, error) {
+	if caches < 1 || blocks < 1 {
+		return nil, fmt.Errorf("trace: need at least one cache and one block")
+	}
+	if pWrite < 0 || pReplace < 0 || pWrite+pReplace > 1 {
+		return nil, fmt.Errorf("trace: invalid probabilities pWrite=%v pReplace=%v", pWrite, pReplace)
+	}
+	return &Uniform{
+		rng:    rand.New(rand.NewSource(seed)),
+		caches: caches, blocks: blocks,
+		pWrite: pWrite, pReplace: pReplace,
+	}, nil
+}
+
+// Name implements Workload.
+func (u *Uniform) Name() string { return "uniform" }
+
+// Next implements Workload.
+func (u *Uniform) Next() Ref {
+	r := Ref{Cache: u.rng.Intn(u.caches), Block: u.rng.Intn(u.blocks)}
+	switch x := u.rng.Float64(); {
+	case x < u.pWrite:
+		r.Op = fsm.OpWrite
+	case x < u.pWrite+u.pReplace:
+		r.Op = fsm.OpReplace
+	default:
+		r.Op = fsm.OpRead
+	}
+	return r
+}
+
+// HotBlock concentrates a fraction of the references on a single shared
+// block, the classic contended-lock / shared-counter pattern.
+type HotBlock struct {
+	inner   *Uniform
+	hotFrac float64
+	hot     int
+}
+
+// NewHotBlock builds a hot-block workload: hotFrac of references target
+// block 0.
+func NewHotBlock(seed int64, caches, blocks int, pWrite, hotFrac float64) (*HotBlock, error) {
+	if hotFrac < 0 || hotFrac > 1 {
+		return nil, fmt.Errorf("trace: invalid hotFrac %v", hotFrac)
+	}
+	u, err := NewUniform(seed, caches, blocks, pWrite, 0.02)
+	if err != nil {
+		return nil, err
+	}
+	return &HotBlock{inner: u, hotFrac: hotFrac}, nil
+}
+
+// Name implements Workload.
+func (h *HotBlock) Name() string { return "hot-block" }
+
+// Next implements Workload.
+func (h *HotBlock) Next() Ref {
+	r := h.inner.Next()
+	if h.inner.rng.Float64() < h.hotFrac {
+		r.Block = h.hot
+	}
+	return r
+}
+
+// Migratory models data that migrates between processors: each block is
+// owned by one cache for a burst of read-modify-write pairs, then ownership
+// moves to another cache. This is the access pattern that ownership
+// protocols (Berkeley, Dragon) are designed for.
+type Migratory struct {
+	rng    *rand.Rand
+	caches int
+	blocks int
+	burst  int
+
+	owner   []int // current owner per block
+	left    []int // references left in the current burst per block
+	pending []Ref // queued second half of a read-modify-write
+}
+
+// NewMigratory builds a migratory workload with the given burst length
+// (read-modify-write pairs per ownership period).
+func NewMigratory(seed int64, caches, blocks, burst int) (*Migratory, error) {
+	if caches < 1 || blocks < 1 || burst < 1 {
+		return nil, fmt.Errorf("trace: invalid migratory parameters")
+	}
+	m := &Migratory{
+		rng:    rand.New(rand.NewSource(seed)),
+		caches: caches, blocks: blocks, burst: burst,
+		owner: make([]int, blocks),
+		left:  make([]int, blocks),
+	}
+	for b := range m.owner {
+		m.owner[b] = m.rng.Intn(caches)
+		m.left[b] = burst
+	}
+	return m, nil
+}
+
+// Name implements Workload.
+func (m *Migratory) Name() string { return "migratory" }
+
+// Next implements Workload.
+func (m *Migratory) Next() Ref {
+	if len(m.pending) > 0 {
+		r := m.pending[0]
+		m.pending = m.pending[1:]
+		return r
+	}
+	b := m.rng.Intn(m.blocks)
+	if m.left[b] == 0 {
+		// Ownership migrates.
+		next := m.rng.Intn(m.caches)
+		if m.caches > 1 {
+			for next == m.owner[b] {
+				next = m.rng.Intn(m.caches)
+			}
+		}
+		m.owner[b] = next
+		m.left[b] = m.burst
+	}
+	m.left[b]--
+	owner := m.owner[b]
+	m.pending = append(m.pending, Ref{Cache: owner, Op: fsm.OpWrite, Block: b})
+	return Ref{Cache: owner, Op: fsm.OpRead, Block: b}
+}
+
+// ProducerConsumer models one writer and many readers per block: cache
+// (block mod caches) periodically writes, all others read. This is the
+// pattern where write-broadcast protocols (Firefly, Dragon) excel and
+// write-invalidate protocols ping-pong.
+type ProducerConsumer struct {
+	rng    *rand.Rand
+	caches int
+	blocks int
+	// readsPerWrite is the expected number of consumer reads between
+	// producer writes.
+	readsPerWrite int
+}
+
+// NewProducerConsumer builds a producer–consumer workload.
+func NewProducerConsumer(seed int64, caches, blocks, readsPerWrite int) (*ProducerConsumer, error) {
+	if caches < 2 || blocks < 1 || readsPerWrite < 1 {
+		return nil, fmt.Errorf("trace: producer-consumer needs ≥2 caches, ≥1 block, ≥1 reads/write")
+	}
+	return &ProducerConsumer{
+		rng:    rand.New(rand.NewSource(seed)),
+		caches: caches, blocks: blocks, readsPerWrite: readsPerWrite,
+	}, nil
+}
+
+// Name implements Workload.
+func (pc *ProducerConsumer) Name() string { return "producer-consumer" }
+
+// Next implements Workload.
+func (pc *ProducerConsumer) Next() Ref {
+	b := pc.rng.Intn(pc.blocks)
+	producer := b % pc.caches
+	if pc.rng.Intn(pc.readsPerWrite+1) == 0 {
+		return Ref{Cache: producer, Op: fsm.OpWrite, Block: b}
+	}
+	consumer := pc.rng.Intn(pc.caches)
+	if pc.caches > 1 {
+		for consumer == producer {
+			consumer = pc.rng.Intn(pc.caches)
+		}
+	}
+	return Ref{Cache: consumer, Op: fsm.OpRead, Block: b}
+}
+
+// Fixed replays a fixed sequence of references, cycling; useful in tests.
+type Fixed struct {
+	refs []Ref
+	pos  int
+	name string
+}
+
+// NewFixed builds a cyclic fixed workload.
+func NewFixed(name string, refs []Ref) (*Fixed, error) {
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("trace: fixed workload needs at least one reference")
+	}
+	return &Fixed{refs: refs, name: name}, nil
+}
+
+// Name implements Workload.
+func (f *Fixed) Name() string { return f.name }
+
+// Next implements Workload.
+func (f *Fixed) Next() Ref {
+	r := f.refs[f.pos%len(f.refs)]
+	f.pos++
+	return r
+}

@@ -1,0 +1,221 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/fsm"
+)
+
+func TestUniformDeterministicWithSeed(t *testing.T) {
+	a, err := NewUniform(42, 4, 8, 0.3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewUniform(42, 4, 8, 0.3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same seed diverged at reference %d", i)
+		}
+	}
+	c, err := NewUniform(43, 4, 8, 0.3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < 100; i++ {
+		if a.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestUniformRespectsRanges(t *testing.T) {
+	w, err := NewUniform(7, 3, 5, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		r := w.Next()
+		if r.Cache < 0 || r.Cache >= 3 {
+			t.Fatalf("cache %d out of range", r.Cache)
+		}
+		if r.Block < 0 || r.Block >= 5 {
+			t.Fatalf("block %d out of range", r.Block)
+		}
+		if r.Op != fsm.OpRead && r.Op != fsm.OpWrite && r.Op != fsm.OpReplace {
+			t.Fatalf("unexpected op %s", r.Op)
+		}
+	}
+}
+
+func TestUniformOperationMix(t *testing.T) {
+	w, err := NewUniform(1, 4, 8, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100000
+	counts := map[fsm.Op]int{}
+	for i := 0; i < n; i++ {
+		counts[w.Next().Op]++
+	}
+	frac := func(op fsm.Op) float64 { return float64(counts[op]) / n }
+	if f := frac(fsm.OpWrite); f < 0.27 || f > 0.33 {
+		t.Errorf("write fraction %f, want ≈0.3", f)
+	}
+	if f := frac(fsm.OpReplace); f < 0.08 || f > 0.12 {
+		t.Errorf("replace fraction %f, want ≈0.1", f)
+	}
+}
+
+func TestUniformRejectsBadParameters(t *testing.T) {
+	if _, err := NewUniform(1, 0, 8, 0.3, 0.1); err == nil {
+		t.Error("zero caches must be rejected")
+	}
+	if _, err := NewUniform(1, 4, 0, 0.3, 0.1); err == nil {
+		t.Error("zero blocks must be rejected")
+	}
+	if _, err := NewUniform(1, 4, 8, 0.8, 0.5); err == nil {
+		t.Error("probabilities summing over 1 must be rejected")
+	}
+	if _, err := NewUniform(1, 4, 8, -0.1, 0); err == nil {
+		t.Error("negative probability must be rejected")
+	}
+}
+
+func TestHotBlockConcentration(t *testing.T) {
+	w, err := NewHotBlock(5, 4, 16, 0.3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	hot := 0
+	for i := 0; i < n; i++ {
+		if w.Next().Block == 0 {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	// 50% forced plus ~1/16 of the remaining background traffic.
+	if frac < 0.45 || frac > 0.62 {
+		t.Errorf("hot-block fraction %f, want ≈0.53", frac)
+	}
+	if w.Name() != "hot-block" {
+		t.Error("name wrong")
+	}
+	if _, err := NewHotBlock(1, 4, 8, 0.3, 1.5); err == nil {
+		t.Error("hotFrac > 1 must be rejected")
+	}
+}
+
+func TestMigratoryReadModifyWritePairs(t *testing.T) {
+	w, err := NewMigratory(9, 4, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		r1 := w.Next()
+		if r1.Op != fsm.OpRead {
+			t.Fatalf("reference %d: migratory must issue R then W, got %s first", i, r1.Op)
+		}
+		r2 := w.Next()
+		if r2.Op != fsm.OpWrite || r2.Cache != r1.Cache || r2.Block != r1.Block {
+			t.Fatalf("reference %d: W half mismatched: %+v then %+v", i, r1, r2)
+		}
+	}
+}
+
+func TestMigratoryOwnershipMigrates(t *testing.T) {
+	w, err := NewMigratory(3, 4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		owners[w.Next().Cache] = true
+	}
+	if len(owners) < 2 {
+		t.Fatalf("ownership never migrated: %v", owners)
+	}
+	if _, err := NewMigratory(1, 0, 1, 1); err == nil {
+		t.Error("bad parameters must be rejected")
+	}
+}
+
+func TestProducerConsumerRoles(t *testing.T) {
+	w, err := NewProducerConsumer(11, 4, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		r := w.Next()
+		producer := r.Block % 4
+		if r.Op == fsm.OpWrite && r.Cache != producer {
+			t.Fatalf("block %d written by non-producer cache %d", r.Block, r.Cache)
+		}
+		if r.Op == fsm.OpRead && r.Cache == producer {
+			t.Fatalf("block %d read by its producer", r.Block)
+		}
+	}
+	if _, err := NewProducerConsumer(1, 1, 4, 3); err == nil {
+		t.Error("single-cache producer-consumer must be rejected")
+	}
+}
+
+func TestProducerConsumerHasBothOps(t *testing.T) {
+	w, err := NewProducerConsumer(2, 3, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, writes := 0, 0
+	for i := 0; i < 10000; i++ {
+		switch w.Next().Op {
+		case fsm.OpRead:
+			reads++
+		case fsm.OpWrite:
+			writes++
+		}
+	}
+	if reads == 0 || writes == 0 {
+		t.Fatalf("reads=%d writes=%d: both must occur", reads, writes)
+	}
+	if writes > reads {
+		t.Fatalf("reads should dominate with readsPerWrite=4: %d vs %d", reads, writes)
+	}
+}
+
+func TestFixedCyclesDeterministically(t *testing.T) {
+	refs := []Ref{
+		{Cache: 0, Op: fsm.OpRead, Block: 0},
+		{Cache: 1, Op: fsm.OpWrite, Block: 0},
+	}
+	w, err := NewFixed("pingpong", refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "pingpong" {
+		t.Error("name wrong")
+	}
+	for i := 0; i < 10; i++ {
+		if got := w.Next(); got != refs[i%2] {
+			t.Fatalf("cycle broken at %d: %+v", i, got)
+		}
+	}
+	if _, err := NewFixed("empty", nil); err == nil {
+		t.Error("empty fixed workload must be rejected")
+	}
+}
+
+func TestWorkloadNames(t *testing.T) {
+	u, _ := NewUniform(1, 2, 2, 0.1, 0)
+	m, _ := NewMigratory(1, 2, 2, 1)
+	pc, _ := NewProducerConsumer(1, 2, 2, 1)
+	if u.Name() != "uniform" || m.Name() != "migratory" || pc.Name() != "producer-consumer" {
+		t.Error("workload names wrong")
+	}
+}

@@ -1,0 +1,87 @@
+// Package repro is a Go reproduction of Pong & Dubois, "The Verification of
+// Cache Coherence Protocols" (SPAA 1993): a symbolic state-space verifier
+// for snooping cache coherence protocols.
+//
+// Protocols are specified as finite state machines over per-cache block
+// states (Invalid, Shared, Dirty, ...). Instead of enumerating the global
+// state space for a fixed number of caches, the verifier groups symmetric
+// caches into classes annotated with repetition operators (1, +, *) and
+// expands COMPOSITE states, so one run verifies the protocol for an
+// arbitrary number of caches. Verification reports the protocol's essential
+// states (its global transition diagram) and proves, or refutes with a
+// witness path, that no reachable state violates data consistency or cache
+// state compatibility.
+//
+// The package is a thin facade over the implementation packages:
+//
+//   - internal/fsm        protocol model (states, rules, data effects)
+//   - internal/symbolic   composite states and the expansion algorithm
+//   - internal/enum       explicit-state enumeration baselines
+//   - internal/protocols  Illinois, Write-Once, Synapse, Berkeley, Firefly,
+//     Dragon, MSI
+//   - internal/graph      global and per-cache transition diagrams (DOT)
+//   - internal/core       verification pipeline and reports
+//   - internal/sim        concrete multiprocessor simulator
+//   - internal/trace      workload generators
+//   - internal/ccpsl      protocol specification language
+//   - internal/mutate     fault injection
+//
+// Quick start:
+//
+//	p, _ := repro.ProtocolByName("illinois")
+//	rep, err := repro.Verify(p, repro.VerifyOptions{BuildGraph: true})
+//	if err != nil { ... }
+//	fmt.Print(rep.Summary())   // five essential states, Figure 4 of the paper
+package repro
+
+import (
+	"repro/internal/ccpsl"
+	"repro/internal/core"
+	"repro/internal/fsm"
+	"repro/internal/mutate"
+	"repro/internal/protocols"
+)
+
+// Protocol is a behavioral cache-coherence protocol definition.
+type Protocol = fsm.Protocol
+
+// VerifyOptions configure a verification run.
+type VerifyOptions = core.Options
+
+// Report is the outcome of a verification run: essential states, the global
+// transition diagram, violations with witness paths, and cross-check
+// results.
+type Report = core.Report
+
+// Mutant is a protocol with one injected design fault.
+type Mutant = mutate.Mutant
+
+// Verify runs the symbolic verification pipeline on a protocol.
+func Verify(p *Protocol, opts VerifyOptions) (*Report, error) {
+	return core.Verify(p, opts)
+}
+
+// ProtocolByName returns a built-in protocol ("illinois", "write-once",
+// "synapse", "berkeley", "firefly", "dragon", "msi"); lookup is
+// case-insensitive.
+func ProtocolByName(name string) (*Protocol, error) {
+	return protocols.ByName(name)
+}
+
+// ProtocolNames lists the built-in protocol names.
+func ProtocolNames() []string { return protocols.Names() }
+
+// Protocols returns fresh instances of all built-in protocols.
+func Protocols() []*Protocol { return protocols.All() }
+
+// ParseSpec compiles a ccpsl protocol specification (see internal/ccpsl for
+// the grammar) into a validated protocol.
+func ParseSpec(src string) (*Protocol, error) { return ccpsl.Parse(src) }
+
+// FormatSpec renders a protocol as a ccpsl specification; it round-trips
+// with ParseSpec.
+func FormatSpec(p *Protocol) string { return ccpsl.Format(p) }
+
+// Mutants returns fault-injected variants of p, each breaking exactly one
+// rule. Verifying them demonstrates erroneous-state detection.
+func Mutants(p *Protocol) []Mutant { return mutate.Catalog(p) }

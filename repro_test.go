@@ -1,0 +1,77 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeProtocolNames(t *testing.T) {
+	names := ProtocolNames()
+	if len(names) != 12 {
+		t.Fatalf("want 12 protocols, got %v", names)
+	}
+	if len(Protocols()) != 12 {
+		t.Fatal("Protocols() incomplete")
+	}
+}
+
+func TestFacadeVerifyIllinois(t *testing.T) {
+	p, err := ProtocolByName("illinois")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Verify(p, VerifyOptions{BuildGraph: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatal("Illinois must verify clean")
+	}
+	if len(rep.Symbolic.Essential) != 5 {
+		t.Fatalf("essential states = %d, want 5", len(rep.Symbolic.Essential))
+	}
+	if !strings.Contains(rep.Summary(), "PERMISSIBLE") {
+		t.Error("summary lacks the verdict")
+	}
+}
+
+func TestFacadeUnknownProtocol(t *testing.T) {
+	if _, err := ProtocolByName("does-not-exist"); err == nil {
+		t.Fatal("unknown protocol must error")
+	}
+}
+
+func TestFacadeSpecRoundTrip(t *testing.T) {
+	p, err := ProtocolByName("dragon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := FormatSpec(p)
+	q, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	if q.Name != p.Name || len(q.Rules) != len(p.Rules) {
+		t.Fatal("round trip lost content")
+	}
+}
+
+func TestFacadeMutantsDetected(t *testing.T) {
+	p, err := ProtocolByName("msi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts := Mutants(p)
+	if len(muts) == 0 {
+		t.Fatal("no mutants")
+	}
+	for _, m := range muts {
+		rep, err := Verify(m.Protocol, VerifyOptions{Strict: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Symbolic.OK() {
+			t.Errorf("mutant %s escaped", m.Protocol.Name)
+		}
+	}
+}
