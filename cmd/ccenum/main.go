@@ -3,80 +3,184 @@
 // (strict tuple equivalence) and the counting-equivalence variant of
 // Definition 5.
 //
+// Long enumerations are resilient: the run stops cleanly on SIGINT/SIGTERM
+// or when -timeout expires, optionally writing a resumable checkpoint, and
+// -resume continues an interrupted run to the exact state counts an
+// uninterrupted run would have produced.
+//
 // Usage:
 //
 //	ccenum -protocol illinois -n 4 [-mode strict|counting|both] [-strict]
+//	       [-workers k] [-timeout 30s] [-checkpoint run.ckpt]
+//	ccenum -resume run.ckpt [-workers k] [-timeout 30s] [-checkpoint run.ckpt]
+//
+// Exit codes: 0 verified clean, 1 usage or internal error, 2 violations
+// found, 3 stopped early (timeout, signal or budget).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/enum"
-	"repro/internal/fsm"
 	"repro/internal/protocols"
 	"repro/internal/report"
 )
 
+// cliOpts carries everything below the protocol/n pair; the run function
+// takes it whole so tests can drive exact configurations.
+type cliOpts struct {
+	mode       string
+	strict     bool
+	max        int
+	workers    int
+	checkpoint string // path to save a checkpoint to when the run stops
+	resume     string // path to load a checkpoint from
+}
+
 func main() {
 	var (
-		protoName = flag.String("protocol", "illinois", "built-in protocol name")
-		n         = flag.Int("n", 4, "number of caches")
-		mode      = flag.String("mode", "both", "strict, counting, or both")
-		strict    = flag.Bool("strict", false, "enable the clean-state/memory extension check")
-		max       = flag.Int("max", 0, "state cap (0: default)")
+		protoName  = flag.String("protocol", "illinois", "built-in protocol name")
+		n          = flag.Int("n", 4, "number of caches")
+		mode       = flag.String("mode", "both", "strict, counting, or both")
+		strict     = flag.Bool("strict", false, "enable the clean-state/memory extension check")
+		max        = flag.Int("max", 0, "state cap (0: default)")
+		workers    = flag.Int("workers", 1, "parallel BFS workers (1: sequential, 0: GOMAXPROCS)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0: none)")
+		checkpoint = flag.String("checkpoint", "", "write a resumable checkpoint here when the run is stopped")
+		resume     = flag.String("resume", "", "resume an interrupted run from this checkpoint file")
 	)
 	flag.Parse()
 
-	if err := run(*protoName, *n, *mode, *strict, *max); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	code, err := run(ctx, *protoName, *n, cliOpts{
+		mode: *mode, strict: *strict, max: *max, workers: *workers,
+		checkpoint: *checkpoint, resume: *resume,
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccenum:", err)
 		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-func run(protoName string, n int, mode string, strict bool, max int) error {
-	p, err := protocols.ByName(protoName)
-	if err != nil {
-		return err
+// run executes the requested enumerations and returns the process exit code
+// (0 clean, 2 violations, 3 stopped early).
+func run(ctx context.Context, protoName string, n int, o cliOpts) (int, error) {
+	opts := enum.Options{
+		Strict:           o.strict,
+		MaxStates:        o.max,
+		CheckpointOnStop: o.checkpoint != "",
 	}
-	opts := enum.Options{Strict: strict, MaxStates: max}
 
-	type runner struct {
+	type outcome struct {
 		name string
-		f    func(*fsm.Protocol, int, enum.Options) (*enum.Result, error)
+		res  *enum.Result
 	}
-	var runners []runner
-	switch mode {
-	case "strict":
-		runners = []runner{{"strict (Figure 2)", enum.Exhaustive}}
-	case "counting":
-		runners = []runner{{"counting (Definition 5)", enum.Counting}}
-	case "both":
-		runners = []runner{
-			{"strict (Figure 2)", enum.Exhaustive},
-			{"counting (Definition 5)", enum.Counting},
+	var outcomes []outcome
+
+	if o.resume != "" {
+		cp, err := enum.LoadCheckpoint(o.resume)
+		if err != nil {
+			return 0, err
 		}
-	default:
-		return fmt.Errorf("invalid -mode %q", mode)
+		p, err := protocols.ByName(cp.Protocol)
+		if err != nil {
+			return 0, err
+		}
+		n = cp.N
+		var res *enum.Result
+		if o.workers == 1 {
+			res, err = enum.ResumeContext(ctx, p, cp, opts)
+		} else {
+			res, err = enum.ResumeParallelContext(ctx, p, cp, opts, o.workers)
+		}
+		if err != nil {
+			return 0, err
+		}
+		outcomes = append(outcomes, outcome{"resumed " + cp.Mode, res})
+		protoName = cp.Protocol
+	} else {
+		p, err := protocols.ByName(protoName)
+		if err != nil {
+			return 0, err
+		}
+		type runner struct {
+			name string
+			mode string
+		}
+		var runners []runner
+		switch o.mode {
+		case "strict":
+			runners = []runner{{"strict (Figure 2)", enum.ModeStrict}}
+		case "counting":
+			runners = []runner{{"counting (Definition 5)", enum.ModeCounting}}
+		case "both":
+			runners = []runner{
+				{"strict (Figure 2)", enum.ModeStrict},
+				{"counting (Definition 5)", enum.ModeCounting},
+			}
+		default:
+			return 0, fmt.Errorf("invalid -mode %q", o.mode)
+		}
+		if o.checkpoint != "" && len(runners) > 1 {
+			return 0, fmt.Errorf("-checkpoint needs a single -mode (strict or counting), not %q", o.mode)
+		}
+		for _, r := range runners {
+			var res *enum.Result
+			switch {
+			case o.workers == 1 && r.mode == enum.ModeStrict:
+				res, err = enum.ExhaustiveContext(ctx, p, n, opts)
+			case o.workers == 1:
+				res, err = enum.CountingContext(ctx, p, n, opts)
+			case r.mode == enum.ModeStrict:
+				res, err = enum.ExhaustiveParallelContext(ctx, p, n, opts, o.workers)
+			default:
+				res, err = enum.CountingParallelContext(ctx, p, n, opts, o.workers)
+			}
+			if err != nil {
+				return 0, err
+			}
+			outcomes = append(outcomes, outcome{r.name, res})
+		}
 	}
 
 	t := report.NewTable("equivalence", "distinct states", "state tuples", "visits", "violations", "truncated")
-	bad := false
-	for _, r := range runners {
-		res, err := r.f(p, n, opts)
-		if err != nil {
-			return err
-		}
-		t.AddRow(r.name, res.Unique, res.TupleStates, res.Visits, len(res.Violations), res.Truncated)
+	code := 0
+	for _, oc := range outcomes {
+		res := oc.res
+		t.AddRow(oc.name, res.Unique, res.TupleStates, res.Visits, len(res.Violations), res.Truncated)
 		for _, v := range res.Violations {
 			fmt.Fprintf(os.Stderr, "erroneous state %s: %s\n", v.Config, v.Violations[0].Error())
-			bad = true
+			code = 2
+		}
+		for _, we := range res.WorkerErrors {
+			fmt.Fprintf(os.Stderr, "recovered worker panic (results unaffected): %v\n", we)
+		}
+		if res.Truncated {
+			fmt.Fprintf(os.Stderr, "ccenum: %s stopped early: %v\n", oc.name, res.StopReason)
+			if o.checkpoint != "" && res.Checkpoint != nil {
+				if err := enum.SaveCheckpoint(o.checkpoint, res.Checkpoint); err != nil {
+					return 0, fmt.Errorf("saving checkpoint: %w", err)
+				}
+				fmt.Fprintf(os.Stderr, "ccenum: checkpoint written to %s (resume with -resume %s)\n", o.checkpoint, o.checkpoint)
+			}
+			if code == 0 {
+				code = 3
+			}
 		}
 	}
-	fmt.Printf("protocol %s, n=%d caches\n%s", p.Name, n, t.String())
-	if bad {
-		os.Exit(2)
-	}
-	return nil
+	fmt.Printf("protocol %s, n=%d caches\n%s", protoName, n, t.String())
+	return code, nil
 }

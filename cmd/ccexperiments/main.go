@@ -7,12 +7,22 @@
 //	ccexperiments -exp fig4       # one experiment:
 //	                              # fig1 fig4 fig4table a2 complexity suite
 //	                              # mutants workloads
+//	ccexperiments -timeout 2m     # stop cleanly at the next experiment boundary
+//
+// The sweep stops cleanly on SIGINT/SIGTERM or when -timeout expires: the
+// current experiment finishes, remaining ones are skipped, and the process
+// exits with code 3.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/runctl"
 )
 
 var allExperiments = []struct {
@@ -33,13 +43,28 @@ var allExperiments = []struct {
 }
 
 func main() {
-	var exp = flag.String("exp", "all", "experiment to run (all, fig1, fig4, fig4table, a2, complexity, suite, mutants, workloads)")
+	var (
+		exp     = flag.String("exp", "all", "experiment to run (all, fig1, fig4, fig4table, a2, complexity, suite, mutants, workloads)")
+		timeout = flag.Duration("timeout", 0, "wall-clock limit for the sweep, checked between experiments (0: none)")
+	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	ran := false
 	for _, e := range allExperiments {
 		if *exp != "all" && *exp != e.name {
 			continue
+		}
+		if err := runctl.FromContext(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "ccexperiments: stopped before %s: %v\n", e.name, err)
+			os.Exit(3)
 		}
 		ran = true
 		if err := e.run(); err != nil {

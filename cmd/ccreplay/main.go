@@ -12,20 +12,27 @@
 // the per-cache states and data freshness, the memory state, and any
 // invariant violations — so a buggy design's first incoherent step is
 // immediately visible.
+//
+// Sessions end cleanly on SIGINT/SIGTERM or when -timeout expires (exit
+// code 3); scripted replays that run to completion exit 0.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/enum"
 	"repro/internal/fsm"
 	"repro/internal/protocols"
+	"repro/internal/runctl"
 )
 
 func main() {
@@ -33,14 +40,27 @@ func main() {
 		protoName = flag.String("protocol", "illinois", "built-in protocol name ("+strings.Join(protocols.Names(), ", ")+")")
 		n         = flag.Int("n", 3, "number of caches")
 		script    = flag.String("script", "", "space-separated references, e.g. \"0R 1W 0Z\"; empty reads stdin")
+		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the whole session (0: none)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var in io.Reader = os.Stdin
 	if *script != "" {
 		in = strings.NewReader(strings.ReplaceAll(*script, " ", "\n"))
 	}
-	if err := run(os.Stdout, in, *protoName, *n, *script == ""); err != nil {
+	if err := run(ctx, os.Stdout, in, *protoName, *n, *script == ""); err != nil {
+		if runctl.IsStop(err) {
+			fmt.Fprintln(os.Stderr, "ccreplay: stopped early:", err)
+			os.Exit(3)
+		}
 		fmt.Fprintln(os.Stderr, "ccreplay:", err)
 		os.Exit(1)
 	}
@@ -86,7 +106,7 @@ func render(w io.Writer, p *fsm.Protocol, c *fsm.Config) {
 	fmt.Fprintf(w, "  memory:  %s (latest store: v%d)\n", freshness(c.MemVersion, c.Latest), c.Latest)
 }
 
-func run(w io.Writer, in io.Reader, protoName string, n int, interactive bool) error {
+func run(ctx context.Context, w io.Writer, in io.Reader, protoName string, n int, interactive bool) error {
 	p, err := protocols.ByName(protoName)
 	if err != nil {
 		return err
@@ -104,6 +124,9 @@ func run(w io.Writer, in io.Reader, protoName string, n int, interactive bool) e
 	sc := bufio.NewScanner(in)
 	step := 0
 	for sc.Scan() {
+		if err := runctl.FromContext(ctx); err != nil {
+			return fmt.Errorf("replay stopped before step %d: %w", step+1, err)
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue

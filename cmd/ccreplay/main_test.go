@@ -1,10 +1,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
 	"repro/internal/fsm"
+	"repro/internal/runctl"
 )
 
 func TestParseRef(t *testing.T) {
@@ -40,7 +43,7 @@ func TestParseRef(t *testing.T) {
 func TestRunScript(t *testing.T) {
 	var out strings.Builder
 	in := strings.NewReader("0R\n1R\n1W\n0R\nq\n")
-	if err := run(&out, in, "illinois", 3, false); err != nil {
+	if err := run(context.Background(), &out, in, "illinois", 3, false); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -71,7 +74,7 @@ func TestRunScript(t *testing.T) {
 
 func TestRunNoOpReplacement(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, strings.NewReader("0Z\n"), "msi", 2, false); err != nil {
+	if err := run(context.Background(), &out, strings.NewReader("0Z\n"), "msi", 2, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "no-op") {
@@ -81,13 +84,13 @@ func TestRunNoOpReplacement(t *testing.T) {
 
 func TestRunScriptErrors(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, strings.NewReader("9R\n"), "illinois", 2, false); err == nil {
+	if err := run(context.Background(), &out, strings.NewReader("9R\n"), "illinois", 2, false); err == nil {
 		t.Error("out-of-range reference must fail in script mode")
 	}
-	if err := run(&out, strings.NewReader(""), "nonexistent", 2, false); err == nil {
+	if err := run(context.Background(), &out, strings.NewReader(""), "nonexistent", 2, false); err == nil {
 		t.Error("unknown protocol must fail")
 	}
-	if err := run(&out, strings.NewReader(""), "illinois", 0, false); err == nil {
+	if err := run(context.Background(), &out, strings.NewReader(""), "illinois", 0, false); err == nil {
 		t.Error("zero caches must fail")
 	}
 }
@@ -95,10 +98,25 @@ func TestRunScriptErrors(t *testing.T) {
 func TestRunInteractiveToleratesBadInput(t *testing.T) {
 	var out strings.Builder
 	in := strings.NewReader("bogus\n0R\nquit\n")
-	if err := run(&out, in, "illinois", 2, true); err != nil {
+	if err := run(context.Background(), &out, in, "illinois", 2, true); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "rule read-miss-from-memory") {
 		t.Error("interactive mode must continue after a bad token")
+	}
+}
+
+// TestRunCanceledStops checks that a canceled context ends the replay with
+// a structured stop error before the next reference is applied.
+func TestRunCanceledStops(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out strings.Builder
+	err := run(ctx, &out, strings.NewReader("0R\n1W\n"), "illinois", 2, false)
+	if !errors.Is(err, runctl.ErrCanceled) {
+		t.Fatalf("err = %v, want runctl.ErrCanceled", err)
+	}
+	if strings.Contains(out.String(), "step 1") {
+		t.Error("no step must execute under a pre-canceled context")
 	}
 }

@@ -3,22 +3,33 @@
 // checking, plus an abstraction cross-check against the symbolic essential
 // states (the executable Theorem 1).
 //
+// Long runs stop cleanly on SIGINT/SIGTERM or when -timeout expires,
+// reporting a structured stop reason.
+//
 // Usage:
 //
 //	ccsim -protocol illinois -caches 8 -blocks 32 -workload migratory -ops 1000000
 //	ccsim -protocol dragon -crosscheck 2,3,4
+//	ccsim -protocol firefly -ops 100000000 -timeout 1m
+//
+// Exit codes: 0 coherent, 1 usage or internal error, 2 violations found,
+// 3 stopped early (timeout or signal).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/protocols"
 	"repro/internal/report"
+	"repro/internal/runctl"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -34,19 +45,32 @@ func main() {
 		seed       = flag.Int64("seed", 1993, "workload RNG seed")
 		pwrite     = flag.Float64("pwrite", 0.3, "write probability (uniform/hot-block)")
 		crossCheck = flag.String("crosscheck", "", "comma-separated cache counts for symbolic cross-validation")
+		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0: none)")
 	)
 	flag.Parse()
 
-	if err := run(*protoName, *caches, *blocks, *capacity, *workload, *ops, *seed, *pwrite, *crossCheck); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	code, err := run(ctx, *protoName, *caches, *blocks, *capacity, *workload, *ops, *seed, *pwrite, *crossCheck)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccsim:", err)
 		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-func run(protoName string, caches, blocks, capacity int, workload string, ops int, seed int64, pwrite float64, crossCheck string) error {
+// run executes the simulation (or cross-check) and returns the process exit
+// code (0 clean, 2 violations, 3 stopped early).
+func run(ctx context.Context, protoName string, caches, blocks, capacity int, workload string, ops int, seed int64, pwrite float64, crossCheck string) (int, error) {
 	p, err := protocols.ByName(protoName)
 	if err != nil {
-		return err
+		return 0, err
 	}
 
 	if crossCheck != "" {
@@ -54,19 +78,23 @@ func run(protoName string, caches, blocks, capacity int, workload string, ops in
 		for _, part := range strings.Split(crossCheck, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || n < 1 {
-				return fmt.Errorf("invalid -crosscheck entry %q", part)
+				return 0, fmt.Errorf("invalid -crosscheck entry %q", part)
 			}
 			ns = append(ns, n)
 		}
-		rep, err := core.Verify(p, core.Options{CrossCheckN: ns})
-		if err != nil {
-			return err
+		rep, err := core.VerifyContext(ctx, p, core.Options{CrossCheckN: ns})
+		if err != nil && !runctl.IsStop(err) {
+			return 0, err
 		}
 		fmt.Print(rep.Summary())
-		if !rep.OK() {
-			os.Exit(2)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccsim: stopped early: %v\n", err)
+			return 3, nil
 		}
-		return nil
+		if !rep.OK() {
+			return 2, nil
+		}
+		return 0, nil
 	}
 
 	var w trace.Workload
@@ -80,19 +108,20 @@ func run(protoName string, caches, blocks, capacity int, workload string, ops in
 	case "producer-consumer":
 		w, err = trace.NewProducerConsumer(seed, caches, blocks, 4)
 	default:
-		return fmt.Errorf("unknown workload %q", workload)
+		return 0, fmt.Errorf("unknown workload %q", workload)
 	}
 	if err != nil {
-		return err
+		return 0, err
 	}
 
 	m, err := sim.New(sim.Config{Protocol: p, Caches: caches, Blocks: blocks, Capacity: capacity})
 	if err != nil {
-		return err
+		return 0, err
 	}
-	st, err := m.Run(w, ops)
-	if err != nil {
-		return err
+	st, err := m.RunContext(ctx, w, ops)
+	stopped := err != nil && runctl.IsStop(err)
+	if err != nil && !stopped {
+		return 0, err
 	}
 
 	fmt.Printf("protocol %s, %d caches, %d blocks (capacity %d), workload %s, %d references\n\n",
@@ -117,11 +146,15 @@ func run(protoName string, caches, blocks, capacity int, workload string, ops in
 		for _, x := range v {
 			fmt.Println("  -", x.Error())
 		}
-		os.Exit(2)
+		return 2, nil
 	}
 	if st.StaleReads > 0 {
-		os.Exit(2)
+		return 2, nil
+	}
+	if stopped {
+		fmt.Fprintf(os.Stderr, "ccsim: stopped early: %v\n", err)
+		return 3, nil
 	}
 	fmt.Println("\ncoherent: no stale read observed, final state permissible")
-	return nil
+	return 0, nil
 }

@@ -5,18 +5,29 @@
 //
 //	ccverify -protocol illinois [-strict] [-log] [-dot out.dot] [-crosscheck 2,3,4]
 //	ccverify -spec myprotocol.ccpsl [-local-dot out.dot]
+//	ccverify -protocol illinois -timeout 30s -checkpoint run.ckpt
+//	ccverify -protocol illinois -resume run.ckpt
 //
 // It prints the protocol's essential states with their context variables,
 // the verdict (permissible or erroneous, with witness paths), and optionally
 // the expansion log and the global transition diagram in Graphviz DOT form.
+// Runs stop cleanly on SIGINT/SIGTERM or when -timeout expires, reporting a
+// structured stop reason; -checkpoint preserves the interrupted symbolic
+// expansion and -resume continues it.
+//
+// Exit codes: 0 verified clean, 1 usage or internal error, 2 violations
+// found, 3 stopped early (timeout, signal or budget).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/ccpsl"
 	"repro/internal/core"
@@ -24,7 +35,22 @@ import (
 	"repro/internal/graph"
 	"repro/internal/protocols"
 	"repro/internal/report"
+	"repro/internal/runctl"
+	"repro/internal/symbolic"
 )
+
+// cliOpts carries the output and resilience flags; run takes it whole so
+// tests can drive exact configurations.
+type cliOpts struct {
+	strict     bool
+	showLog    bool
+	dotFile    string
+	localDot   string
+	crossCheck string
+	jsonFile   string
+	checkpoint string // path to save a checkpoint to when the run stops
+	resume     string // path to load a checkpoint from
+}
 
 func main() {
 	var (
@@ -37,6 +63,9 @@ func main() {
 		crossCheck = flag.String("crosscheck", "", "comma-separated cache counts for explicit-state cross-validation, e.g. 2,3,4")
 		compare    = flag.String("compare", "", "compare the global diagrams of two protocols, e.g. illinois,firefly")
 		jsonFile   = flag.String("json", "", "write the machine-readable report to this JSON file")
+		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0: none)")
+		checkpoint = flag.String("checkpoint", "", "write a resumable checkpoint here when the run is stopped")
+		resume     = flag.String("resume", "", "resume an interrupted symbolic expansion from this checkpoint file")
 	)
 	flag.Parse()
 
@@ -47,10 +76,25 @@ func main() {
 		}
 		return
 	}
-	if err := run(*protoName, *specFile, *strict, *showLog, *dotFile, *localDot, *crossCheck, *jsonFile); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	code, err := run(ctx, *protoName, *specFile, cliOpts{
+		strict: *strict, showLog: *showLog, dotFile: *dotFile, localDot: *localDot,
+		crossCheck: *crossCheck, jsonFile: *jsonFile,
+		checkpoint: *checkpoint, resume: *resume,
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccverify:", err)
 		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
 // runCompare builds both global diagrams and prints the paper-motivated
@@ -80,32 +124,53 @@ func runCompare(pair string) error {
 	return nil
 }
 
-func run(protoName, specFile string, strict, showLog bool, dotFile, localDot, crossCheck, jsonFile string) error {
+// run executes the verification and returns the process exit code (0 clean,
+// 2 violations, 3 stopped early).
+func run(ctx context.Context, protoName, specFile string, o cliOpts) (int, error) {
 	p, err := loadProtocol(protoName, specFile)
 	if err != nil {
-		return err
+		return 0, err
 	}
 
 	opts := core.Options{
-		Strict:     strict,
-		RecordLog:  showLog,
-		BuildGraph: true,
+		Strict:           o.strict,
+		RecordLog:        o.showLog,
+		BuildGraph:       true,
+		CheckpointOnStop: o.checkpoint != "",
 	}
-	if crossCheck != "" {
-		for _, part := range strings.Split(crossCheck, ",") {
+	if o.crossCheck != "" {
+		for _, part := range strings.Split(o.crossCheck, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || n < 1 {
-				return fmt.Errorf("invalid -crosscheck entry %q", part)
+				return 0, fmt.Errorf("invalid -crosscheck entry %q", part)
 			}
 			opts.CrossCheckN = append(opts.CrossCheckN, n)
 		}
 	}
-
-	rep, err := core.Verify(p, opts)
-	if err != nil {
-		return err
+	if o.resume != "" {
+		cp, err := symbolic.LoadCheckpoint(o.resume)
+		if err != nil {
+			return 0, err
+		}
+		opts.Resume = cp
 	}
+
+	rep, err := core.VerifyContext(ctx, p, opts)
+	if err != nil && !runctl.IsStop(err) {
+		return 0, err
+	}
+	stopped := err != nil
 	fmt.Print(rep.Summary())
+	if stopped {
+		fmt.Fprintf(os.Stderr, "ccverify: stopped early: %v\n", err)
+		if o.checkpoint != "" && rep.Symbolic.Checkpoint != nil {
+			if err := symbolic.SaveCheckpoint(o.checkpoint, rep.Symbolic.Checkpoint); err != nil {
+				return 0, fmt.Errorf("saving checkpoint: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "ccverify: checkpoint written to %s (resume with -resume %s)\n", o.checkpoint, o.checkpoint)
+		}
+		return 3, nil
+	}
 
 	if rep.Symbolic.OK() {
 		if dead := core.DeadRules(rep); len(dead) > 0 {
@@ -113,7 +178,7 @@ func run(protoName, specFile string, strict, showLog bool, dotFile, localDot, cr
 		}
 	}
 
-	if showLog {
+	if o.showLog {
 		t := report.NewTable("#", "from", "event", "to", "disposition")
 		for i, v := range rep.Symbolic.Log {
 			t.AddRow(i+1, v.From.StructureString(p), v.Label, v.To.StructureString(p), v.Outcome)
@@ -122,37 +187,37 @@ func run(protoName, specFile string, strict, showLog bool, dotFile, localDot, cr
 		fmt.Print(t.String())
 	}
 
-	if dotFile != "" {
+	if o.dotFile != "" {
 		if rep.Graph == nil {
-			return fmt.Errorf("no global diagram available (protocol erroneous?)")
+			return 0, fmt.Errorf("no global diagram available (protocol erroneous?)")
 		}
-		if err := os.WriteFile(dotFile, []byte(rep.Graph.DOT()), 0o644); err != nil {
-			return err
+		if err := os.WriteFile(o.dotFile, []byte(rep.Graph.DOT()), 0o644); err != nil {
+			return 0, err
 		}
-		fmt.Printf("wrote global diagram to %s\n", dotFile)
+		fmt.Printf("wrote global diagram to %s\n", o.dotFile)
 	}
-	if localDot != "" {
+	if o.localDot != "" {
 		l := graph.BuildLocal(p)
-		if err := os.WriteFile(localDot, []byte(l.DOT()), 0o644); err != nil {
-			return err
+		if err := os.WriteFile(o.localDot, []byte(l.DOT()), 0o644); err != nil {
+			return 0, err
 		}
-		fmt.Printf("wrote per-cache diagram to %s\n", localDot)
+		fmt.Printf("wrote per-cache diagram to %s\n", o.localDot)
 	}
-	if jsonFile != "" {
+	if o.jsonFile != "" {
 		data, err := rep.JSON()
 		if err != nil {
-			return err
+			return 0, err
 		}
-		if err := os.WriteFile(jsonFile, data, 0o644); err != nil {
-			return err
+		if err := os.WriteFile(o.jsonFile, data, 0o644); err != nil {
+			return 0, err
 		}
-		fmt.Printf("wrote JSON report to %s\n", jsonFile)
+		fmt.Printf("wrote JSON report to %s\n", o.jsonFile)
 	}
 
 	if !rep.OK() {
-		os.Exit(2)
+		return 2, nil
 	}
-	return nil
+	return 0, nil
 }
 
 func loadProtocol(protoName, specFile string) (*fsm.Protocol, error) {

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestLoadProtocolByName(t *testing.T) {
@@ -63,8 +65,12 @@ func TestRunVerifyWritesDOT(t *testing.T) {
 	dir := t.TempDir()
 	dot := filepath.Join(dir, "g.dot")
 	localDot := filepath.Join(dir, "l.dot")
-	if err := run("illinois", "", true, false, dot, localDot, "2,3", filepath.Join(dir, "r.json")); err != nil {
-		t.Fatal(err)
+	code, err := run(context.Background(), "illinois", "", cliOpts{
+		strict: true, dotFile: dot, localDot: localDot, crossCheck: "2,3",
+		jsonFile: filepath.Join(dir, "r.json"),
+	})
+	if err != nil || code != 0 {
+		t.Fatalf("code %d err %v", code, err)
 	}
 	for _, f := range []string{dot, localDot} {
 		data, err := os.ReadFile(f)
@@ -78,8 +84,32 @@ func TestRunVerifyWritesDOT(t *testing.T) {
 }
 
 func TestRunRejectsBadCrossCheck(t *testing.T) {
-	if err := run("illinois", "", false, false, "", "", "2,zero", ""); err == nil {
+	if _, err := run(context.Background(), "illinois", "", cliOpts{crossCheck: "2,zero"}); err == nil {
 		t.Error("malformed crosscheck list must error")
+	}
+}
+
+// TestRunTimeoutCheckpointResume exercises the resilience path: an expired
+// deadline stops the run with exit code 3 and a checkpoint, and resuming
+// completes the verification cleanly.
+func TestRunTimeoutCheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	code, err := run(ctx, "illinois", "", cliOpts{checkpoint: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 3 {
+		t.Fatalf("interrupted run exit code %d, want 3", code)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+
+	code, err = run(context.Background(), "illinois", "", cliOpts{resume: ckpt})
+	if err != nil || code != 0 {
+		t.Fatalf("resumed run: code %d err %v", code, err)
 	}
 }
 
@@ -98,8 +128,9 @@ func TestRunCompare(t *testing.T) {
 func TestRunWritesJSONReport(t *testing.T) {
 	dir := t.TempDir()
 	jsonPath := filepath.Join(dir, "report.json")
-	if err := run("msi", "", false, false, "", "", "", jsonPath); err != nil {
-		t.Fatal(err)
+	code, err := run(context.Background(), "msi", "", cliOpts{jsonFile: jsonPath})
+	if err != nil || code != 0 {
+		t.Fatalf("code %d err %v", code, err)
 	}
 	data, err := os.ReadFile(jsonPath)
 	if err != nil {

@@ -3,34 +3,44 @@
 // that the symbolic verifier refutes each mutant with a concrete witness
 // path from the initial state to an erroneous composite state — while the
 // unmutated protocols all verify clean.
+//
+// Errors do not abort the sweep: every protocol and mutant is attempted,
+// failures are collected, and the process exits nonzero at the end if
+// anything went wrong — so one broken mutant cannot hide the results for
+// the rest of the suite.
 package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	"repro"
 	"repro/internal/core"
 )
 
 func main() {
+	var errs []error
 	total, detected := 0, 0
 	for _, p := range repro.Protocols() {
 		orig, err := repro.Verify(p, repro.VerifyOptions{Strict: true})
-		if err != nil {
-			log.Fatal(err)
-		}
-		if !orig.Symbolic.OK() {
-			log.Fatalf("baseline %s should verify clean", p.Name)
+		switch {
+		case err != nil:
+			errs = append(errs, fmt.Errorf("baseline %s: %w", p.Name, err))
+			continue
+		case !orig.Symbolic.OK():
+			errs = append(errs, fmt.Errorf("baseline %s should verify clean", p.Name))
+			continue
 		}
 
 		for _, m := range repro.Mutants(p) {
 			total++
 			rep, err := repro.Verify(m.Protocol, repro.VerifyOptions{Strict: true})
 			if err != nil {
-				log.Fatal(err)
+				errs = append(errs, fmt.Errorf("mutant %s (%s): %w", m.Protocol.Name, m.Detail, err))
+				continue
 			}
 			if rep.Symbolic.OK() {
+				errs = append(errs, fmt.Errorf("mutant %s (%s) escaped the verifier", m.Protocol.Name, m.Detail))
 				fmt.Printf("MISSED  %-40s (%s)\n", m.Protocol.Name, m.Detail)
 				continue
 			}
@@ -42,8 +52,13 @@ func main() {
 			fmt.Printf("        witness:   %s\n\n", core.FormatWitness(m.Protocol, rep.Engine(), sv.Path))
 		}
 	}
+
 	fmt.Printf("detected %d/%d injected faults\n", detected, total)
-	if detected != total {
-		log.Fatal("some faults escaped the verifier")
+	if len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "faultinjection: %d problem(s):\n", len(errs))
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "  -", e)
+		}
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,58 @@
+package ccpsl
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary input to the ccpsl parser. Two properties must
+// hold for every input: the parser never panics (malformed specs are
+// rejected with an error), and any spec it accepts survives a
+// parse → Format → parse round-trip with a stable rendering — so the
+// formatter emits exactly the language the parser reads.
+//
+// Run with: go test ./internal/ccpsl -run='^$' -fuzz=FuzzParse
+func FuzzParse(f *testing.F) {
+	specs, err := filepath.Glob(filepath.Join("..", "..", "specs", "*.ccpsl"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(specs) == 0 {
+		f.Fatal("no seed specs found under specs/")
+	}
+	for _, path := range specs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	// Handcrafted seeds steering the fuzzer at parser corners: guards,
+	// observers, custom ops, supplier lists, comments, and states whose
+	// names collide with data-clause keywords.
+	f.Add("protocol P\nstates {\n  I initial\n  V valid readable\n}\nrule r { from I on R\n  next V\n  data memory }\n")
+	f.Add("protocol G\nops R W\nstates {\n  I initial\n  S valid readable clean\n}\n" +
+		"rule g { from I on R when any-other S\n  next S\n  observe S -> S\n  data from-cache S, S store }\n")
+	f.Add("# comment\nprotocol C\ncharacteristic sharing\nstates {\n  I initial\n  store valid readable\n}\n" +
+		"rule k { from I on R\n  next store\n  data from-cache store }\n")
+	f.Add("protocol X\nstates {\n  I initial\n}\nrule bad { from I on R\n  next I\n  data none spin drop }\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		p, err := Parse(src)
+		if err != nil {
+			return // rejected cleanly; the property is "no panic"
+		}
+		out := Format(p)
+		p2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("accepted spec does not re-parse after Format: %v\nformatted:\n%s", err, out)
+		}
+		if out2 := Format(p2); out2 != out {
+			t.Fatalf("Format is not a fixpoint after one round-trip:\nfirst:\n%s\nsecond:\n%s", out, out2)
+		}
+	})
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -14,6 +15,7 @@ import (
 	"repro/internal/fsm"
 	"repro/internal/graph"
 	"repro/internal/report"
+	"repro/internal/runctl"
 	"repro/internal/symbolic"
 )
 
@@ -35,6 +37,20 @@ type Options struct {
 	CrossCheckN []int
 	// MaxVisits bounds the symbolic expansion (0 = default).
 	MaxVisits int
+
+	// Budget bounds the whole pipeline: the wall-clock deadline, state
+	// count and estimated memory are enforced uniformly by the symbolic
+	// expansion and by every cross-check enumeration. A stopped run
+	// returns the partial Report together with an error matching one of
+	// the runctl sentinels via errors.Is.
+	Budget runctl.Budget
+	// CheckpointOnStop captures a resumable snapshot of the symbolic
+	// expansion into Report.Symbolic.Checkpoint when the run is stopped
+	// at a worklist boundary.
+	CheckpointOnStop bool
+	// Resume continues the symbolic expansion from a previously captured
+	// checkpoint instead of starting from the initial composite state.
+	Resume *symbolic.Checkpoint
 }
 
 // CrossCheck is the result of one explicit-state validation run.
@@ -79,17 +95,41 @@ func (r *Report) Engine() *symbolic.Engine { return r.engine }
 
 // Verify runs the verification pipeline on protocol p.
 func Verify(p *fsm.Protocol, opts Options) (*Report, error) {
+	return VerifyContext(context.Background(), p, opts)
+}
+
+// VerifyContext runs the pipeline under a context. Cancellation, deadlines
+// and the Options.Budget bounds stop the run at the next clean boundary of
+// whichever stage is active; the partial Report produced so far is then
+// returned TOGETHER with a non-nil error that matches one of the runctl
+// sentinels (ErrCanceled, ErrDeadline, ErrStateBudget, ErrMemBudget) via
+// errors.Is, so callers can both classify the stop and render what was
+// verified before it.
+func VerifyContext(ctx context.Context, p *fsm.Protocol, opts Options) (*Report, error) {
 	eng, err := symbolic.NewEngine(p)
 	if err != nil {
 		return nil, err
 	}
 	rep := &Report{Protocol: p, engine: eng}
-	rep.Symbolic = eng.Expand(symbolic.Options{
-		MaxVisits:       opts.MaxVisits,
-		RecordLog:       opts.RecordLog,
-		StopOnViolation: opts.StopOnViolation,
-		Strict:          opts.Strict,
-	})
+	symOpts := symbolic.Options{
+		MaxVisits:        opts.MaxVisits,
+		RecordLog:        opts.RecordLog,
+		StopOnViolation:  opts.StopOnViolation,
+		Strict:           opts.Strict,
+		Budget:           opts.Budget,
+		CheckpointOnStop: opts.CheckpointOnStop,
+	}
+	if opts.Resume != nil {
+		rep.Symbolic, err = eng.ResumeContext(ctx, opts.Resume, symOpts)
+	} else {
+		rep.Symbolic, err = eng.ExpandContext(ctx, symOpts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if rep.Symbolic.Truncated {
+		return rep, fmt.Errorf("core: symbolic expansion of %s stopped: %w", p.Name, rep.Symbolic.StopReason)
+	}
 
 	if opts.BuildGraph && rep.Symbolic.OK() {
 		g, err := graph.BuildGlobal(eng, rep.Symbolic.Essential)
@@ -100,20 +140,27 @@ func Verify(p *fsm.Protocol, opts Options) (*Report, error) {
 	}
 
 	for _, n := range opts.CrossCheckN {
-		cc, err := crossCheck(eng, rep.Symbolic.Essential, n, opts.Strict)
+		cc, err := crossCheck(ctx, eng, rep.Symbolic.Essential, n, opts)
 		if err != nil {
 			return nil, err
 		}
 		rep.CrossChecks = append(rep.CrossChecks, *cc)
+		if cc.Enum.Truncated && cc.Enum.StopReason != nil {
+			return rep, fmt.Errorf("core: cross-check of %s with %d caches stopped: %w", p.Name, n, cc.Enum.StopReason)
+		}
 	}
 	return rep, nil
 }
 
 // crossCheck enumerates the concrete state space for n caches and verifies
 // that every reachable state is covered by an essential state.
-func crossCheck(eng *symbolic.Engine, essential []*symbolic.CState, n int, strict bool) (*CrossCheck, error) {
+func crossCheck(ctx context.Context, eng *symbolic.Engine, essential []*symbolic.CState, n int, opts Options) (*CrossCheck, error) {
 	p := eng.Protocol()
-	res, err := enum.Counting(p, n, enum.Options{KeepReachable: true, Strict: strict})
+	res, err := enum.CountingContext(ctx, p, n, enum.Options{
+		KeepReachable: true,
+		Strict:        opts.Strict,
+		Budget:        opts.Budget,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: enumerating %s with %d caches: %w", p.Name, n, err)
 	}
@@ -138,7 +185,16 @@ func (r *Report) Summary() string {
 	if !r.Symbolic.OK() {
 		verdict = "ERRONEOUS"
 	}
+	if r.Symbolic.Truncated {
+		verdict = "INCONCLUSIVE (run stopped early)"
+		if !r.Symbolic.OK() {
+			verdict = "ERRONEOUS (run stopped early; more errors may exist)"
+		}
+	}
 	fmt.Fprintf(&b, "Protocol %s: %s\n", p.Name, verdict)
+	if r.Symbolic.Truncated {
+		fmt.Fprintf(&b, "  stopped: %v\n", r.Symbolic.StopReason)
+	}
 	fmt.Fprintf(&b, "  characteristic function: %s\n", p.Characteristic)
 	fmt.Fprintf(&b, "  essential states: %d   state visits: %d   expansions: %d   superseded: %d\n",
 		len(r.Symbolic.Essential), r.Symbolic.Visits, r.Symbolic.Expansions, r.Symbolic.Superseded)
@@ -169,6 +225,9 @@ func (r *Report) Summary() string {
 		}
 		fmt.Fprintf(&b, "  cross-check n=%d: %s (%d concrete states, %d visits, %d violations, %d uncovered)\n",
 			cc.N, status, cc.Enum.Unique, cc.Enum.Visits, len(cc.Enum.Violations), len(cc.Uncovered))
+		if cc.Enum.Truncated {
+			fmt.Fprintf(&b, "    stopped: %v\n", cc.Enum.StopReason)
+		}
 	}
 	return b.String()
 }

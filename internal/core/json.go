@@ -13,8 +13,12 @@ type JSONReport struct {
 	Protocol       string          `json:"protocol"`
 	Characteristic string          `json:"characteristic"`
 	Permissible    bool            `json:"permissible"`
-	Visits         int             `json:"visits"`
-	Expansions     int             `json:"expansions"`
+	// Truncated and StopReason report a run stopped early by cancellation
+	// or a resource budget; Permissible is not trustworthy then.
+	Truncated  bool   `json:"truncated,omitempty"`
+	StopReason string `json:"stop_reason,omitempty"`
+	Visits     int    `json:"visits"`
+	Expansions int    `json:"expansions"`
 	Essential      []JSONState     `json:"essential"`
 	Edges          []JSONEdge      `json:"edges,omitempty"`
 	Violations     []JSONViolation `json:"violations,omitempty"`
@@ -50,12 +54,14 @@ type JSONViolation struct {
 
 // JSONCross is one explicit-state cross-check.
 type JSONCross struct {
-	N          int  `json:"n"`
-	States     int  `json:"states"`
-	Visits     int  `json:"visits"`
-	Violations int  `json:"violations"`
-	Uncovered  int  `json:"uncovered"`
-	OK         bool `json:"ok"`
+	N          int    `json:"n"`
+	States     int    `json:"states"`
+	Visits     int    `json:"visits"`
+	Violations int    `json:"violations"`
+	Uncovered  int    `json:"uncovered"`
+	OK         bool   `json:"ok"`
+	Truncated  bool   `json:"truncated,omitempty"`
+	StopReason string `json:"stop_reason,omitempty"`
 }
 
 // JSON renders the report as indented JSON.
@@ -65,8 +71,12 @@ func (r *Report) JSON() ([]byte, error) {
 		Protocol:       p.Name,
 		Characteristic: p.Characteristic.String(),
 		Permissible:    r.Symbolic.OK(),
+		Truncated:      r.Symbolic.Truncated,
 		Visits:         r.Symbolic.Visits,
 		Expansions:     r.Symbolic.Expansions,
+	}
+	if r.Symbolic.StopReason != nil {
+		jr.StopReason = r.Symbolic.StopReason.Error()
 	}
 
 	nodes := symbolic.SortStates(r.Symbolic.Essential)
@@ -116,11 +126,15 @@ func (r *Report) JSON() ([]byte, error) {
 	}
 	for i := range r.CrossChecks {
 		cc := &r.CrossChecks[i]
-		jr.CrossChecks = append(jr.CrossChecks, JSONCross{
+		jc := JSONCross{
 			N: cc.N, States: cc.Enum.Unique, Visits: cc.Enum.Visits,
 			Violations: len(cc.Enum.Violations), Uncovered: len(cc.Uncovered),
-			OK: cc.OK(),
-		})
+			OK: cc.OK(), Truncated: cc.Enum.Truncated,
+		}
+		if cc.Enum.StopReason != nil {
+			jc.StopReason = cc.Enum.StopReason.Error()
+		}
+		jr.CrossChecks = append(jr.CrossChecks, jc)
 	}
 	if r.Symbolic.OK() {
 		jr.DeadRules = DeadRules(r)

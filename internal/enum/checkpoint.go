@@ -1,0 +1,347 @@
+package enum
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+
+	"repro/internal/fsm"
+)
+
+// CheckpointVersion is the format version of serialized checkpoints;
+// Decode rejects other versions.
+const CheckpointVersion = 1
+
+// Checkpoint is a resumable snapshot of an enumeration run, taken at a
+// worklist/level boundary: every state is either fully expanded (in
+// Visited with its provenance in Parents) or waiting on the Frontier, so a
+// resumed run reaches exactly the counts an uninterrupted run would. The
+// JSON encoding is stable and deterministic (sorted key lists) so
+// checkpoints can be diffed and tested byte-for-byte.
+type Checkpoint struct {
+	Version  int    `json:"version"`
+	Protocol string `json:"protocol"`
+	N        int    `json:"n"`
+	// Mode is ModeStrict or ModeCounting; a resumed run re-selects the
+	// interrupted run's equivalence from it.
+	Mode   string `json:"mode"`
+	Strict bool   `json:"strict"`
+	Visits int    `json:"visits"`
+
+	Visited  []string                `json:"visited"`
+	Tuples   []string                `json:"tuples"`
+	Parents  map[string]ParentState  `json:"parents"`
+	Frontier []ConfigState           `json:"frontier"`
+
+	Reachable  []ConfigState    `json:"reachable,omitempty"`
+	Violations []ViolationState `json:"violations,omitempty"`
+	SpecErrors []string         `json:"spec_errors,omitempty"`
+}
+
+// ConfigState is the serialized form of one concrete configuration.
+type ConfigState struct {
+	States   []string `json:"states"`
+	Versions []int64  `json:"versions"`
+	Mem      int64    `json:"mem"`
+	Latest   int64    `json:"latest"`
+}
+
+// ParentState is one provenance record: how the keyed state was first
+// reached.
+type ParentState struct {
+	Key   string `json:"key,omitempty"`
+	Cache int    `json:"cache,omitempty"`
+	Op    string `json:"op,omitempty"`
+}
+
+// ViolationState is one recorded violation with its witness path.
+type ViolationState struct {
+	Config     ConfigState       `json:"config"`
+	Violations []ViolationDetail `json:"violations"`
+	Path       []PathState       `json:"path,omitempty"`
+}
+
+// ViolationDetail is one fsm.Violation.
+type ViolationDetail struct {
+	Kind   int    `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+// PathState is one witness path step.
+type PathState struct {
+	Cache int    `json:"cache"`
+	Op    string `json:"op"`
+	To    string `json:"to"`
+}
+
+func configState(c *fsm.Config) ConfigState {
+	cs := ConfigState{
+		States:   make([]string, len(c.States)),
+		Versions: append([]int64(nil), c.Versions...),
+		Mem:      c.MemVersion,
+		Latest:   c.Latest,
+	}
+	for i, s := range c.States {
+		cs.States[i] = string(s)
+	}
+	return cs
+}
+
+func (cs ConfigState) config() (*fsm.Config, error) {
+	if len(cs.States) != len(cs.Versions) {
+		return nil, fmt.Errorf("enum: checkpoint config has %d states but %d versions", len(cs.States), len(cs.Versions))
+	}
+	c := &fsm.Config{
+		States:     make([]fsm.State, len(cs.States)),
+		Versions:   append([]int64(nil), cs.Versions...),
+		MemVersion: cs.Mem,
+		Latest:     cs.Latest,
+	}
+	for i, s := range cs.States {
+		c.States[i] = fsm.State(s)
+	}
+	return c, nil
+}
+
+// snapshot captures the run at a clean boundary; frontier lists the
+// admitted-but-unexpanded states.
+func (b *bfs) snapshot(frontier []*fsm.Config) *Checkpoint {
+	cp := &Checkpoint{
+		Version:  CheckpointVersion,
+		Protocol: b.p.Name,
+		N:        b.n,
+		Mode:     b.mode,
+		Strict:   b.opts.Strict,
+		Visits:   b.res.Visits,
+		Visited:  make([]string, 0, len(b.visited)),
+		Tuples:   make([]string, 0, len(b.tuples)),
+		Parents:  make(map[string]ParentState, len(b.parents)),
+		Frontier: make([]ConfigState, len(frontier)),
+	}
+	for k := range b.visited {
+		cp.Visited = append(cp.Visited, k)
+	}
+	sort.Strings(cp.Visited)
+	for k := range b.tuples {
+		cp.Tuples = append(cp.Tuples, k)
+	}
+	sort.Strings(cp.Tuples)
+	for k, pi := range b.parents {
+		cp.Parents[k] = ParentState{Key: pi.key, Cache: pi.cache, Op: string(pi.op)}
+	}
+	for i, c := range frontier {
+		cp.Frontier[i] = configState(c)
+	}
+	for _, rc := range b.res.Reachable {
+		cp.Reachable = append(cp.Reachable, configState(rc))
+	}
+	for _, v := range b.res.Violations {
+		vs := ViolationState{Config: configState(v.Config)}
+		for _, d := range v.Violations {
+			vs.Violations = append(vs.Violations, ViolationDetail{Kind: int(d.Kind), Detail: d.Detail})
+		}
+		for _, ps := range v.Path {
+			vs.Path = append(vs.Path, PathState{Cache: ps.Cache, Op: string(ps.Op), To: ps.To})
+		}
+		cp.Violations = append(cp.Violations, vs)
+	}
+	for _, e := range b.res.SpecErrors {
+		cp.SpecErrors = append(cp.SpecErrors, e.Error())
+	}
+	return cp
+}
+
+// Encode renders the checkpoint as indented, deterministic JSON.
+func (cp *Checkpoint) Encode() ([]byte, error) {
+	return json.MarshalIndent(cp, "", " ")
+}
+
+// DecodeCheckpoint parses and version-checks a serialized checkpoint.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("enum: decoding checkpoint: %w", err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("enum: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+	}
+	return &cp, nil
+}
+
+// SaveCheckpoint writes the checkpoint atomically (temp file + rename), so
+// an interrupt during the write can never leave a torn checkpoint behind.
+func SaveCheckpoint(path string, cp *Checkpoint) error {
+	data, err := cp.Encode()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ccenum-checkpoint-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		if runtime.GOOS == "windows" {
+			// Rename over an existing file needs the target gone first.
+			os.Remove(path)
+			if err2 := os.Rename(tmpName, path); err2 == nil {
+				return nil
+			}
+		}
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and decodes a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeCheckpoint(data)
+}
+
+// ResumeContext continues an interrupted sequential enumeration from a
+// checkpoint. The run's mode, cache count and strictness come from the
+// checkpoint (opts.Strict is ignored); budgets, KeepReachable and the
+// checkpoint options come from opts. An uninterrupted run and an
+// interrupted-then-resumed run reach identical state counts.
+func ResumeContext(ctx context.Context, p *fsm.Protocol, cp *Checkpoint, opts Options) (*Result, error) {
+	b, frontier, err := resumeBFS(p, cp, opts)
+	if err != nil {
+		return nil, err
+	}
+	return b.runSeq(ctx, frontier)
+}
+
+// ResumeParallelContext continues an interrupted enumeration with the
+// level-synchronous parallel engine. Checkpoints from either engine are
+// accepted: the frontier is simply treated as the first level.
+func ResumeParallelContext(ctx context.Context, p *fsm.Protocol, cp *Checkpoint, opts Options, workers int) (*Result, error) {
+	b, frontier, err := resumeBFS(p, cp, opts)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return b.runPar(ctx, frontier, workers)
+}
+
+// resumeBFS rebuilds the shared run state from a checkpoint.
+func resumeBFS(p *fsm.Protocol, cp *Checkpoint, opts Options) (*bfs, []*fsm.Config, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, nil, fmt.Errorf("enum: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+	}
+	if cp.Protocol != p.Name {
+		return nil, nil, fmt.Errorf("enum: checkpoint is for protocol %q, not %q", cp.Protocol, p.Name)
+	}
+	if cp.N < 1 {
+		return nil, nil, fmt.Errorf("enum: checkpoint has invalid cache count %d", cp.N)
+	}
+	key, symmetric, err := modeFuncs(cp.Mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	known := make(map[fsm.State]bool, len(p.States))
+	for _, s := range p.States {
+		known[s] = true
+	}
+	restoreConfig := func(cs ConfigState, what string) (*fsm.Config, error) {
+		c, err := cs.config()
+		if err != nil {
+			return nil, err
+		}
+		if len(c.States) != cp.N {
+			return nil, fmt.Errorf("enum: checkpoint %s config has %d caches, want %d", what, len(c.States), cp.N)
+		}
+		for _, s := range c.States {
+			if !known[s] {
+				return nil, fmt.Errorf("enum: checkpoint %s config references unknown state %q", what, s)
+			}
+		}
+		return c, nil
+	}
+
+	opts.Strict = cp.Strict
+	maxStates := opts.Budget.MaxStates
+	if maxStates <= 0 {
+		maxStates = opts.MaxStates
+	}
+	if maxStates <= 0 {
+		maxStates = defaultMaxStates
+	}
+	b := &bfs{
+		p: p, n: cp.N, opts: opts, key: key, mode: cp.Mode, symmetric: symmetric,
+		maxStates: maxStates,
+		visited:   make(map[string]bool, len(cp.Visited)),
+		parents:   make(map[string]parent, len(cp.Parents)),
+		tuples:    make(map[string]bool, len(cp.Tuples)),
+		res:       &Result{Protocol: p, N: cp.N, Visits: cp.Visits},
+	}
+	for _, k := range cp.Visited {
+		b.visited[k] = true
+		b.bytes += stateBytes(len(k), cp.N)
+	}
+	for _, k := range cp.Tuples {
+		b.tuples[k] = true
+	}
+	for k, ps := range cp.Parents {
+		b.parents[k] = parent{key: ps.Key, cache: ps.Cache, op: fsm.Op(ps.Op)}
+	}
+	frontier := make([]*fsm.Config, len(cp.Frontier))
+	for i, cs := range cp.Frontier {
+		c, err := restoreConfig(cs, "frontier")
+		if err != nil {
+			return nil, nil, err
+		}
+		if !b.visited[key(c)] {
+			return nil, nil, fmt.Errorf("enum: checkpoint frontier state %q not in visited set", key(c))
+		}
+		frontier[i] = c
+	}
+	for _, cs := range cp.Reachable {
+		c, err := restoreConfig(cs, "reachable")
+		if err != nil {
+			return nil, nil, err
+		}
+		b.res.Reachable = append(b.res.Reachable, c)
+	}
+	for _, vs := range cp.Violations {
+		c, err := restoreConfig(vs.Config, "violation")
+		if err != nil {
+			return nil, nil, err
+		}
+		v := Violation{Config: c}
+		for _, d := range vs.Violations {
+			v.Violations = append(v.Violations, fsm.Violation{Kind: fsm.ViolationKind(d.Kind), Detail: d.Detail})
+		}
+		for _, ps := range vs.Path {
+			v.Path = append(v.Path, PathStep{Cache: ps.Cache, Op: fsm.Op(ps.Op), To: ps.To})
+		}
+		b.res.Violations = append(b.res.Violations, v)
+	}
+	for _, s := range cp.SpecErrors {
+		b.res.SpecErrors = append(b.res.SpecErrors, fmt.Errorf("%s", s))
+	}
+	return b, frontier, nil
+}

@@ -1,11 +1,14 @@
 package enum
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/fsm"
+	"repro/internal/runctl"
 )
 
 // Canonical data markers. Explicit-state enumeration would not terminate
@@ -42,6 +45,9 @@ func Canonicalize(c *fsm.Config) {
 // Options tune an enumeration run.
 type Options struct {
 	// MaxStates bounds the number of distinct states explored (0: 5_000_000).
+	// Budget.MaxStates, when set, takes precedence. Unlike the other
+	// budgets, the state cap is enforced per admitted state, so Unique
+	// never exceeds it; a run stopped this way carries no checkpoint.
 	MaxStates int
 	// KeepReachable retains every distinct canonical configuration in the
 	// result, for cross-validation against the symbolic essential states.
@@ -50,6 +56,25 @@ type Options struct {
 	Strict bool
 	// StopOnViolation aborts at the first erroneous state.
 	StopOnViolation bool
+
+	// Budget bounds the run's wall clock, state count and estimated
+	// worklist memory. Cancellation, the deadline and the memory budget
+	// are checked at worklist-item granularity by the sequential engine
+	// and at level granularity by the parallel engine, so a stopped run
+	// always ends at a clean boundary and its partial Result (and
+	// checkpoint) covers whole expansion steps only.
+	Budget runctl.Budget
+	// CheckpointOnStop captures a resumable snapshot into
+	// Result.Checkpoint when the run is stopped by cancellation, the
+	// deadline or the memory budget.
+	CheckpointOnStop bool
+	// CheckpointEvery, with OnCheckpoint, emits a periodic snapshot every
+	// that many expanded states (sequential) or frontier states
+	// (parallel), taken at the same clean boundaries as stop snapshots.
+	CheckpointEvery int
+	// OnCheckpoint receives periodic snapshots; a non-nil return aborts
+	// the run with that error.
+	OnCheckpoint func(*Checkpoint) error
 }
 
 const defaultMaxStates = 5000000
@@ -90,8 +115,23 @@ type Result struct {
 	// Reachable holds every distinct configuration when KeepReachable was
 	// set, in discovery order.
 	Reachable []*fsm.Config
-	// Truncated reports that MaxStates was hit before the frontier emptied.
+	// Truncated reports that the run stopped before the frontier emptied.
+	// StopReason carries the structured cause.
 	Truncated bool
+	// StopReason is nil for a complete run; otherwise it matches one of
+	// the runctl sentinels (ErrCanceled, ErrDeadline, ErrStateBudget,
+	// ErrMemBudget) via errors.Is.
+	StopReason error
+	// Checkpoint is a resumable snapshot of the interrupted run, present
+	// when Options.CheckpointOnStop was set and the stop happened at a
+	// worklist/level boundary (cancellation, deadline or memory budget;
+	// the exact state cap stops mid-step and is not checkpointable).
+	Checkpoint *Checkpoint
+	// WorkerErrors records panics recovered in parallel BFS workers. The
+	// affected frontier slices were re-expanded sequentially, so unless a
+	// matching SpecError reports a persistent panic the results are
+	// unaffected.
+	WorkerErrors []*WorkerError
 }
 
 // OK reports whether the protocol verified cleanly at this cache count.
@@ -115,17 +155,47 @@ func countingKey(c *fsm.Config) string {
 	return strings.Join(pairs, ",") + fmt.Sprintf("|m:%d", c.MemVersion)
 }
 
+// Enumeration modes, recorded in checkpoints so a resumed run re-selects
+// the equivalence of the interrupted one.
+const (
+	ModeStrict   = "strict"
+	ModeCounting = "counting"
+)
+
+func modeFuncs(mode string) (keyFunc, bool, error) {
+	switch mode {
+	case ModeStrict:
+		return strictKey, false, nil
+	case ModeCounting:
+		return countingKey, true, nil
+	default:
+		return nil, false, fmt.Errorf("enum: unknown mode %q", mode)
+	}
+}
+
 // Exhaustive runs the paper's Figure 2 algorithm: breadth-first exploration
 // of all strict global states for n caches.
 func Exhaustive(p *fsm.Protocol, n int, opts Options) (*Result, error) {
-	return run(p, n, opts, strictKey, false)
+	return ExhaustiveContext(context.Background(), p, n, opts)
+}
+
+// ExhaustiveContext is Exhaustive under a context: cancellation and the
+// context deadline stop the run at the next worklist item, returning the
+// partial Result with a structured StopReason.
+func ExhaustiveContext(ctx context.Context, p *fsm.Protocol, n int, opts Options) (*Result, error) {
+	return run(ctx, p, n, opts, ModeStrict)
 }
 
 // Counting runs the same exploration under counting equivalence
 // (Definition 5): permutations of a tuple collapse into one state, and
 // symmetric caches are expanded only once.
 func Counting(p *fsm.Protocol, n int, opts Options) (*Result, error) {
-	return run(p, n, opts, countingKey, true)
+	return CountingContext(context.Background(), p, n, opts)
+}
+
+// CountingContext is Counting under a context.
+func CountingContext(ctx context.Context, p *fsm.Protocol, n int, opts Options) (*Result, error) {
+	return run(ctx, p, n, opts, ModeCounting)
 }
 
 type parent struct {
@@ -134,94 +204,205 @@ type parent struct {
 	op    fsm.Op
 }
 
-func run(p *fsm.Protocol, n int, opts Options, key keyFunc, symmetric bool) (*Result, error) {
+// bfs is the shared state of one enumeration run, used identically by the
+// sequential queue loop and the level-synchronous parallel loop (and
+// rebuilt from a Checkpoint on resume), so budget enforcement and
+// successor admission cannot drift between the engines.
+type bfs struct {
+	p         *fsm.Protocol
+	n         int
+	opts      Options
+	key       keyFunc
+	mode      string
+	symmetric bool
+	maxStates int
+
+	visited map[string]bool
+	parents map[string]parent
+	tuples  map[string]bool
+	bytes   int64 // estimated worklist+visited footprint
+	// sinceCp counts expanded states since the last periodic checkpoint.
+	sinceCp int
+
+	res *Result
+}
+
+// stateBytes estimates the resident cost of one admitted state: its key in
+// the visited and parents maps, the parent record, and the cloned
+// configuration (two slices of n elements) queued on the frontier.
+func stateBytes(keyLen, n int) int64 {
+	return int64(2*keyLen + 24*n + 112)
+}
+
+// newBFS validates the inputs and seeds the run with the initial
+// configuration. done reports that the run already ended (initial-state
+// violation under StopOnViolation).
+func newBFS(p *fsm.Protocol, n int, opts Options, mode string) (b *bfs, init *fsm.Config, done bool, err error) {
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return nil, nil, false, err
 	}
 	if n < 1 {
-		return nil, fmt.Errorf("enum: need at least one cache, got %d", n)
+		return nil, nil, false, fmt.Errorf("enum: need at least one cache, got %d", n)
 	}
-	maxStates := opts.MaxStates
+	key, symmetric, err := modeFuncs(mode)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	maxStates := opts.Budget.MaxStates
+	if maxStates <= 0 {
+		maxStates = opts.MaxStates
+	}
 	if maxStates <= 0 {
 		maxStates = defaultMaxStates
 	}
-	res := &Result{Protocol: p, N: n}
+	b = &bfs{
+		p: p, n: n, opts: opts, key: key, mode: mode, symmetric: symmetric,
+		maxStates: maxStates,
+		res:       &Result{Protocol: p, N: n},
+	}
 
-	init := fsm.NewConfig(p, n)
+	init = fsm.NewConfig(p, n)
 	Canonicalize(init)
 	ik := key(init)
-
-	visited := map[string]bool{ik: true}
-	parents := map[string]parent{ik: {}}
-	tuples := map[string]bool{init.StateKey(): true}
-	queue := []*fsm.Config{init}
+	b.visited = map[string]bool{ik: true}
+	b.parents = map[string]parent{ik: {}}
+	b.tuples = map[string]bool{init.StateKey(): true}
+	b.bytes = stateBytes(len(ik), n)
 	if opts.KeepReachable {
-		res.Reachable = append(res.Reachable, init.Clone())
+		b.res.Reachable = append(b.res.Reachable, init.Clone())
 	}
 	if v := fsm.CheckConfig(p, init, opts.Strict); len(v) > 0 {
-		res.Violations = append(res.Violations, Violation{Config: init.Clone(), Violations: v})
+		b.res.Violations = append(b.res.Violations, Violation{Config: init.Clone(), Violations: v})
 		if opts.StopOnViolation {
-			res.Unique = len(visited)
-			res.TupleStates = len(tuples)
-			return res, nil
+			b.finish()
+			return b, init, true, nil
 		}
 	}
+	return b, init, false, nil
+}
 
+// stopCheck evaluates the boundary-granularity budgets: context liveness,
+// wall-clock deadline and memory. The state cap is enforced exactly inside
+// admit instead.
+func (b *bfs) stopCheck(ctx context.Context) error {
+	if err := runctl.FromContext(ctx); err != nil {
+		return err
+	}
+	if err := b.opts.Budget.CheckDeadline(time.Now()); err != nil {
+		return err
+	}
+	return b.opts.Budget.CheckMem(b.bytes)
+}
+
+// stop finalizes an early stop at a clean boundary: frontier holds the
+// states admitted but not yet expanded, so a checkpoint taken here resumes
+// to results identical to an uninterrupted run.
+func (b *bfs) stop(reason error, frontier []*fsm.Config) {
+	b.res.StopReason = reason
+	b.res.Truncated = true
+	b.finish()
+	if b.opts.CheckpointOnStop {
+		b.res.Checkpoint = b.snapshot(frontier)
+	}
+}
+
+// maybeCheckpoint emits a periodic snapshot when due.
+func (b *bfs) maybeCheckpoint(frontier []*fsm.Config) error {
+	if b.opts.OnCheckpoint == nil || b.opts.CheckpointEvery <= 0 || b.sinceCp < b.opts.CheckpointEvery {
+		return nil
+	}
+	b.sinceCp = 0
+	return b.opts.OnCheckpoint(b.snapshot(frontier))
+}
+
+func (b *bfs) finish() {
+	b.res.Unique = len(b.visited)
+	b.res.TupleStates = len(b.tuples)
+}
+
+// admit merges one generated successor: dedup, provenance, invariant
+// check, and the exact state cap. It appends newly admitted states to
+// *next and reports true when the run must end now (StopOnViolation or
+// state budget).
+func (b *bfs) admit(it succItem, next *[]*fsm.Config) bool {
+	b.res.Visits++
+	k := it.key
+	if b.visited[k] {
+		return false
+	}
+	b.visited[k] = true
+	b.parents[k] = parent{key: it.parent, cache: it.cache, op: it.op}
+	b.tuples[it.cfg.StateKey()] = true
+	b.bytes += stateBytes(len(k), b.n)
+	if v := fsm.CheckConfig(b.p, it.cfg, b.opts.Strict); len(v) > 0 {
+		b.res.Violations = append(b.res.Violations, Violation{
+			Config:     it.cfg.Clone(),
+			Violations: v,
+			Path:       witness(b.parents, k),
+		})
+		if b.opts.StopOnViolation {
+			b.finish()
+			return true
+		}
+	}
+	if b.opts.KeepReachable {
+		b.res.Reachable = append(b.res.Reachable, it.cfg.Clone())
+	}
+	if len(b.visited) >= b.maxStates {
+		b.res.StopReason = runctl.ErrStateBudget
+		b.res.Truncated = true
+		b.finish()
+		return true
+	}
+	*next = append(*next, it.cfg)
+	return false
+}
+
+// testItemHook, when set by tests, observes each sequential expansion step
+// (called with the number of states expanded so far, before the step runs).
+var testItemHook func(expanded int)
+
+func run(ctx context.Context, p *fsm.Protocol, n int, opts Options, mode string) (*Result, error) {
+	b, init, done, err := newBFS(p, n, opts, mode)
+	if err != nil {
+		return nil, err
+	}
+	if done {
+		return b.res, nil
+	}
+	return b.runSeq(ctx, []*fsm.Config{init})
+}
+
+// runSeq drives the classic FIFO exploration of Figure 2. Budgets are
+// checked before each expansion step, so every dequeued state is either
+// fully expanded or still on the queue when the run stops.
+func (b *bfs) runSeq(ctx context.Context, queue []*fsm.Config) (*Result, error) {
+	expanded := 0
 	for len(queue) > 0 {
+		if err := b.stopCheck(ctx); err != nil {
+			b.stop(err, queue)
+			return b.res, nil
+		}
+		if err := b.maybeCheckpoint(queue); err != nil {
+			return nil, err
+		}
+		if testItemHook != nil {
+			testItemHook(expanded)
+		}
 		cur := queue[0]
 		queue = queue[1:]
-		curKey := key(cur)
-
-		for i := 0; i < n; i++ {
-			if symmetric && shadowedBySibling(cur, i) {
-				continue
-			}
-			for _, op := range p.Ops {
-				if len(p.RulesFor(cur.States[i], op)) == 0 {
-					continue
-				}
-				next := cur.Clone()
-				if _, err := fsm.Step(p, next, i, op); err != nil {
-					res.SpecErrors = append(res.SpecErrors, err)
-					continue
-				}
-				Canonicalize(next)
-				res.Visits++
-				k := key(next)
-				if visited[k] {
-					continue
-				}
-				visited[k] = true
-				parents[k] = parent{key: curKey, cache: i, op: op}
-				tuples[next.StateKey()] = true
-				if v := fsm.CheckConfig(p, next, opts.Strict); len(v) > 0 {
-					res.Violations = append(res.Violations, Violation{
-						Config:     next.Clone(),
-						Violations: v,
-						Path:       witness(parents, k),
-					})
-					if opts.StopOnViolation {
-						res.Unique = len(visited)
-						res.TupleStates = len(tuples)
-						return res, nil
-					}
-				}
-				if opts.KeepReachable {
-					res.Reachable = append(res.Reachable, next.Clone())
-				}
-				if len(visited) >= maxStates {
-					res.Truncated = true
-					res.Unique = len(visited)
-					res.TupleStates = len(tuples)
-					return res, nil
-				}
-				queue = append(queue, next)
+		out := expandSlice(b.p, b.n, b.key, b.symmetric, []*fsm.Config{cur})
+		b.res.SpecErrors = append(b.res.SpecErrors, out.specErrs...)
+		for _, it := range out.items {
+			if b.admit(it, &queue) {
+				return b.res, nil
 			}
 		}
+		expanded++
+		b.sinceCp++
 	}
-	res.Unique = len(visited)
-	res.TupleStates = len(tuples)
-	return res, nil
+	b.finish()
+	return b.res, nil
 }
 
 // shadowedBySibling reports whether a lower-indexed cache is in the same

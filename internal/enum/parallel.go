@@ -1,8 +1,10 @@
 package enum
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/fsm"
@@ -21,12 +23,45 @@ import (
 // embarrassingly parallel per level; the speedup benchmark
 // (BenchmarkParallelEnumeration) measures the gain on large n.
 func ExhaustiveParallel(p *fsm.Protocol, n int, opts Options, workers int) (*Result, error) {
-	return runParallel(p, n, opts, strictKey, false, workers)
+	return ExhaustiveParallelContext(context.Background(), p, n, opts, workers)
+}
+
+// ExhaustiveParallelContext is ExhaustiveParallel under a context:
+// cancellation, deadlines and the memory budget are checked at level
+// boundaries, so a stopped run contains whole levels only (its Visits and
+// violation sets are a deterministic prefix of the full run's).
+func ExhaustiveParallelContext(ctx context.Context, p *fsm.Protocol, n int, opts Options, workers int) (*Result, error) {
+	return runParallel(ctx, p, n, opts, ModeStrict, workers)
 }
 
 // CountingParallel is the counting-equivalence variant of ExhaustiveParallel.
 func CountingParallel(p *fsm.Protocol, n int, opts Options, workers int) (*Result, error) {
-	return runParallel(p, n, opts, countingKey, true, workers)
+	return CountingParallelContext(context.Background(), p, n, opts, workers)
+}
+
+// CountingParallelContext is CountingParallel under a context.
+func CountingParallelContext(ctx context.Context, p *fsm.Protocol, n int, opts Options, workers int) (*Result, error) {
+	return runParallel(ctx, p, n, opts, ModeCounting, workers)
+}
+
+// WorkerError records a panic recovered in a parallel BFS worker. The
+// worker's frontier slice is re-expanded sequentially after the recovery,
+// so a transient panic leaves the run's results bit-for-bit identical to
+// the sequential algorithm; a panic that persists in the sequential retry
+// is additionally surfaced as a SpecError.
+type WorkerError struct {
+	// Level is the BFS depth at which the worker panicked.
+	Level int
+	// Worker is the index of the panicked worker within its level.
+	Worker int
+	// Value is the rendered panic value.
+	Value string
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("enum: worker %d panicked at level %d: %s", e.Worker, e.Level, e.Value)
 }
 
 // succItem is one generated successor, tagged with provenance for witness
@@ -46,52 +81,85 @@ type workerOut struct {
 	specErrs []error
 }
 
-func runParallel(p *fsm.Protocol, n int, opts Options, key keyFunc, symmetric bool, workers int) (*Result, error) {
-	if err := p.Validate(); err != nil {
+// expandSlice generates the successors of a frontier slice. It is the
+// single expansion routine shared by the sequential engine, the parallel
+// workers, and the sequential fallback after a worker panic, which is what
+// keeps all three observationally identical.
+func expandSlice(p *fsm.Protocol, n int, key keyFunc, symmetric bool, frontier []*fsm.Config) workerOut {
+	var out workerOut
+	for _, cur := range frontier {
+		curKey := key(cur)
+		for i := 0; i < n; i++ {
+			if symmetric && shadowedBySibling(cur, i) {
+				continue
+			}
+			for _, op := range p.Ops {
+				if len(p.RulesFor(cur.States[i], op)) == 0 {
+					continue
+				}
+				next := cur.Clone()
+				if _, err := fsm.Step(p, next, i, op); err != nil {
+					out.specErrs = append(out.specErrs, err)
+					continue
+				}
+				Canonicalize(next)
+				out.items = append(out.items, succItem{
+					cfg: next, key: key(next),
+					parent: curKey, cache: i, op: op,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Test hooks. testLevelHook observes each level before its workers fan
+// out; testWorkerHook runs inside each worker goroutine (and not in the
+// sequential fallback), which is how the tests inject worker panics.
+var (
+	testLevelHook  func(level int)
+	testWorkerHook func(level, worker int)
+)
+
+func runParallel(ctx context.Context, p *fsm.Protocol, n int, opts Options, mode string, workers int) (*Result, error) {
+	b, init, done, err := newBFS(p, n, opts, mode)
+	if err != nil {
 		return nil, err
 	}
-	if n < 1 {
-		return nil, fmt.Errorf("enum: need at least one cache, got %d", n)
+	if done {
+		return b.res, nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	maxStates := opts.MaxStates
-	if maxStates <= 0 {
-		maxStates = defaultMaxStates
-	}
-	res := &Result{Protocol: p, N: n}
+	return b.runPar(ctx, []*fsm.Config{init}, workers)
+}
 
-	init := fsm.NewConfig(p, n)
-	Canonicalize(init)
-	ik := key(init)
-
-	visited := map[string]bool{ik: true}
-	parents := map[string]parent{ik: {}}
-	tuples := map[string]bool{init.StateKey(): true}
-	frontier := []*fsm.Config{init}
-	if opts.KeepReachable {
-		res.Reachable = append(res.Reachable, init.Clone())
-	}
-	if v := fsm.CheckConfig(p, init, opts.Strict); len(v) > 0 {
-		res.Violations = append(res.Violations, Violation{Config: init.Clone(), Violations: v})
-		if opts.StopOnViolation {
-			res.Unique = len(visited)
-			res.TupleStates = len(tuples)
-			return res, nil
+// runPar drives the level-synchronous parallel BFS over the shared bfs
+// state. Budgets are checked between levels; the merge applies worker
+// output in deterministic worker order.
+func (b *bfs) runPar(ctx context.Context, frontier []*fsm.Config, workers int) (*Result, error) {
+	for level := 0; len(frontier) > 0; level++ {
+		if err := b.stopCheck(ctx); err != nil {
+			b.stop(err, frontier)
+			return b.res, nil
 		}
-	}
+		if err := b.maybeCheckpoint(frontier); err != nil {
+			return nil, err
+		}
+		if testLevelHook != nil {
+			testLevelHook(level)
+		}
 
-	for len(frontier) > 0 {
 		// Fan out: each worker expands a contiguous slice of the frontier.
 		nw := workers
 		if nw > len(frontier) {
 			nw = len(frontier)
 		}
 		outs := make([]workerOut, nw)
-		var wg sync.WaitGroup
+		panics := make([]*WorkerError, nw)
 		chunk := (len(frontier) + nw - 1) / nw
-		for w := 0; w < nw; w++ {
+		bounds := func(w int) (int, int) {
 			lo := w * chunk
 			if lo > len(frontier) {
 				lo = len(frontier)
@@ -100,77 +168,67 @@ func runParallel(p *fsm.Protocol, n int, opts Options, key keyFunc, symmetric bo
 			if hi > len(frontier) {
 				hi = len(frontier)
 			}
+			return lo, hi
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			lo, hi := bounds(w)
 			wg.Add(1)
-			go func(w, lo, hi int) {
+			go func(w, lo, hi, level int) {
 				defer wg.Done()
-				out := &outs[w]
-				for _, cur := range frontier[lo:hi] {
-					curKey := key(cur)
-					for i := 0; i < n; i++ {
-						if symmetric && shadowedBySibling(cur, i) {
-							continue
-						}
-						for _, op := range p.Ops {
-							if len(p.RulesFor(cur.States[i], op)) == 0 {
-								continue
-							}
-							next := cur.Clone()
-							if _, err := fsm.Step(p, next, i, op); err != nil {
-								out.specErrs = append(out.specErrs, err)
-								continue
-							}
-							Canonicalize(next)
-							out.items = append(out.items, succItem{
-								cfg: next, key: key(next),
-								parent: curKey, cache: i, op: op,
-							})
+				defer func() {
+					if r := recover(); r != nil {
+						outs[w] = workerOut{} // discard partial output
+						panics[w] = &WorkerError{
+							Level: level, Worker: w,
+							Value: fmt.Sprint(r),
+							Stack: string(debug.Stack()),
 						}
 					}
+				}()
+				if testWorkerHook != nil {
+					testWorkerHook(level, w)
 				}
-			}(w, lo, hi)
+				outs[w] = expandSlice(b.p, b.n, b.key, b.symmetric, frontier[lo:hi])
+			}(w, lo, hi, level)
 		}
 		wg.Wait()
+
+		// Panic isolation: a panicked worker's slice is re-expanded
+		// sequentially so the merged level stays identical to the
+		// sequential algorithm's. A panic that persists outside the
+		// worker pool is reported instead of crashing the run.
+		for w, we := range panics {
+			if we == nil {
+				continue
+			}
+			b.res.WorkerErrors = append(b.res.WorkerErrors, we)
+			lo, hi := bounds(w)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						b.res.SpecErrors = append(b.res.SpecErrors, fmt.Errorf(
+							"enum: panic persisted in sequential retry of level %d slice [%d:%d]: %v",
+							we.Level, lo, hi, r))
+					}
+				}()
+				outs[w] = expandSlice(b.p, b.n, b.key, b.symmetric, frontier[lo:hi])
+			}()
+		}
 
 		// Merge sequentially, in worker order, for determinism.
 		var next []*fsm.Config
 		for w := range outs {
-			res.SpecErrors = append(res.SpecErrors, outs[w].specErrs...)
+			b.res.SpecErrors = append(b.res.SpecErrors, outs[w].specErrs...)
 			for _, it := range outs[w].items {
-				res.Visits++
-				k := it.key
-				if visited[k] {
-					continue
+				if b.admit(it, &next) {
+					return b.res, nil
 				}
-				visited[k] = true
-				parents[k] = parent{key: it.parent, cache: it.cache, op: it.op}
-				tuples[it.cfg.StateKey()] = true
-				if v := fsm.CheckConfig(p, it.cfg, opts.Strict); len(v) > 0 {
-					res.Violations = append(res.Violations, Violation{
-						Config:     it.cfg.Clone(),
-						Violations: v,
-						Path:       witness(parents, k),
-					})
-					if opts.StopOnViolation {
-						res.Unique = len(visited)
-						res.TupleStates = len(tuples)
-						return res, nil
-					}
-				}
-				if opts.KeepReachable {
-					res.Reachable = append(res.Reachable, it.cfg.Clone())
-				}
-				if len(visited) >= maxStates {
-					res.Truncated = true
-					res.Unique = len(visited)
-					res.TupleStates = len(tuples)
-					return res, nil
-				}
-				next = append(next, it.cfg)
 			}
 		}
+		b.sinceCp += len(frontier)
 		frontier = next
 	}
-	res.Unique = len(visited)
-	res.TupleStates = len(tuples)
-	return res, nil
+	b.finish()
+	return b.res, nil
 }

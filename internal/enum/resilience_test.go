@@ -1,0 +1,443 @@
+package enum
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/protocols"
+	"repro/internal/runctl"
+)
+
+// sameCounts asserts the count triple that defines observational equality of
+// two enumeration runs.
+func sameCounts(t *testing.T, got, want *Result, label string) {
+	t.Helper()
+	if got.Unique != want.Unique || got.Visits != want.Visits || got.TupleStates != want.TupleStates {
+		t.Fatalf("%s: unique/visits/tuples = %d/%d/%d, want %d/%d/%d", label,
+			got.Unique, got.Visits, got.TupleStates,
+			want.Unique, want.Visits, want.TupleStates)
+	}
+	if len(got.Violations) != len(want.Violations) {
+		t.Fatalf("%s: %d violations, want %d", label, len(got.Violations), len(want.Violations))
+	}
+}
+
+func TestSequentialCancelReturnsPartialResult(t *testing.T) {
+	p := protocols.Illinois()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	testItemHook = func(expanded int) {
+		if expanded == 5 {
+			cancel()
+		}
+	}
+	defer func() { testItemHook = nil }()
+
+	res, err := ExhaustiveContext(ctx, p, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("canceled run must be Truncated")
+	}
+	if !errors.Is(res.StopReason, runctl.ErrCanceled) {
+		t.Fatalf("StopReason = %v, want ErrCanceled", res.StopReason)
+	}
+	full, err := Exhaustive(p, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unique <= 0 || res.Unique >= full.Unique {
+		t.Fatalf("partial Unique = %d, want in (0, %d)", res.Unique, full.Unique)
+	}
+}
+
+func TestSequentialDeadlineStop(t *testing.T) {
+	p := protocols.Illinois()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, err := ExhaustiveContext(ctx, p, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || !errors.Is(res.StopReason, runctl.ErrDeadline) {
+		t.Fatalf("truncated=%v stop=%v, want truncated with ErrDeadline", res.Truncated, res.StopReason)
+	}
+}
+
+func TestBudgetDeadlineStop(t *testing.T) {
+	p := protocols.Illinois()
+	res, err := Exhaustive(p, 3, Options{
+		Budget: runctl.Budget{Deadline: time.Now().Add(-time.Minute)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || !errors.Is(res.StopReason, runctl.ErrDeadline) {
+		t.Fatalf("truncated=%v stop=%v, want truncated with ErrDeadline", res.Truncated, res.StopReason)
+	}
+}
+
+func TestMemBudgetStop(t *testing.T) {
+	p := protocols.Illinois()
+	res, err := Exhaustive(p, 5, Options{
+		Budget: runctl.Budget{MaxBytes: 4096},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || !errors.Is(res.StopReason, runctl.ErrMemBudget) {
+		t.Fatalf("truncated=%v stop=%v, want truncated with ErrMemBudget", res.Truncated, res.StopReason)
+	}
+	full, err := Exhaustive(p, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unique >= full.Unique {
+		t.Fatalf("mem-budgeted run explored %d states, full run %d", res.Unique, full.Unique)
+	}
+}
+
+func TestBudgetMaxStatesSetsStopReason(t *testing.T) {
+	p := protocols.Illinois()
+	res, err := Exhaustive(p, 6, Options{Budget: runctl.Budget{MaxStates: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || !errors.Is(res.StopReason, runctl.ErrStateBudget) {
+		t.Fatalf("truncated=%v stop=%v, want truncated with ErrStateBudget", res.Truncated, res.StopReason)
+	}
+	if res.Unique > 10 {
+		t.Fatalf("state budget exceeded: %d > 10", res.Unique)
+	}
+	if res.Checkpoint != nil {
+		t.Fatal("exact state-cap stop must not carry a checkpoint")
+	}
+}
+
+// TestParallelCancelMidLevel cancels the parallel BFS at a level boundary
+// and asserts the partial result is prefix-consistent: it contains whole
+// levels only, so the counts are deterministic and identical across worker
+// pool sizes.
+func TestParallelCancelMidLevel(t *testing.T) {
+	p := protocols.Illinois()
+	const cancelLevel = 2
+	runCanceled := func(workers int) *Result {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		testLevelHook = func(level int) {
+			if level == cancelLevel {
+				cancel()
+			}
+		}
+		defer func() { testLevelHook = nil }()
+		res, err := ExhaustiveParallelContext(ctx, p, 5, Options{}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	one := runCanceled(1)
+	four := runCanceled(4)
+	if !one.Truncated || !errors.Is(one.StopReason, runctl.ErrCanceled) {
+		t.Fatalf("truncated=%v stop=%v, want truncated with ErrCanceled", one.Truncated, one.StopReason)
+	}
+	// No half-merged level: the same levels were merged regardless of the
+	// worker count, so the partial counts agree exactly.
+	sameCounts(t, four, one, "workers=4 vs workers=1")
+
+	full, err := Exhaustive(p, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Unique <= 1 || one.Unique >= full.Unique {
+		t.Fatalf("partial Unique = %d, want in (1, %d)", one.Unique, full.Unique)
+	}
+}
+
+// TestWorkerPanicRecovered injects a panic into one parallel worker and
+// asserts the run degrades gracefully: the panic is reported as a structured
+// WorkerError and the results stay bit-for-bit identical to Exhaustive.
+func TestWorkerPanicRecovered(t *testing.T) {
+	p := protocols.Illinois()
+	testWorkerHook = func(level, worker int) {
+		if level == 2 && worker == 0 {
+			panic("injected fault")
+		}
+	}
+	defer func() { testWorkerHook = nil }()
+
+	par, err := ExhaustiveParallel(p, 4, Options{KeepReachable: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Exhaustive(p, 4, Options{KeepReachable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(par.WorkerErrors) == 0 {
+		t.Fatal("injected panic was not recorded as a WorkerError")
+	}
+	we := par.WorkerErrors[0]
+	if we.Level != 2 || we.Worker != 0 {
+		t.Fatalf("WorkerError at level %d worker %d, want 2/0", we.Level, we.Worker)
+	}
+	if we.Value != "injected fault" || we.Stack == "" {
+		t.Fatalf("WorkerError value %q stack %d bytes", we.Value, len(we.Stack))
+	}
+	if len(par.SpecErrors) != 0 {
+		t.Fatalf("sequential retry must absorb the panic, got SpecErrors %v", par.SpecErrors)
+	}
+
+	sameCounts(t, par, seq, "panicked parallel vs sequential")
+	if par.Truncated {
+		t.Fatal("recovered run must not be Truncated")
+	}
+	// Bit-for-bit: same distinct states in both runs.
+	keys := func(r *Result) map[string]bool {
+		m := make(map[string]bool, len(r.Reachable))
+		for _, c := range r.Reachable {
+			m[c.Key()] = true
+		}
+		return m
+	}
+	if !reflect.DeepEqual(keys(par), keys(seq)) {
+		t.Fatal("recovered parallel run reached a different state set than Exhaustive")
+	}
+}
+
+// TestWorkerPanicEveryLevel stresses the recovery path: a worker panics on
+// every level and the run still completes with sequential-identical counts.
+func TestWorkerPanicEveryLevel(t *testing.T) {
+	p := protocols.Illinois()
+	testWorkerHook = func(level, worker int) {
+		if worker == 1 {
+			panic(fmt.Sprintf("fault at level %d", level))
+		}
+	}
+	defer func() { testWorkerHook = nil }()
+
+	par, err := ExhaustiveParallel(p, 3, Options{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Exhaustive(p, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCounts(t, par, seq, "repeated panics vs sequential")
+	if len(par.WorkerErrors) == 0 || len(par.SpecErrors) != 0 {
+		t.Fatalf("worker errors %d, spec errors %v", len(par.WorkerErrors), par.SpecErrors)
+	}
+}
+
+// TestCheckpointResumeSequential interrupts a sequential run, resumes it
+// from the checkpoint, and asserts the final counts match an uninterrupted
+// run exactly.
+func TestCheckpointResumeSequential(t *testing.T) {
+	p := protocols.Illinois()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	testItemHook = func(expanded int) {
+		if expanded == 7 {
+			cancel()
+		}
+	}
+	partial, err := ExhaustiveContext(ctx, p, 4, Options{CheckpointOnStop: true})
+	testItemHook = nil
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Checkpoint == nil {
+		t.Fatal("CheckpointOnStop run carries no checkpoint")
+	}
+
+	resumed, err := ResumeContext(context.Background(), p, partial.Checkpoint, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Truncated {
+		t.Fatal("resumed run must complete")
+	}
+	full, err := Exhaustive(p, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCounts(t, resumed, full, "resumed vs uninterrupted")
+}
+
+// TestCheckpointResumeParallel interrupts the parallel engine at a level
+// boundary and resumes with both engines; each must reach the
+// uninterrupted counts.
+func TestCheckpointResumeParallel(t *testing.T) {
+	p := protocols.MOESI()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	testLevelHook = func(level int) {
+		if level == 2 {
+			cancel()
+		}
+	}
+	partial, err := CountingParallelContext(ctx, p, 4, Options{CheckpointOnStop: true}, 4)
+	testLevelHook = nil
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Checkpoint == nil {
+		t.Fatal("no checkpoint on stop")
+	}
+	if partial.Checkpoint.Mode != ModeCounting {
+		t.Fatalf("checkpoint mode %q, want counting", partial.Checkpoint.Mode)
+	}
+
+	full, err := Counting(p, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRes, err := ResumeContext(context.Background(), p, partial.Checkpoint, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCounts(t, seqRes, full, "parallel checkpoint resumed sequentially")
+	parRes, err := ResumeParallelContext(context.Background(), p, partial.Checkpoint, Options{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCounts(t, parRes, full, "parallel checkpoint resumed in parallel")
+}
+
+// TestPeriodicCheckpointResume drives the OnCheckpoint hook and resumes
+// from the last periodic snapshot.
+func TestPeriodicCheckpointResume(t *testing.T) {
+	p := protocols.Illinois()
+	var last *Checkpoint
+	count := 0
+	res, err := Exhaustive(p, 3, Options{
+		CheckpointEvery: 5,
+		OnCheckpoint: func(cp *Checkpoint) error {
+			last = cp
+			count++
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 || last == nil {
+		t.Fatal("periodic checkpoints never fired")
+	}
+	resumed, err := ResumeContext(context.Background(), p, last, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCounts(t, resumed, res, "resume from periodic checkpoint")
+}
+
+func TestOnCheckpointErrorAborts(t *testing.T) {
+	p := protocols.Illinois()
+	boom := errors.New("sink failed")
+	_, err := Exhaustive(p, 3, Options{
+		CheckpointEvery: 1,
+		OnCheckpoint:    func(*Checkpoint) error { return boom },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the sink error", err)
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	p := protocols.Illinois()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	testItemHook = func(expanded int) {
+		if expanded == 4 {
+			cancel()
+		}
+	}
+	partial, err := ExhaustiveContext(ctx, p, 3, Options{CheckpointOnStop: true})
+	testItemHook = nil
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := partial.Checkpoint
+	if cp == nil {
+		t.Fatal("no checkpoint")
+	}
+
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := SaveCheckpoint(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cp, loaded) {
+		t.Fatal("checkpoint did not survive the file round trip")
+	}
+	// Saving twice over the same path must succeed (atomic replace).
+	if err := SaveCheckpoint(path, loaded); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	p := protocols.Illinois()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	testItemHook = func(expanded int) {
+		if expanded == 3 {
+			cancel()
+		}
+	}
+	partial, err := ExhaustiveContext(ctx, p, 3, Options{CheckpointOnStop: true})
+	testItemHook = nil
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := partial.Checkpoint
+
+	cases := []struct {
+		name   string
+		mutate func(cp *Checkpoint)
+	}{
+		{"wrong version", func(cp *Checkpoint) { cp.Version = 99 }},
+		{"wrong protocol", func(cp *Checkpoint) { cp.Protocol = "other" }},
+		{"bad cache count", func(cp *Checkpoint) { cp.N = 0 }},
+		{"unknown mode", func(cp *Checkpoint) { cp.Mode = "fancy" }},
+		{"unknown state", func(cp *Checkpoint) { cp.Frontier[0].States[0] = "Bogus" }},
+		{"torn config", func(cp *Checkpoint) { cp.Frontier[0].Versions = cp.Frontier[0].Versions[:1] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := good.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp, err := DecodeCheckpoint(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(cp)
+			if _, err := ResumeContext(context.Background(), p, cp, Options{}); err == nil {
+				t.Fatal("corrupted checkpoint was accepted")
+			}
+		})
+	}
+}
+
+func TestDecodeCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := DecodeCheckpoint([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := DecodeCheckpoint([]byte(`{"version": 42}`)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}

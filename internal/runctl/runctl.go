@@ -1,0 +1,114 @@
+// Package runctl is the run-control layer shared by every long-running
+// engine of the verifier: the explicit-state enumerators (internal/enum),
+// the symbolic expansion (internal/symbolic), the verification pipeline
+// (internal/core) and the simulator (internal/sim).
+//
+// The state spaces explored by the paper's algorithms grow as mⁿ
+// (Section 3.1), so a run's cost is unknown a priori. Production model
+// checking treats resource exhaustion as an expected, reportable outcome
+// rather than a crash: every engine accepts a context.Context plus a
+// Budget and, when either trips, stops at a clean boundary (one worklist
+// item or one BFS level) and returns its partial results tagged with one
+// of the sentinel stop reasons below. Callers classify the outcome with
+// errors.Is.
+package runctl
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Sentinel stop reasons. Engine results wrap exactly one of these when a
+// run is stopped early; match with errors.Is.
+var (
+	// ErrCanceled: the run's context was canceled.
+	ErrCanceled = errors.New("run canceled")
+	// ErrDeadline: the context deadline or the Budget wall-clock deadline
+	// expired.
+	ErrDeadline = errors.New("run deadline exceeded")
+	// ErrStateBudget: the state (or visit) budget was exhausted.
+	ErrStateBudget = errors.New("state budget exhausted")
+	// ErrMemBudget: the estimated worklist memory budget was exhausted.
+	ErrMemBudget = errors.New("memory budget exhausted")
+)
+
+// IsStop reports whether err is one of the run-control stop reasons.
+func IsStop(err error) bool {
+	return errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadline) ||
+		errors.Is(err, ErrStateBudget) || errors.Is(err, ErrMemBudget)
+}
+
+// Budget bounds a run. The zero value is unlimited: every field is
+// optional and a zero field imposes no bound.
+type Budget struct {
+	// Deadline is an absolute wall-clock stop time (zero: none). Engines
+	// also honor the deadline of their context; Budget.Deadline exists so
+	// a deadline can be carried inside option structs that are built far
+	// from where the context is available.
+	Deadline time.Time
+	// MaxStates bounds the number of distinct states explored (0: engine
+	// default, which may itself be a safety cap).
+	MaxStates int
+	// MaxBytes bounds the estimated number of bytes held by the run's
+	// worklist and visited structures (0: unlimited). The estimate is
+	// computed from configuration sizes, not measured from the allocator,
+	// so it is deterministic across runs.
+	MaxBytes int64
+}
+
+// FromContext classifies ctx.Err() as a stop reason: nil when the context
+// is live, ErrCanceled or ErrDeadline otherwise.
+func FromContext(ctx context.Context) error {
+	switch ctx.Err() {
+	case nil:
+		return nil
+	case context.DeadlineExceeded:
+		return ErrDeadline
+	default:
+		return ErrCanceled
+	}
+}
+
+// CheckDeadline returns ErrDeadline when the budget's deadline has passed.
+func (b Budget) CheckDeadline(now time.Time) error {
+	if !b.Deadline.IsZero() && now.After(b.Deadline) {
+		return ErrDeadline
+	}
+	return nil
+}
+
+// CheckStates returns ErrStateBudget when states meets or exceeds
+// MaxStates.
+func (b Budget) CheckStates(states int) error {
+	if b.MaxStates > 0 && states >= b.MaxStates {
+		return ErrStateBudget
+	}
+	return nil
+}
+
+// CheckMem returns ErrMemBudget when the estimated bytes meet or exceed
+// MaxBytes.
+func (b Budget) CheckMem(bytes int64) error {
+	if b.MaxBytes > 0 && bytes >= b.MaxBytes {
+		return ErrMemBudget
+	}
+	return nil
+}
+
+// Check runs every bound at once: context liveness first (cancellation
+// must win over budget exhaustion so an interrupted run reports what the
+// user did), then the wall clock, the state budget and the memory budget.
+// It returns nil when the run may continue.
+func (b Budget) Check(ctx context.Context, states int, bytes int64) error {
+	if err := FromContext(ctx); err != nil {
+		return err
+	}
+	if err := b.CheckDeadline(time.Now()); err != nil {
+		return err
+	}
+	if err := b.CheckStates(states); err != nil {
+		return err
+	}
+	return b.CheckMem(bytes)
+}

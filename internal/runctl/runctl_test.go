@@ -1,0 +1,75 @@
+package runctl
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFromContext(t *testing.T) {
+	if err := FromContext(context.Background()); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := FromContext(canceled); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled context -> %v, want ErrCanceled", err)
+	}
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if err := FromContext(expired); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("expired context -> %v, want ErrDeadline", err)
+	}
+}
+
+func TestBudgetChecks(t *testing.T) {
+	var zero Budget
+	if err := zero.Check(context.Background(), 1<<30, 1<<40); err != nil {
+		t.Fatalf("zero budget must be unlimited, got %v", err)
+	}
+
+	b := Budget{MaxStates: 10}
+	if err := b.CheckStates(9); err != nil {
+		t.Fatalf("under budget: %v", err)
+	}
+	if err := b.CheckStates(10); !errors.Is(err, ErrStateBudget) {
+		t.Fatalf("at budget -> %v, want ErrStateBudget", err)
+	}
+
+	m := Budget{MaxBytes: 100}
+	if err := m.CheckMem(99); err != nil {
+		t.Fatalf("under mem budget: %v", err)
+	}
+	if err := m.CheckMem(100); !errors.Is(err, ErrMemBudget) {
+		t.Fatalf("at mem budget -> %v, want ErrMemBudget", err)
+	}
+
+	d := Budget{Deadline: time.Now().Add(-time.Minute)}
+	if err := d.CheckDeadline(time.Now()); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("past deadline -> %v, want ErrDeadline", err)
+	}
+	if err := (Budget{Deadline: time.Now().Add(time.Hour)}).CheckDeadline(time.Now()); err != nil {
+		t.Fatalf("future deadline: %v", err)
+	}
+}
+
+func TestCancellationWinsOverBudget(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := Budget{MaxStates: 1, MaxBytes: 1, Deadline: time.Now().Add(-time.Hour)}
+	if err := b.Check(ctx, 100, 100); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled to win", err)
+	}
+}
+
+func TestIsStop(t *testing.T) {
+	for _, err := range []error{ErrCanceled, ErrDeadline, ErrStateBudget, ErrMemBudget} {
+		if !IsStop(err) {
+			t.Errorf("IsStop(%v) = false", err)
+		}
+	}
+	if IsStop(errors.New("other")) || IsStop(nil) {
+		t.Error("IsStop must reject non-stop errors")
+	}
+}

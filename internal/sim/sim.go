@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fsm"
+	"repro/internal/runctl"
 	"repro/internal/trace"
 )
 
@@ -268,7 +270,24 @@ func (m *Machine) step(ref trace.Ref) (fsm.StepResult, error) {
 // early on an execution error. The returned stats are the machine's
 // cumulative counters.
 func (m *Machine) Run(w trace.Workload, nops int) (Stats, error) {
+	return m.RunContext(context.Background(), w, nops)
+}
+
+// ctxCheckInterval is how many operations run between context checks: a
+// power of two so the modulo folds to a mask, coarse enough that the check
+// does not perturb the simulator's throughput.
+const ctxCheckInterval = 1024
+
+// RunContext is Run under a context: cancellation and deadlines are checked
+// every ctxCheckInterval operations, returning the cumulative stats so far
+// with an error matching runctl.ErrCanceled or runctl.ErrDeadline.
+func (m *Machine) RunContext(ctx context.Context, w trace.Workload, nops int) (Stats, error) {
 	for k := 0; k < nops; k++ {
+		if k%ctxCheckInterval == 0 {
+			if err := runctl.FromContext(ctx); err != nil {
+				return m.stats, fmt.Errorf("sim: stopped after %d ops: %w", k, err)
+			}
+		}
 		if _, err := m.Apply(w.Next()); err != nil {
 			return m.stats, fmt.Errorf("sim: op %d: %w", k, err)
 		}

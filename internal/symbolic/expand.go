@@ -1,16 +1,21 @@
 package symbolic
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/fsm"
+	"repro/internal/runctl"
 )
 
 // Options tune the Expand run.
 type Options struct {
 	// MaxVisits bounds the number of generated successor states as a
 	// safety net against ill-formed protocols; 0 means the default (100000).
+	// Budget.MaxStates, when set, additionally bounds the number of
+	// distinct composite states generated, checked at worklist boundaries.
 	MaxVisits int
 	// RecordLog keeps the full visit log (the Appendix A.2 listing).
 	RecordLog bool
@@ -26,6 +31,23 @@ type Options struct {
 	// distinct reachable composite states instead of just the essential
 	// ones — quantifying what the paper's pruning buys.
 	NoContainment bool
+
+	// Budget bounds the run's wall clock, distinct-state count and
+	// estimated worklist memory. All three are checked at worklist-item
+	// boundaries, so a stopped run ends between expansions and its partial
+	// Result (and checkpoint) covers whole expansion steps only. The
+	// MaxVisits cap above, by contrast, is exact and may stop mid-step.
+	Budget runctl.Budget
+	// CheckpointOnStop captures a resumable snapshot into
+	// Result.Checkpoint when the run is stopped by cancellation, the
+	// deadline, the state budget or the memory budget.
+	CheckpointOnStop bool
+	// CheckpointEvery, with OnCheckpoint, emits a periodic snapshot every
+	// that many expanded worklist states.
+	CheckpointEvery int
+	// OnCheckpoint receives periodic snapshots; a non-nil return aborts
+	// the run with that error.
+	OnCheckpoint func(*Checkpoint) error
 }
 
 const defaultMaxVisits = 100000
@@ -98,7 +120,8 @@ type Result struct {
 	// Superseded counts worklist states discarded because a successor
 	// contained them (the "discard A and start a new run" branch).
 	Superseded int
-	// Log is the visit log when Options.RecordLog was set.
+	// Log is the visit log when Options.RecordLog was set. It is not
+	// preserved across checkpoint/resume.
 	Log []VisitRecord
 	// Violations lists every erroneous state found, with witnesses.
 	Violations []StateViolation
@@ -106,6 +129,18 @@ type Result struct {
 	// cascades, missing suppliers); non-empty SpecErrors mean the protocol
 	// definition itself is broken.
 	SpecErrors []error
+	// Truncated reports that the run stopped before the working list
+	// emptied; StopReason carries the structured cause.
+	Truncated bool
+	// StopReason is nil for a complete run; otherwise it matches one of
+	// the runctl sentinels (ErrCanceled, ErrDeadline, ErrStateBudget,
+	// ErrMemBudget) via errors.Is.
+	StopReason error
+	// Checkpoint is a resumable snapshot of the interrupted run, present
+	// when Options.CheckpointOnStop was set and the stop happened at a
+	// worklist boundary (the exact MaxVisits cap stops mid-step and is
+	// not checkpointable).
+	Checkpoint *Checkpoint
 }
 
 // OK reports whether the protocol verified cleanly: no erroneous states and
@@ -128,31 +163,141 @@ func Expand(p *fsm.Protocol, opts Options) (*Result, error) {
 	return e.Expand(opts), nil
 }
 
+// ExpandContext is Expand under a context: cancellation, deadlines and the
+// budgets stop the run at the next worklist item, returning the partial
+// Result with a structured StopReason. The only error condition besides
+// engine construction is a failing OnCheckpoint sink.
+func ExpandContext(ctx context.Context, p *fsm.Protocol, opts Options) (*Result, error) {
+	e, err := NewEngine(p)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExpandContext(ctx, opts)
+}
+
 // Expand runs the essential-states generation algorithm of Figure 3.
 func (e *Engine) Expand(opts Options) *Result {
+	res, _ := e.ExpandContext(context.Background(), opts)
+	return res
+}
+
+// ExpandContext runs Figure 3 under a context with budget enforcement.
+func (e *Engine) ExpandContext(ctx context.Context, opts Options) (*Result, error) {
+	x := newExpander(e, opts)
+	init := e.Initial()
+	x.parents[init.Key()] = parentInfo{}
+	x.seenKeys[init.Key()] = struct{}{}
+	if v := e.Check(init, opts.Strict); len(v) > 0 {
+		x.res.Violations = append(x.res.Violations, StateViolation{State: init, Violations: v})
+		if opts.StopOnViolation {
+			return x.res, nil
+		}
+	}
+	x.work = []*CState{init}
+	return x.run(ctx)
+}
+
+// expander is the resumable state of one Figure 3 run: the working list W,
+// the history list H, and the bookkeeping maps. It is built fresh by
+// ExpandContext and rebuilt from a Checkpoint by ResumeContext, so an
+// interrupted-then-resumed run walks exactly the states an uninterrupted
+// run would.
+type expander struct {
+	e         *Engine
+	opts      Options
+	maxVisits int
+
+	work     []*CState
+	hist     []*CState
+	parents  map[string]parentInfo
+	reported map[string]bool
+	seenKeys map[string]struct{}
+	sinceCp  int
+
+	res *Result
+}
+
+func newExpander(e *Engine, opts Options) *expander {
 	maxVisits := opts.MaxVisits
 	if maxVisits <= 0 {
 		maxVisits = defaultMaxVisits
 	}
-	res := &Result{Protocol: e.p}
-	init := e.Initial()
-
-	parents := map[string]parentInfo{init.Key(): {}}
-	if v := e.Check(init, opts.Strict); len(v) > 0 {
-		res.Violations = append(res.Violations, StateViolation{State: init, Violations: v})
-		if opts.StopOnViolation {
-			return res
-		}
+	return &expander{
+		e: e, opts: opts, maxVisits: maxVisits,
+		parents:  map[string]parentInfo{},
+		reported: map[string]bool{},
+		seenKeys: map[string]struct{}{},
+		res:      &Result{Protocol: e.p},
 	}
+}
 
-	work := []*CState{init}
-	var hist []*CState
-	reported := map[string]bool{}
-	seenKeys := map[string]struct{}{init.Key(): {}}
+// cstateBytes estimates the resident cost of one composite state: its two
+// component slices, its key (held twice: in the state and as a map key) and
+// the bookkeeping map entries.
+func cstateBytes(s *CState) int64 {
+	return int64(2*len(s.reps) + 2*len(s.key) + 96)
+}
 
-	for len(work) > 0 && res.Visits < maxVisits {
-		a := work[0]
-		work = work[1:]
+// estBytes estimates the run's footprint from the worklist, the history and
+// the parent map. Computed from state sizes, not the allocator, so it is
+// deterministic across runs and platforms.
+func (x *expander) estBytes() int64 {
+	var b int64
+	for _, s := range x.work {
+		b += cstateBytes(s)
+	}
+	for _, s := range x.hist {
+		b += cstateBytes(s)
+	}
+	return b + int64(len(x.parents))*64
+}
+
+// stopCheck evaluates the boundary-granularity budgets. Distinct generated
+// states (the parent map's size) stand in for the enumerators' state count.
+func (x *expander) stopCheck(ctx context.Context) error {
+	if err := runctl.FromContext(ctx); err != nil {
+		return err
+	}
+	if err := x.opts.Budget.CheckDeadline(time.Now()); err != nil {
+		return err
+	}
+	if err := x.opts.Budget.CheckStates(len(x.parents)); err != nil {
+		return err
+	}
+	return x.opts.Budget.CheckMem(x.estBytes())
+}
+
+// stop finalizes an early stop at a worklist boundary.
+func (x *expander) stop(reason error) {
+	x.res.StopReason = reason
+	x.res.Truncated = true
+	x.res.Essential = x.hist
+	if x.opts.CheckpointOnStop {
+		x.res.Checkpoint = x.snapshot()
+	}
+}
+
+func (x *expander) maybeCheckpoint() error {
+	if x.opts.OnCheckpoint == nil || x.opts.CheckpointEvery <= 0 || x.sinceCp < x.opts.CheckpointEvery {
+		return nil
+	}
+	x.sinceCp = 0
+	return x.opts.OnCheckpoint(x.snapshot())
+}
+
+// run drives the Figure 3 loop over the expander state.
+func (x *expander) run(ctx context.Context) (*Result, error) {
+	e, opts, res := x.e, x.opts, x.res
+	for len(x.work) > 0 && res.Visits < x.maxVisits {
+		if err := x.stopCheck(ctx); err != nil {
+			x.stop(err)
+			return res, nil
+		}
+		if err := x.maybeCheckpoint(); err != nil {
+			return nil, err
+		}
+		a := x.work[0]
+		x.work = x.work[1:]
 		superseded := false
 
 	expandA:
@@ -172,23 +317,23 @@ func (e *Engine) Expand(opts Options) *Result {
 				for _, su := range succs {
 					res.Visits++
 					ap := su.State
-					if _, seen := parents[ap.Key()]; !seen {
-						parents[ap.Key()] = parentInfo{parent: a, label: su.Label}
+					if _, seen := x.parents[ap.Key()]; !seen {
+						x.parents[ap.Key()] = parentInfo{parent: a, label: su.Label}
 					}
 
 					// Erroneous-state detection happens before pruning so
 					// containment can never hide a violation.
-					if !reported[ap.Key()] {
+					if !x.reported[ap.Key()] {
 						if v := e.Check(ap, opts.Strict); len(v) > 0 {
-							reported[ap.Key()] = true
+							x.reported[ap.Key()] = true
 							res.Violations = append(res.Violations, StateViolation{
 								State:      ap,
 								Violations: v,
-								Path:       e.witness(parents, ap),
+								Path:       e.witness(x.parents, ap),
 							})
 							if opts.StopOnViolation {
-								res.Essential = append(hist, work...)
-								return res
+								res.Essential = append(x.hist, x.work...)
+								return res, nil
 							}
 						}
 					}
@@ -196,27 +341,27 @@ func (e *Engine) Expand(opts Options) *Result {
 					outcome := OutcomeNew
 					switch {
 					case opts.NoContainment:
-						if _, dup := seenKeys[ap.Key()]; dup {
+						if _, dup := x.seenKeys[ap.Key()]; dup {
 							outcome = OutcomeContained
 						} else {
-							seenKeys[ap.Key()] = struct{}{}
-							work = append(work, ap)
+							x.seenKeys[ap.Key()] = struct{}{}
+							x.work = append(x.work, ap)
 						}
 					case Contains(a, ap):
 						outcome = OutcomeContained
-					case containedInAny(ap, work) || containedInAny(ap, hist):
+					case containedInAny(ap, x.work) || containedInAny(ap, x.hist):
 						outcome = OutcomeContained
 					default:
 						var removed int
-						work, removed = removeContained(work, ap)
+						x.work, removed = removeContained(x.work, ap)
 						if removed > 0 {
 							outcome = OutcomeSupersedes
 						}
-						hist, removed = removeContained(hist, ap)
+						x.hist, removed = removeContained(x.hist, ap)
 						if removed > 0 {
 							outcome = OutcomeSupersedes
 						}
-						work = append(work, ap)
+						x.work = append(x.work, ap)
 						if Contains(ap, a) {
 							// "discard A and terminate all FOR loops
 							// starting a new run."
@@ -230,7 +375,7 @@ func (e *Engine) Expand(opts Options) *Result {
 							To: ap, Outcome: outcome,
 						})
 					}
-					if res.Visits >= maxVisits {
+					if res.Visits >= x.maxVisits {
 						break expandA
 					}
 					if superseded {
@@ -242,14 +387,21 @@ func (e *Engine) Expand(opts Options) *Result {
 		if !superseded {
 			res.Expansions++
 			if opts.NoContainment {
-				hist = append(hist, a)
-			} else if !containedInAny(a, hist) && !containedInAny(a, work) {
-				hist = append(hist, a)
+				x.hist = append(x.hist, a)
+			} else if !containedInAny(a, x.hist) && !containedInAny(a, x.work) {
+				x.hist = append(x.hist, a)
 			}
 		}
+		x.sinceCp++
 	}
-	res.Essential = hist
-	return res
+	res.Essential = x.hist
+	if len(x.work) > 0 {
+		// The exact MaxVisits cap tripped mid-expansion; no checkpoint for
+		// mid-step stops.
+		res.Truncated = true
+		res.StopReason = runctl.ErrStateBudget
+	}
+	return res, nil
 }
 
 func containedInAny(s *CState, list []*CState) bool {

@@ -35,11 +35,15 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/ccpsl"
 	"repro/internal/core"
 	"repro/internal/fsm"
 	"repro/internal/mutate"
 	"repro/internal/protocols"
+	"repro/internal/runctl"
+	"repro/internal/symbolic"
 )
 
 // Protocol is a behavioral cache-coherence protocol definition.
@@ -56,9 +60,43 @@ type Report = core.Report
 // Mutant is a protocol with one injected design fault.
 type Mutant = mutate.Mutant
 
+// Budget bounds a verification run: wall-clock deadline, distinct-state
+// count and estimated worklist memory. The zero value is unlimited.
+type Budget = runctl.Budget
+
+// SymbolicCheckpoint is a resumable snapshot of an interrupted symbolic
+// expansion; pass it back via VerifyOptions.Resume.
+type SymbolicCheckpoint = symbolic.Checkpoint
+
+// Structured stop reasons. A run stopped by cancellation or a resource
+// budget returns its partial results together with an error matching
+// exactly one of these via errors.Is.
+var (
+	// ErrCanceled: the run's context was canceled.
+	ErrCanceled = runctl.ErrCanceled
+	// ErrDeadline: the context deadline or Budget.Deadline expired.
+	ErrDeadline = runctl.ErrDeadline
+	// ErrStateBudget: Budget.MaxStates (or an engine's visit cap) was
+	// exhausted.
+	ErrStateBudget = runctl.ErrStateBudget
+	// ErrMemBudget: Budget.MaxBytes was exhausted.
+	ErrMemBudget = runctl.ErrMemBudget
+)
+
+// IsStop reports whether err is one of the structured stop reasons.
+func IsStop(err error) bool { return runctl.IsStop(err) }
+
 // Verify runs the symbolic verification pipeline on a protocol.
 func Verify(p *Protocol, opts VerifyOptions) (*Report, error) {
 	return core.Verify(p, opts)
+}
+
+// VerifyContext is Verify under a context: cancellation, deadlines and the
+// VerifyOptions.Budget bounds stop the run at the next clean boundary and
+// return the partial Report together with an error matching one of the
+// stop sentinels above via errors.Is.
+func VerifyContext(ctx context.Context, p *Protocol, opts VerifyOptions) (*Report, error) {
+	return core.VerifyContext(ctx, p, opts)
 }
 
 // ProtocolByName returns a built-in protocol ("illinois", "write-once",
