@@ -29,6 +29,7 @@ import (
 	"repro/internal/enum"
 	"repro/internal/protocols"
 	"repro/internal/report"
+	"repro/internal/runctl"
 )
 
 // cliOpts carries everything below the protocol/n pair; the run function
@@ -53,8 +54,27 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0: none)")
 		checkpoint = flag.String("checkpoint", "", "write a resumable checkpoint here when the run is stopped")
 		resume     = flag.String("resume", "", "resume an interrupted run from this checkpoint file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := runctl.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccenum:", err)
+		os.Exit(1)
+	}
+	// os.Exit skips deferred calls, so every exit path flushes the profiles
+	// explicitly first.
+	exit := func(code int) {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "ccenum:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -70,9 +90,9 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccenum:", err)
-		os.Exit(1)
+		exit(1)
 	}
-	os.Exit(code)
+	exit(code)
 }
 
 // run executes the requested enumerations and returns the process exit code

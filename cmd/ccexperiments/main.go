@@ -44,10 +44,29 @@ var allExperiments = []struct {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (all, fig1, fig4, fig4table, a2, complexity, suite, mutants, workloads)")
-		timeout = flag.Duration("timeout", 0, "wall-clock limit for the sweep, checked between experiments (0: none)")
+		exp        = flag.String("exp", "all", "experiment to run (all, fig1, fig4, fig4table, a2, complexity, suite, mutants, workloads)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the sweep, checked between experiments (0: none)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := runctl.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccexperiments:", err)
+		os.Exit(1)
+	}
+	// os.Exit skips deferred calls, so every exit path flushes the profiles
+	// explicitly first.
+	exit := func(code int) {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "ccexperiments:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -64,12 +83,12 @@ func main() {
 		}
 		if err := runctl.FromContext(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "ccexperiments: stopped before %s: %v\n", e.name, err)
-			os.Exit(3)
+			exit(3)
 		}
 		ran = true
 		if err := e.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "ccexperiments: %s: %v\n", e.name, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Println()
 	}
@@ -78,6 +97,7 @@ func main() {
 		for _, e := range allExperiments {
 			fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.name, e.desc)
 		}
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
 }

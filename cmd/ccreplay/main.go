@@ -39,10 +39,29 @@ func main() {
 	var (
 		protoName = flag.String("protocol", "illinois", "built-in protocol name ("+strings.Join(protocols.Names(), ", ")+")")
 		n         = flag.Int("n", 3, "number of caches")
-		script    = flag.String("script", "", "space-separated references, e.g. \"0R 1W 0Z\"; empty reads stdin")
-		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the whole session (0: none)")
+		script     = flag.String("script", "", "space-separated references, e.g. \"0R 1W 0Z\"; empty reads stdin")
+		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the whole session (0: none)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := runctl.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccreplay:", err)
+		os.Exit(1)
+	}
+	// os.Exit skips deferred calls, so every exit path flushes the profiles
+	// explicitly first.
+	exit := func(code int) {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "ccreplay:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -59,11 +78,12 @@ func main() {
 	if err := run(ctx, os.Stdout, in, *protoName, *n, *script == ""); err != nil {
 		if runctl.IsStop(err) {
 			fmt.Fprintln(os.Stderr, "ccreplay: stopped early:", err)
-			os.Exit(3)
+			exit(3)
 		}
 		fmt.Fprintln(os.Stderr, "ccreplay:", err)
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
 }
 
 // parseRef parses a "<cache><op>" token like "0R" or "12W".

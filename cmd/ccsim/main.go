@@ -46,8 +46,27 @@ func main() {
 		pwrite     = flag.Float64("pwrite", 0.3, "write probability (uniform/hot-block)")
 		crossCheck = flag.String("crosscheck", "", "comma-separated cache counts for symbolic cross-validation")
 		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0: none)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := runctl.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccsim:", err)
+		os.Exit(1)
+	}
+	// os.Exit skips deferred calls, so every exit path flushes the profiles
+	// explicitly first.
+	exit := func(code int) {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "ccsim:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -60,9 +79,9 @@ func main() {
 	code, err := run(ctx, *protoName, *caches, *blocks, *capacity, *workload, *ops, *seed, *pwrite, *crossCheck)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccsim:", err)
-		os.Exit(1)
+		exit(1)
 	}
-	os.Exit(code)
+	exit(code)
 }
 
 // run executes the simulation (or cross-check) and returns the process exit

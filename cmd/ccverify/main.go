@@ -66,15 +66,34 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0: none)")
 		checkpoint = flag.String("checkpoint", "", "write a resumable checkpoint here when the run is stopped")
 		resume     = flag.String("resume", "", "resume an interrupted symbolic expansion from this checkpoint file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := runctl.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccverify:", err)
+		os.Exit(1)
+	}
+	// os.Exit skips deferred calls, so every exit path flushes the profiles
+	// explicitly first.
+	exit := func(code int) {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "ccverify:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
 
 	if *compare != "" {
 		if err := runCompare(*compare); err != nil {
 			fmt.Fprintln(os.Stderr, "ccverify:", err)
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -92,9 +111,9 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccverify:", err)
-		os.Exit(1)
+		exit(1)
 	}
-	os.Exit(code)
+	exit(code)
 }
 
 // runCompare builds both global diagrams and prints the paper-motivated

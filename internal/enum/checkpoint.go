@@ -14,7 +14,14 @@ import (
 
 // CheckpointVersion is the format version of serialized checkpoints;
 // Decode rejects other versions.
-const CheckpointVersion = 1
+//
+// Version history:
+//   - 1: string-keyed engine state (pre packed keys).
+//   - 2: the engines key states by packed Keys; checkpoints render them
+//     back to the version-1 canonical strings on save (snapshots stay
+//     human-debuggable JSON) but the accepted key grammar is validated on
+//     resume, so version-1 files are rejected rather than reinterpreted.
+const CheckpointVersion = 2
 
 // Checkpoint is a resumable snapshot of an enumeration run, taken at a
 // worklist/level boundary: every state is either fully expanded (in
@@ -123,15 +130,15 @@ func (b *bfs) snapshot(frontier []*fsm.Config) *Checkpoint {
 		Frontier: make([]ConfigState, len(frontier)),
 	}
 	for k := range b.visited {
-		cp.Visited = append(cp.Visited, k)
+		cp.Visited = append(cp.Visited, b.kc.render(k))
 	}
 	sort.Strings(cp.Visited)
 	for k := range b.tuples {
-		cp.Tuples = append(cp.Tuples, k)
+		cp.Tuples = append(cp.Tuples, b.kc.renderTuple(k))
 	}
 	sort.Strings(cp.Tuples)
 	for k, pi := range b.parents {
-		cp.Parents[k] = ParentState{Key: pi.key, Cache: pi.cache, Op: string(pi.op)}
+		cp.Parents[b.kc.render(k)] = ParentState{Key: b.kc.render(pi.key), Cache: pi.cache, Op: string(pi.op)}
 	}
 	for i, c := range frontier {
 		cp.Frontier[i] = configState(c)
@@ -167,7 +174,7 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 		return nil, fmt.Errorf("enum: decoding checkpoint: %w", err)
 	}
 	if cp.Version != CheckpointVersion {
-		return nil, fmt.Errorf("enum: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+		return nil, fmt.Errorf("enum: unsupported checkpoint version %d (this build reads version %d; checkpoints from older builds cannot be resumed — re-run the enumeration)", cp.Version, CheckpointVersion)
 	}
 	return &cp, nil
 }
@@ -250,7 +257,7 @@ func resumeBFS(p *fsm.Protocol, cp *Checkpoint, opts Options) (*bfs, []*fsm.Conf
 		return nil, nil, err
 	}
 	if cp.Version != CheckpointVersion {
-		return nil, nil, fmt.Errorf("enum: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+		return nil, nil, fmt.Errorf("enum: unsupported checkpoint version %d (this build reads version %d; checkpoints from older builds cannot be resumed — re-run the enumeration)", cp.Version, CheckpointVersion)
 	}
 	if cp.Protocol != p.Name {
 		return nil, nil, fmt.Errorf("enum: checkpoint is for protocol %q, not %q", cp.Protocol, p.Name)
@@ -258,8 +265,7 @@ func resumeBFS(p *fsm.Protocol, cp *Checkpoint, opts Options) (*bfs, []*fsm.Conf
 	if cp.N < 1 {
 		return nil, nil, fmt.Errorf("enum: checkpoint has invalid cache count %d", cp.N)
 	}
-	key, symmetric, err := modeFuncs(cp.Mode)
-	if err != nil {
+	if err := validMode(cp.Mode); err != nil {
 		return nil, nil, err
 	}
 	known := make(map[fsm.State]bool, len(p.States))
@@ -291,22 +297,41 @@ func resumeBFS(p *fsm.Protocol, cp *Checkpoint, opts Options) (*bfs, []*fsm.Conf
 		maxStates = defaultMaxStates
 	}
 	b := &bfs{
-		p: p, n: cp.N, opts: opts, key: key, mode: cp.Mode, symmetric: symmetric,
+		p: p, n: cp.N, opts: opts, kc: newKeyCodec(p, cp.N, cp.Mode), mode: cp.Mode,
+		symmetric: cp.Mode == ModeCounting,
 		maxStates: maxStates,
-		visited:   make(map[string]bool, len(cp.Visited)),
-		parents:   make(map[string]parent, len(cp.Parents)),
-		tuples:    make(map[string]bool, len(cp.Tuples)),
+		visited:   make(map[Key]bool, len(cp.Visited)),
+		parents:   make(map[Key]parent, len(cp.Parents)),
+		tuples:    make(map[Key]bool, len(cp.Tuples)),
 		res:       &Result{Protocol: p, N: cp.N, Visits: cp.Visits},
 	}
-	for _, k := range cp.Visited {
+	for _, s := range cp.Visited {
+		k, err := b.kc.parse(s)
+		if err != nil {
+			return nil, nil, err
+		}
 		b.visited[k] = true
-		b.bytes += stateBytes(len(k), cp.N)
+		b.bytes += stateBytes(cp.N)
 	}
-	for _, k := range cp.Tuples {
+	for _, s := range cp.Tuples {
+		k, err := b.kc.parseTuple(s)
+		if err != nil {
+			return nil, nil, err
+		}
 		b.tuples[k] = true
 	}
-	for k, ps := range cp.Parents {
-		b.parents[k] = parent{key: ps.Key, cache: ps.Cache, op: fsm.Op(ps.Op)}
+	for s, ps := range cp.Parents {
+		k, err := b.kc.parse(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		pk := Key{}
+		if ps.Key != "" {
+			if pk, err = b.kc.parse(ps.Key); err != nil {
+				return nil, nil, err
+			}
+		}
+		b.parents[k] = parent{key: pk, cache: ps.Cache, op: fsm.Op(ps.Op)}
 	}
 	frontier := make([]*fsm.Config, len(cp.Frontier))
 	for i, cs := range cp.Frontier {
@@ -314,8 +339,8 @@ func resumeBFS(p *fsm.Protocol, cp *Checkpoint, opts Options) (*bfs, []*fsm.Conf
 		if err != nil {
 			return nil, nil, err
 		}
-		if !b.visited[key(c)] {
-			return nil, nil, fmt.Errorf("enum: checkpoint frontier state %q not in visited set", key(c))
+		if !b.visited[b.kc.key(c)] {
+			return nil, nil, fmt.Errorf("enum: checkpoint frontier state %q not in visited set", b.kc.render(b.kc.key(c)))
 		}
 		frontier[i] = c
 	}

@@ -127,6 +127,9 @@ type Result struct {
 	// worklist/level boundary (cancellation, deadline or memory budget;
 	// the exact state cap stops mid-step and is not checkpointable).
 	Checkpoint *Checkpoint
+	// EstBytes is the run's final estimated resident footprint, the value
+	// the memory budget was enforced against (see stateBytes).
+	EstBytes int64
 	// WorkerErrors records panics recovered in parallel BFS workers. The
 	// affected frontier slices were re-expanded sequentially, so unless a
 	// matching SpecError reports a persistent panic the results are
@@ -137,10 +140,12 @@ type Result struct {
 // OK reports whether the protocol verified cleanly at this cache count.
 func (r *Result) OK() bool { return len(r.Violations) == 0 && len(r.SpecErrors) == 0 }
 
-// keyFunc maps a canonical configuration to its equivalence-class key.
-type keyFunc func(*fsm.Config) string
-
-// strictKey identifies configurations up to strict equality (Section 3.1).
+// strictKey is the legacy string identity of a configuration up to strict
+// equality (Section 3.1). The engines key states by the packed Key of
+// key.go instead; the string forms remain as the reference implementation
+// the packed encoding is property-tested against, as the rendering of keys
+// in checkpoints and witnesses, and as the fallback identity for runs too
+// large to pack.
 func strictKey(c *fsm.Config) string { return c.Key() }
 
 // countingKey identifies configurations up to cache permutation
@@ -162,15 +167,11 @@ const (
 	ModeCounting = "counting"
 )
 
-func modeFuncs(mode string) (keyFunc, bool, error) {
-	switch mode {
-	case ModeStrict:
-		return strictKey, false, nil
-	case ModeCounting:
-		return countingKey, true, nil
-	default:
-		return nil, false, fmt.Errorf("enum: unknown mode %q", mode)
+func validMode(mode string) error {
+	if mode != ModeStrict && mode != ModeCounting {
+		return fmt.Errorf("enum: unknown mode %q", mode)
 	}
+	return nil
 }
 
 // Exhaustive runs the paper's Figure 2 algorithm: breadth-first exploration
@@ -199,7 +200,7 @@ func CountingContext(ctx context.Context, p *fsm.Protocol, n int, opts Options) 
 }
 
 type parent struct {
-	key   string
+	key   Key
 	cache int
 	op    fsm.Op
 }
@@ -212,14 +213,14 @@ type bfs struct {
 	p         *fsm.Protocol
 	n         int
 	opts      Options
-	key       keyFunc
+	kc        *keyCodec
 	mode      string
 	symmetric bool
 	maxStates int
 
-	visited map[string]bool
-	parents map[string]parent
-	tuples  map[string]bool
+	visited map[Key]bool
+	parents map[Key]parent
+	tuples  map[Key]bool
 	bytes   int64 // estimated worklist+visited footprint
 	// sinceCp counts expanded states since the last periodic checkpoint.
 	sinceCp int
@@ -227,11 +228,13 @@ type bfs struct {
 	res *Result
 }
 
-// stateBytes estimates the resident cost of one admitted state: its key in
-// the visited and parents maps, the parent record, and the cloned
-// configuration (two slices of n elements) queued on the frontier.
-func stateBytes(keyLen, n int) int64 {
-	return int64(2*keyLen + 24*n + 112)
+// stateBytes estimates the resident cost of one admitted state: its
+// fixed-width Key in the visited, parents and tuples maps (48 bytes each
+// plus bucket overhead), the parent record, and the frontier configuration
+// (a States slice of string headers and a Versions slice). The constant is
+// pinned against measured heap growth by TestStateBytesEstimate.
+func stateBytes(n int) int64 {
+	return int64(24*n + 560)
 }
 
 // newBFS validates the inputs and seeds the run with the initial
@@ -244,8 +247,7 @@ func newBFS(p *fsm.Protocol, n int, opts Options, mode string) (b *bfs, init *fs
 	if n < 1 {
 		return nil, nil, false, fmt.Errorf("enum: need at least one cache, got %d", n)
 	}
-	key, symmetric, err := modeFuncs(mode)
-	if err != nil {
+	if err := validMode(mode); err != nil {
 		return nil, nil, false, err
 	}
 	maxStates := opts.Budget.MaxStates
@@ -256,18 +258,19 @@ func newBFS(p *fsm.Protocol, n int, opts Options, mode string) (b *bfs, init *fs
 		maxStates = defaultMaxStates
 	}
 	b = &bfs{
-		p: p, n: n, opts: opts, key: key, mode: mode, symmetric: symmetric,
+		p: p, n: n, opts: opts, kc: newKeyCodec(p, n, mode), mode: mode,
+		symmetric: mode == ModeCounting,
 		maxStates: maxStates,
 		res:       &Result{Protocol: p, N: n},
 	}
 
 	init = fsm.NewConfig(p, n)
 	Canonicalize(init)
-	ik := key(init)
-	b.visited = map[string]bool{ik: true}
-	b.parents = map[string]parent{ik: {}}
-	b.tuples = map[string]bool{init.StateKey(): true}
-	b.bytes = stateBytes(len(ik), n)
+	ik := b.kc.key(init)
+	b.visited = map[Key]bool{ik: true}
+	b.parents = map[Key]parent{ik: {}}
+	b.tuples = map[Key]bool{b.kc.tupleKey(init): true}
+	b.bytes = stateBytes(n)
 	if opts.KeepReachable {
 		b.res.Reachable = append(b.res.Reachable, init.Clone())
 	}
@@ -318,27 +321,36 @@ func (b *bfs) maybeCheckpoint(frontier []*fsm.Config) error {
 func (b *bfs) finish() {
 	b.res.Unique = len(b.visited)
 	b.res.TupleStates = len(b.tuples)
+	b.res.EstBytes = b.bytes
 }
 
-// admit merges one generated successor: dedup, provenance, invariant
-// check, and the exact state cap. It appends newly admitted states to
+// admit merges one generated successor in the sequential engine: dedup,
+// then the shared commit bookkeeping. It appends newly admitted states to
 // *next and reports true when the run must end now (StopOnViolation or
-// state budget).
+// state budget). Duplicates return their configuration to the pool.
 func (b *bfs) admit(it succItem, next *[]*fsm.Config) bool {
 	b.res.Visits++
-	k := it.key
-	if b.visited[k] {
+	if b.visited[it.key] {
+		releaseConfig(it.cfg)
 		return false
 	}
-	b.visited[k] = true
-	b.parents[k] = parent{key: it.parent, cache: it.cache, op: it.op}
-	b.tuples[it.cfg.StateKey()] = true
-	b.bytes += stateBytes(len(k), b.n)
-	if v := fsm.CheckConfig(b.p, it.cfg, b.opts.Strict); len(v) > 0 {
+	return b.commit(it, fsm.CheckConfig(b.p, it.cfg, b.opts.Strict), next)
+}
+
+// commit installs one deduplicated successor: provenance, tuple census,
+// memory accounting, violation recording and the exact state cap. It is
+// shared by the sequential admit and the parallel reconcile (which
+// precomputes viol inside the workers), so the two engines cannot drift.
+func (b *bfs) commit(it succItem, viol []fsm.Violation, next *[]*fsm.Config) bool {
+	b.visited[it.key] = true
+	b.parents[it.key] = parent{key: it.parent, cache: it.cache, op: it.op}
+	b.tuples[b.kc.tupleKey(it.cfg)] = true
+	b.bytes += stateBytes(b.n)
+	if len(viol) > 0 {
 		b.res.Violations = append(b.res.Violations, Violation{
 			Config:     it.cfg.Clone(),
-			Violations: v,
-			Path:       witness(b.parents, k),
+			Violations: viol,
+			Path:       witness(b.kc, b.parents, it.key),
 		})
 		if b.opts.StopOnViolation {
 			b.finish()
@@ -375,9 +387,13 @@ func run(ctx context.Context, p *fsm.Protocol, n int, opts Options, mode string)
 
 // runSeq drives the classic FIFO exploration of Figure 2. Budgets are
 // checked before each expansion step, so every dequeued state is either
-// fully expanded or still on the queue when the run stops.
+// fully expanded or still on the queue when the run stops. The successor
+// buffer is reused across steps and fully expanded configurations return
+// to the pool, so the steady-state loop allocates only for newly admitted
+// frontier states.
 func (b *bfs) runSeq(ctx context.Context, queue []*fsm.Config) (*Result, error) {
 	expanded := 0
+	var out workerOut
 	for len(queue) > 0 {
 		if err := b.stopCheck(ctx); err != nil {
 			b.stop(err, queue)
@@ -391,13 +407,16 @@ func (b *bfs) runSeq(ctx context.Context, queue []*fsm.Config) (*Result, error) 
 		}
 		cur := queue[0]
 		queue = queue[1:]
-		out := expandSlice(b.p, b.n, b.key, b.symmetric, []*fsm.Config{cur})
+		out.items = out.items[:0]
+		out.specErrs = out.specErrs[:0]
+		expandOne(b.kc, b.symmetric, cur, &out)
 		b.res.SpecErrors = append(b.res.SpecErrors, out.specErrs...)
 		for _, it := range out.items {
 			if b.admit(it, &queue) {
 				return b.res, nil
 			}
 		}
+		releaseConfig(cur)
 		expanded++
 		b.sinceCp++
 	}
@@ -418,14 +437,18 @@ func shadowedBySibling(c *fsm.Config, i int) bool {
 	return false
 }
 
-func witness(parents map[string]parent, k string) []PathStep {
+// witness reconstructs the path from the initial configuration to k out of
+// the provenance map, rendering each hop's key in the legacy canonical
+// string format (PathStep.To equals fsm.Config.Key of the state reached,
+// in strict mode).
+func witness(kc *keyCodec, parents map[Key]parent, k Key) []PathStep {
 	var rev []PathStep
 	for {
 		pi, ok := parents[k]
-		if !ok || pi.key == "" {
+		if !ok || pi.key.isZero() {
 			break
 		}
-		rev = append(rev, PathStep{Cache: pi.cache, Op: pi.op, To: k})
+		rev = append(rev, PathStep{Cache: pi.cache, Op: pi.op, To: kc.render(k)})
 		k = pi.key
 		if len(rev) > 1000000 {
 			break

@@ -1,0 +1,69 @@
+package enum
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/fsm"
+	"repro/internal/protocols"
+)
+
+// TestStateBytesEstimate pins the stateBytes memory model against measured
+// heap growth. The estimate drives the MaxBytes budget, so it must track what
+// one admitted state actually costs: its Key in the visited, parents and
+// tuples maps, the parent record, and a frontier configuration. The test
+// builds exactly those structures for a large population of distinct
+// configurations and requires the estimate to stay within a factor of two of
+// the allocator's per-state cost in either direction.
+func TestStateBytesEstimate(t *testing.T) {
+	p := protocols.Illinois()
+	const n = 7
+	kc := newKeyCodec(p, n, ModeStrict)
+
+	// Every base-|Q| digit string of length n is a distinct state tuple, so
+	// both the full keys and the tuple keys are unique.
+	q := len(p.States)
+	m := 1
+	for i := 0; i < n; i++ {
+		m *= q
+	}
+	mk := func(i int) *fsm.Config {
+		c := fsm.NewConfig(p, n)
+		for j := 0; j < n; j++ {
+			c.States[j] = p.States[i%q]
+			i /= q
+		}
+		return c
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	visited := map[Key]bool{}
+	parents := map[Key]parent{}
+	tuples := map[Key]bool{}
+	frontier := make([]*fsm.Config, 0, m)
+	for i := 0; i < m; i++ {
+		c := mk(i)
+		k := kc.key(c)
+		visited[k] = true
+		parents[k] = parent{key: k, cache: i % n, op: fsm.OpRead}
+		tuples[kc.tupleKey(c)] = true
+		frontier = append(frontier, c)
+	}
+
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	measured := float64(after.HeapAlloc-before.HeapAlloc) / float64(m)
+	est := float64(stateBytes(n))
+	if measured < est/2 || measured > est*2 {
+		t.Fatalf("stateBytes(%d) = %.0f but measured %.1f B/state over %d states; estimate off by more than 2x",
+			n, est, measured, m)
+	}
+	t.Logf("stateBytes(%d) = %.0f, measured %.1f B/state", n, est, measured)
+	runtime.KeepAlive(visited)
+	runtime.KeepAlive(parents)
+	runtime.KeepAlive(tuples)
+	runtime.KeepAlive(frontier)
+}

@@ -5,19 +5,23 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 
 	"repro/internal/fsm"
 )
 
 // ExhaustiveParallel runs the Figure 2 exhaustive search with a
-// level-synchronous parallel BFS: each frontier generation is partitioned
-// across a worker pool, successors are generated concurrently, and a
-// single-threaded merge deduplicates them into the next frontier. The
-// result is bit-for-bit identical to Exhaustive (same distinct states, same
-// visit count, same violations) because visits count generated successors —
-// independent of exploration order — and the merge applies workers' output
-// in deterministic worker order.
+// level-synchronous parallel BFS. Within a level, workers expand disjoint
+// frontier slices and admit successors concurrently into a hash-sharded
+// pending set (the committed visited set is read-only during the level, so
+// dedup against prior levels is lock-free); the post-level reconcile then
+// applies the surviving admissions in a deterministic rank order that
+// reproduces the sequential engine's admission order exactly. The result
+// is bit-for-bit identical to Exhaustive — same distinct states, same
+// visit count, same violations — because visits count generated successors
+// (independent of exploration order) and rank order equals the order the
+// old single-threaded merge would have used.
 //
 // workers ≤ 0 selects GOMAXPROCS. The mⁿ state spaces of Section 3.1 are
 // embarrassingly parallel per level; the speedup benchmark
@@ -45,10 +49,12 @@ func CountingParallelContext(ctx context.Context, p *fsm.Protocol, n int, opts O
 }
 
 // WorkerError records a panic recovered in a parallel BFS worker. The
-// worker's frontier slice is re-expanded sequentially after the recovery,
-// so a transient panic leaves the run's results bit-for-bit identical to
-// the sequential algorithm; a panic that persists in the sequential retry
-// is additionally surfaced as a SpecError.
+// worker's frontier slice is re-expanded sequentially after the recovery
+// (admissions are idempotent under equal ranks, so a partial first attempt
+// is harmless), so a transient panic leaves the run's results bit-for-bit
+// identical to the sequential algorithm; a panic that persists in the
+// sequential retry is additionally surfaced as a SpecError and the
+// worker's pending admissions are discarded.
 type WorkerError struct {
 	// Level is the BFS depth at which the worker panicked.
 	Level int
@@ -65,51 +71,149 @@ func (e *WorkerError) Error() string {
 }
 
 // succItem is one generated successor, tagged with provenance for witness
-// reconstruction. The equivalence key is computed inside the worker so the
-// sequential merge only performs map operations.
+// reconstruction. The equivalence key is computed at generation time so
+// admission only performs map operations.
 type succItem struct {
 	cfg    *fsm.Config
-	key    string
-	parent string
+	key    Key
+	parent Key
 	cache  int
 	op     fsm.Op
 }
 
-// workerOut is the deterministic per-worker production of one level.
+// workerOut is a reusable successor buffer for the sequential engine.
 type workerOut struct {
 	items    []succItem
 	specErrs []error
 }
 
-// expandSlice generates the successors of a frontier slice. It is the
-// single expansion routine shared by the sequential engine, the parallel
-// workers, and the sequential fallback after a worker panic, which is what
-// keeps all three observationally identical.
-func expandSlice(p *fsm.Protocol, n int, key keyFunc, symmetric bool, frontier []*fsm.Config) workerOut {
-	var out workerOut
-	for _, cur := range frontier {
-		curKey := key(cur)
-		for i := 0; i < n; i++ {
-			if symmetric && shadowedBySibling(cur, i) {
+// expandOne generates the successors of one frontier configuration into
+// out. It is the single expansion routine shared by the sequential engine
+// and the parallel workers' admission loop, which is what keeps the two
+// observationally identical.
+func expandOne(kc *keyCodec, symmetric bool, cur *fsm.Config, out *workerOut) {
+	curKey := kc.key(cur)
+	p, n := kc.p, kc.n
+	for i := 0; i < n; i++ {
+		if symmetric && shadowedBySibling(cur, i) {
+			continue
+		}
+		for _, op := range p.Ops {
+			if len(p.RulesFor(cur.States[i], op)) == 0 {
 				continue
 			}
-			for _, op := range p.Ops {
-				if len(p.RulesFor(cur.States[i], op)) == 0 {
-					continue
-				}
-				next := cur.Clone()
-				if _, err := fsm.Step(p, next, i, op); err != nil {
-					out.specErrs = append(out.specErrs, err)
-					continue
-				}
-				Canonicalize(next)
-				out.items = append(out.items, succItem{
-					cfg: next, key: key(next),
-					parent: curKey, cache: i, op: op,
-				})
+			next := cloneConfig(cur)
+			if _, err := fsm.Step(p, next, i, op); err != nil {
+				out.specErrs = append(out.specErrs, err)
+				releaseConfig(next)
+				continue
 			}
+			Canonicalize(next)
+			out.items = append(out.items, succItem{
+				cfg: next, key: kc.key(next),
+				parent: curKey, cache: i, op: op,
+			})
 		}
 	}
+}
+
+// rankShift packs (worker, item) into a single admission rank: rank order
+// equals the order the old single-threaded merge applied worker output in
+// (all of worker 0's items, then worker 1's, ...), which makes the
+// reconcile deterministic and identical to the sequential engine.
+const rankShift = 40
+
+// pendEntry is one successor admitted into the level's pending set: the
+// lowest-ranked generator of its key seen so far, with its invariant
+// violations precomputed inside the worker.
+type pendEntry struct {
+	it   succItem
+	rank uint64
+	viol []fsm.Violation
+}
+
+// pendShard is one lock-striped slice of the pending admission set.
+type pendShard struct {
+	mu sync.Mutex
+	m  map[Key]*pendEntry
+}
+
+const numShards = 64 // power of two
+
+// pendSet is the hash-sharded pending set of one BFS level. Workers admit
+// concurrently; the minimum-rank entry wins key collisions, so the
+// surviving set is independent of goroutine scheduling.
+type pendSet struct {
+	shards [numShards]pendShard
+}
+
+func newPendSet() *pendSet {
+	ps := &pendSet{}
+	for i := range ps.shards {
+		ps.shards[i].m = make(map[Key]*pendEntry)
+	}
+	return ps
+}
+
+func (ps *pendSet) shard(k Key) *pendShard {
+	return &ps.shards[k.hash()&(numShards-1)]
+}
+
+// admit offers one generated successor to the pending set. Losing
+// duplicates return their configuration to the pool; equal ranks keep the
+// existing entry, which makes re-running a worker (panic retry) idempotent.
+func (ps *pendSet) admit(it succItem, rank uint64, strict bool, p *fsm.Protocol) {
+	sh := ps.shard(it.key)
+	// Fast pre-check: drop clearly losing duplicates before paying for the
+	// invariant check.
+	sh.mu.Lock()
+	if e := sh.m[it.key]; e != nil && e.rank <= rank {
+		sh.mu.Unlock()
+		releaseConfig(it.cfg)
+		return
+	}
+	sh.mu.Unlock()
+	ent := &pendEntry{it: it, rank: rank, viol: fsm.CheckConfig(p, it.cfg, strict)}
+	sh.mu.Lock()
+	if e := sh.m[it.key]; e == nil || rank < e.rank {
+		if e != nil {
+			releaseConfig(e.it.cfg)
+		}
+		sh.m[it.key] = ent
+		sh.mu.Unlock()
+		return
+	}
+	sh.mu.Unlock()
+	releaseConfig(it.cfg)
+}
+
+// purgeWorker discards every pending entry admitted by worker w, used when
+// a worker's panic persists through the sequential retry: the degraded
+// level then simply excludes that worker's output, like the old engine.
+func (ps *pendSet) purgeWorker(w int) {
+	for i := range ps.shards {
+		sh := &ps.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.m {
+			if int(e.rank>>rankShift) == w {
+				releaseConfig(e.it.cfg)
+				delete(sh.m, k)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// entries returns the surviving admissions sorted by rank — the exact
+// order the sequential engine would have admitted them in.
+func (ps *pendSet) entries() []*pendEntry {
+	var out []*pendEntry
+	for i := range ps.shards {
+		for _, e := range ps.shards[i].m {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].rank < out[j].rank })
 	return out
 }
 
@@ -135,9 +239,35 @@ func runParallel(ctx context.Context, p *fsm.Protocol, n int, opts Options, mode
 	return b.runPar(ctx, []*fsm.Config{init}, workers)
 }
 
+// expandWorker is the body of one level worker: it expands a frontier
+// slice via expandOne, deduplicates each successor against the committed
+// visited set (read-only during the level, so the read is lock-free) and
+// offers the survivors to the sharded pending set under rank
+// w<<rankShift|item. It returns the number of successors generated (the
+// worker's contribution to Visits) and any specification errors, both in
+// deterministic order.
+func (b *bfs) expandWorker(w int, frontier []*fsm.Config, ps *pendSet) (int, []error) {
+	var out workerOut
+	item := uint64(0)
+	for _, cur := range frontier {
+		out.items = out.items[:0]
+		expandOne(b.kc, b.symmetric, cur, &out)
+		for _, it := range out.items {
+			rank := uint64(w)<<rankShift | item
+			item++
+			if b.visited[it.key] {
+				releaseConfig(it.cfg)
+				continue
+			}
+			ps.admit(it, rank, b.opts.Strict, b.p)
+		}
+	}
+	return int(item), out.specErrs
+}
+
 // runPar drives the level-synchronous parallel BFS over the shared bfs
-// state. Budgets are checked between levels; the merge applies worker
-// output in deterministic worker order.
+// state. Budgets are checked between levels; the reconcile applies the
+// pending admissions in rank order, which equals sequential order.
 func (b *bfs) runPar(ctx context.Context, frontier []*fsm.Config, workers int) (*Result, error) {
 	for level := 0; len(frontier) > 0; level++ {
 		if err := b.stopCheck(ctx); err != nil {
@@ -151,12 +281,15 @@ func (b *bfs) runPar(ctx context.Context, frontier []*fsm.Config, workers int) (
 			testLevelHook(level)
 		}
 
-		// Fan out: each worker expands a contiguous slice of the frontier.
+		// Fan out: each worker expands a contiguous slice of the frontier
+		// and admits into the sharded pending set as it goes.
 		nw := workers
 		if nw > len(frontier) {
 			nw = len(frontier)
 		}
-		outs := make([]workerOut, nw)
+		ps := newPendSet()
+		gen := make([]int, nw)
+		errs := make([][]error, nw)
 		panics := make([]*WorkerError, nw)
 		chunk := (len(frontier) + nw - 1) / nw
 		bounds := func(w int) (int, int) {
@@ -178,7 +311,7 @@ func (b *bfs) runPar(ctx context.Context, frontier []*fsm.Config, workers int) (
 				defer wg.Done()
 				defer func() {
 					if r := recover(); r != nil {
-						outs[w] = workerOut{} // discard partial output
+						gen[w], errs[w] = 0, nil
 						panics[w] = &WorkerError{
 							Level: level, Worker: w,
 							Value: fmt.Sprint(r),
@@ -189,15 +322,19 @@ func (b *bfs) runPar(ctx context.Context, frontier []*fsm.Config, workers int) (
 				if testWorkerHook != nil {
 					testWorkerHook(level, w)
 				}
-				outs[w] = expandSlice(b.p, b.n, b.key, b.symmetric, frontier[lo:hi])
+				gen[w], errs[w] = b.expandWorker(w, frontier[lo:hi], ps)
 			}(w, lo, hi, level)
 		}
 		wg.Wait()
 
 		// Panic isolation: a panicked worker's slice is re-expanded
-		// sequentially so the merged level stays identical to the
-		// sequential algorithm's. A panic that persists outside the
-		// worker pool is reported instead of crashing the run.
+		// sequentially. Expansion is deterministic and pending admission
+		// is idempotent under equal ranks, so entries from the aborted
+		// first attempt simply stay and the retry fills in the rest —
+		// the merged level is identical to the sequential algorithm's.
+		// A panic that persists outside the worker pool is reported (and
+		// the worker's partial admissions withdrawn) instead of crashing
+		// the run.
 		for w, we := range panics {
 			if we == nil {
 				continue
@@ -207,24 +344,50 @@ func (b *bfs) runPar(ctx context.Context, frontier []*fsm.Config, workers int) (
 			func() {
 				defer func() {
 					if r := recover(); r != nil {
+						gen[w], errs[w] = 0, nil
+						ps.purgeWorker(w)
 						b.res.SpecErrors = append(b.res.SpecErrors, fmt.Errorf(
 							"enum: panic persisted in sequential retry of level %d slice [%d:%d]: %v",
 							we.Level, lo, hi, r))
 					}
 				}()
-				outs[w] = expandSlice(b.p, b.n, b.key, b.symmetric, frontier[lo:hi])
+				gen[w], errs[w] = b.expandWorker(w, frontier[lo:hi], ps)
 			}()
 		}
 
-		// Merge sequentially, in worker order, for determinism.
-		var next []*fsm.Config
-		for w := range outs {
-			b.res.SpecErrors = append(b.res.SpecErrors, outs[w].specErrs...)
-			for _, it := range outs[w].items {
-				if b.admit(it, &next) {
-					return b.res, nil
-				}
+		// Reconcile: apply the surviving admissions in rank order. A
+		// mid-level stop (StopOnViolation, state cap) at rank (w, i)
+		// counts exactly the successors the sequential merge would have
+		// processed by then: all of workers < w plus i+1 of worker w.
+		next := make([]*fsm.Config, 0, 16)
+		appended := 0 // workers whose spec errors are already in res
+		stopped := false
+		for _, e := range ps.entries() {
+			ew := int(e.rank >> rankShift)
+			for ; appended <= ew; appended++ {
+				b.res.SpecErrors = append(b.res.SpecErrors, errs[appended]...)
 			}
+			if b.commit(e.it, e.viol, &next) {
+				prior := 0
+				for w := 0; w < ew; w++ {
+					prior += gen[w]
+				}
+				b.res.Visits += prior + int(e.rank&(1<<rankShift-1)) + 1
+				stopped = true
+				break
+			}
+		}
+		if stopped {
+			return b.res, nil
+		}
+		for ; appended < nw; appended++ {
+			b.res.SpecErrors = append(b.res.SpecErrors, errs[appended]...)
+		}
+		for _, g := range gen {
+			b.res.Visits += g
+		}
+		for _, cur := range frontier {
+			releaseConfig(cur)
 		}
 		b.sinceCp += len(frontier)
 		frontier = next

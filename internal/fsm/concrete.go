@@ -50,6 +50,16 @@ func (c *Config) Clone() *Config {
 	}
 }
 
+// CopyFrom overwrites c with a deep copy of src, reusing c's slice capacity
+// when possible. It is the allocation-free counterpart of Clone used by the
+// enumeration engines' configuration pools.
+func (c *Config) CopyFrom(src *Config) {
+	c.States = append(c.States[:0], src.States...)
+	c.Versions = append(c.Versions[:0], src.Versions...)
+	c.MemVersion = src.MemVersion
+	c.Latest = src.Latest
+}
+
 // N returns the number of caches.
 func (c *Config) N() int { return len(c.States) }
 

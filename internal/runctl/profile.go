@@ -1,0 +1,56 @@
+package runctl
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts CPU profiling to cpuPath and arranges a heap profile
+// to be written to memPath; either path may be empty to disable that profile.
+// It returns a stop function that finalizes both files. The commands share it
+// behind their -cpuprofile/-memprofile flags.
+//
+// stop must run on every exit path: os.Exit skips deferred calls, so callers
+// invoke it explicitly before choosing an exit code rather than deferring it.
+// Calling stop with no profiles active is a no-op, so a single unconditional
+// call site suffices.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("runctl: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("runctl: cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("runctl: cpu profile: %w", err)
+			}
+			cpuFile = nil
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("runctl: mem profile: %w", err)
+			}
+			// Flush garbage so the profile reflects live retained memory.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				f.Close()
+				return fmt.Errorf("runctl: mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("runctl: mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

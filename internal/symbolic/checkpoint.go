@@ -14,7 +14,13 @@ import (
 
 // CheckpointVersion is the format version of serialized symbolic
 // checkpoints; DecodeCheckpoint rejects other versions.
-const CheckpointVersion = 1
+//
+// Version history:
+//   - 1: pre fast-path engine (PR 1).
+//   - 2: the expander keys its containment pruning on bitmask summaries
+//     and a structural-signature index; version 1 files predate the
+//     incremental bookkeeping and are rejected rather than reinterpreted.
+const CheckpointVersion = 2
 
 // Checkpoint is a resumable snapshot of a Figure 3 expansion, taken at a
 // worklist boundary. Composite states are interned into a table (States)
@@ -243,7 +249,7 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 		return nil, fmt.Errorf("symbolic: decoding checkpoint: %w", err)
 	}
 	if cp.Version != CheckpointVersion {
-		return nil, fmt.Errorf("symbolic: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+		return nil, fmt.Errorf("symbolic: unsupported checkpoint version %d (this build reads version %d; checkpoints from older builds cannot be resumed — re-run the expansion)", cp.Version, CheckpointVersion)
 	}
 	return &cp, nil
 }
@@ -298,7 +304,7 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 // counters.
 func (e *Engine) ResumeContext(ctx context.Context, cp *Checkpoint, opts Options) (*Result, error) {
 	if cp.Version != CheckpointVersion {
-		return nil, fmt.Errorf("symbolic: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+		return nil, fmt.Errorf("symbolic: unsupported checkpoint version %d (this build reads version %d; checkpoints from older builds cannot be resumed — re-run the expansion)", cp.Version, CheckpointVersion)
 	}
 	if cp.Protocol != e.p.Name {
 		return nil, fmt.Errorf("symbolic: checkpoint is for protocol %q, not %q", cp.Protocol, e.p.Name)
@@ -330,14 +336,16 @@ func (e *Engine) ResumeContext(ctx context.Context, cp *Checkpoint, opts Options
 		if err != nil {
 			return nil, err
 		}
-		x.work = append(x.work, s)
+		// pushWork rebuilds the containment indexes and the incremental
+		// byte estimate alongside the ordered list.
+		x.pushWork(s)
 	}
 	for _, i := range cp.Hist {
 		s, err := lookup(i, "history")
 		if err != nil {
 			return nil, err
 		}
-		x.hist = append(x.hist, s)
+		x.pushHist(s)
 	}
 	for k, pr := range cp.Parents {
 		pi := parentInfo{label: pr.Label.label()}

@@ -319,12 +319,29 @@ func (d Data) LE(e Data) bool {
 // context variable per protocol state symbol, the characteristic-function
 // attribute, and the memory context variable. CStates are immutable after
 // construction; share them freely.
+//
+// For protocols with at most 64 state symbols (all of them, in practice)
+// the constructor also derives bitmask summaries of the two component
+// vectors, one bit per state symbol. They turn the containment tests of
+// Definitions 8 and 9 — the hot operation of the Figure 3 worklist — into
+// a handful of word operations, and give the containment index its
+// structural signature (occAll).
 type CState struct {
 	reps  []Rep
 	cdata []Data
 	attr  Count
 	mdata Data
 	key   string
+
+	// masked reports that the bitmask summaries below are valid.
+	masked bool
+	// maskOne/maskPlus/maskStar flag the classes with that repetition
+	// operator; occAll is their union (the occupancy pattern: every class
+	// that may hold at least one cache).
+	maskOne, maskPlus, maskStar, occAll uint64
+	// cdFresh/cdNone flag the classes whose context variable is fresh or
+	// nodata; cdObs flags the obsolete ones (the top of the Data order).
+	cdFresh, cdNone, cdObs uint64
 }
 
 // Key returns a canonical identity string. Two CStates are equal exactly
@@ -360,13 +377,37 @@ func buildKey(reps []Rep, cdata []Data, attr Count, mdata Data) string {
 }
 
 func newCState(reps []Rep, cdata []Data, attr Count, mdata Data) *CState {
-	return &CState{
+	s := &CState{
 		reps:  reps,
 		cdata: cdata,
 		attr:  attr,
 		mdata: mdata,
 		key:   buildKey(reps, cdata, attr, mdata),
 	}
+	if len(reps) <= 64 {
+		s.masked = true
+		for i, r := range reps {
+			bit := uint64(1) << i
+			switch r {
+			case ROne:
+				s.maskOne |= bit
+			case RPlus:
+				s.maskPlus |= bit
+			case RStar:
+				s.maskStar |= bit
+			}
+			switch cdata[i] {
+			case DFresh:
+				s.cdFresh |= bit
+			case DNone:
+				s.cdNone |= bit
+			case DObsolete:
+				s.cdObs |= bit
+			}
+		}
+		s.occAll = s.maskOne | s.maskPlus | s.maskStar
+	}
+	return s
 }
 
 // StructureString renders the composite state in the paper's notation,
@@ -405,9 +446,21 @@ func (s *CState) ContextString(p *fsm.Protocol) string {
 
 // Covers reports structural covering (Definition 8): big covers small when
 // every class operator of small is ≤ the corresponding operator of big.
+//
+// The masked fast path evaluates all |Q| per-class LE comparisons at once:
+// under the operator order (1 ≤ +,*; + ≤ *; 0 ≤ *) covering holds exactly
+// when small's star classes are star in big, small's plus classes are at
+// least plus, small's singletons are occupied, and big has no definite
+// class (1 or +) where small is empty.
 func Covers(big, small *CState) bool {
 	if len(big.reps) != len(small.reps) {
 		return false
+	}
+	if big.masked && small.masked {
+		return small.maskStar&^big.maskStar == 0 &&
+			small.maskPlus&^(big.maskPlus|big.maskStar) == 0 &&
+			small.maskOne&^big.occAll == 0 &&
+			(big.maskOne|big.maskPlus)&^small.occAll == 0
 	}
 	for i := range small.reps {
 		if !small.reps[i].LE(big.reps[i]) {
@@ -429,6 +482,14 @@ func Contains(big, small *CState) bool {
 	}
 	if big.attr != small.attr || !small.mdata.LE(big.mdata) {
 		return false
+	}
+	if big.masked && small.masked {
+		// d.LE(e) fails exactly when d != e and e is not obsolete; restrict
+		// the check to small's occupied classes. cdFresh/cdNone determine a
+		// class's Data value completely (the three masks partition Q), so
+		// their XOR flags every class where the two values differ.
+		diff := (small.cdFresh ^ big.cdFresh) | (small.cdNone ^ big.cdNone)
+		return small.occAll&diff&^big.cdObs == 0
 	}
 	for i := range small.reps {
 		if small.reps[i] != RZero && !small.cdata[i].LE(big.cdata[i]) {

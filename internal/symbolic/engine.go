@@ -16,6 +16,28 @@ type Engine struct {
 	valid []bool
 	// validIdxs caches the indexes of the valid-copy states.
 	validIdxs []int
+	// tabs and eventTabs pre-resolve every state-name lookup a rule needs
+	// (observed targets, next state, suppliers, guard set) into integer
+	// indexes. The expansion inner loops run entirely on these tables; the
+	// string-keyed protocol maps are only touched at construction time.
+	tabs      map[*fsm.Rule]*ruleTab
+	eventTabs [][][]*ruleTab // [class][op] -> applicable rule tables
+}
+
+// ruleTab is the index-resolved form of one transition rule.
+type ruleTab struct {
+	rule *fsm.Rule
+	// obs[c] is the class every member of class c observes into.
+	obs []int
+	// next is the originator's destination class.
+	next int
+	// suppliers are the candidate supplier classes (SrcCache rules).
+	suppliers []int
+	// guardIdxs are the classes tested by an AnyOther/NoOther guard, and
+	// guardIsValidSet records whether that set is exactly the valid-copy set
+	// (which lets the copy-count attribute decide the guard outright).
+	guardIdxs       []int
+	guardIsValidSet bool
 }
 
 // NewEngine validates the protocol and returns an engine for it.
@@ -31,6 +53,34 @@ func NewEngine(p *fsm.Protocol) (*Engine, error) {
 	for i, v := range e.valid {
 		if v {
 			e.validIdxs = append(e.validIdxs, i)
+		}
+	}
+	e.tabs = make(map[*fsm.Rule]*ruleTab, len(p.Rules))
+	tabSlab := make([]ruleTab, len(p.Rules))
+	obsSlab := make([]int, len(p.Rules)*e.n)
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		t := &tabSlab[i]
+		t.rule, t.obs, t.next = r, obsSlab[i*e.n:(i+1)*e.n], p.StateIndex(r.Next)
+		for c := 0; c < e.n; c++ {
+			t.obs[c] = p.StateIndex(r.ObservedNext(p.States[c]))
+		}
+		for _, ss := range r.Data.Suppliers {
+			t.suppliers = append(t.suppliers, p.StateIndex(ss))
+		}
+		for _, gs := range r.Guard.States {
+			t.guardIdxs = append(t.guardIdxs, p.StateIndex(gs))
+		}
+		t.guardIsValidSet = e.isValidSet(t.guardIdxs)
+		e.tabs[r] = t
+	}
+	e.eventTabs = make([][][]*ruleTab, e.n)
+	for oi := 0; oi < e.n; oi++ {
+		e.eventTabs[oi] = make([][]*ruleTab, len(p.Ops))
+		for k, op := range p.Ops {
+			for _, r := range p.RulesFor(p.States[oi], op) {
+				e.eventTabs[oi][k] = append(e.eventTabs[oi][k], e.tabs[r])
+			}
 		}
 	}
 	return e, nil
@@ -176,8 +226,8 @@ func (e *Engine) Successors(s *CState) ([]Succ, []error) {
 		if !s.reps[oi].CanBePositive() {
 			continue
 		}
-		for _, op := range e.p.Ops {
-			rules := e.p.RulesFor(e.p.States[oi], op)
+		for k, op := range e.p.Ops {
+			rules := e.eventTabs[oi][k]
 			if len(rules) == 0 {
 				continue
 			}
@@ -192,7 +242,7 @@ func (e *Engine) Successors(s *CState) ([]Succ, []error) {
 }
 
 // expandEvent applies operation op originated by a cache in class oi.
-func (e *Engine) expandEvent(s *CState, oi int, op fsm.Op, rules []*fsm.Rule) ([]Succ, error) {
+func (e *Engine) expandEvent(s *CState, oi int, op fsm.Op, rules []*ruleTab) ([]Succ, error) {
 	// Build the base scenario: pin the origin class non-empty, remove the
 	// originator, and derive the copy-count bound for the other caches.
 	base := &scenario{
@@ -221,7 +271,7 @@ func (e *Engine) expandEvent(s *CState, oi int, op fsm.Op, rules []*fsm.Rule) ([
 	// Resolve the guard cascade, splitting scenarios over ambiguity.
 	type pick struct {
 		sc   *scenario
-		rule *fsm.Rule
+		rule *ruleTab
 	}
 	var picks []pick
 	pending := []*scenario{base}
@@ -231,7 +281,7 @@ func (e *Engine) expandEvent(s *CState, oi int, op fsm.Op, rules []*fsm.Rule) ([
 		}
 		var still []*scenario
 		for _, sc := range pending {
-			matched, unmatched := e.splitGuard(sc, rule.Guard)
+			matched, unmatched := e.splitGuard(sc, rule)
 			for _, m := range matched {
 				picks = append(picks, pick{m, rule})
 			}
@@ -245,16 +295,22 @@ func (e *Engine) expandEvent(s *CState, oi int, op fsm.Op, rules []*fsm.Rule) ([
 			e.p.Name, e.p.States[oi], op, s.StructureString(e.p))
 	}
 
+	// Dedup successors on (state identity, N-step tag). The key is a
+	// comparable struct, not a rendered string: this loop sits on the hot
+	// path of every expansion event.
+	type succKey struct {
+		key   string
+		nstep bool
+	}
 	var out []Succ
-	seen := make(map[string]bool)
+	seen := make(map[succKey]bool, 8)
 	for _, pk := range picks {
 		succs, err := e.applyRule(pk.sc, pk.rule, op)
 		if err != nil && specErr == nil {
 			specErr = err
 		}
 		for _, su := range succs {
-			k := su.State.Key()
-			dk := k + "/" + fmt.Sprint(su.Label.NStep)
+			dk := succKey{su.State.Key(), su.Label.NStep}
 			if seen[dk] {
 				continue
 			}
@@ -265,14 +321,15 @@ func (e *Engine) expandEvent(s *CState, oi int, op fsm.Op, rules []*fsm.Rule) ([
 	return out, specErr
 }
 
-// splitGuard refines scenario sc until rule guard g is decided, returning
+// splitGuard refines scenario sc until the rule's guard is decided, returning
 // the scenarios in which it holds and those in which it does not.
-func (e *Engine) splitGuard(sc *scenario, g fsm.Guard) (matched, unmatched []*scenario) {
+func (e *Engine) splitGuard(sc *scenario, tab *ruleTab) (matched, unmatched []*scenario) {
+	g := tab.rule.Guard
 	switch g.Kind {
 	case fsm.GuardAlways:
 		return []*scenario{sc}, nil
 	case fsm.GuardAnyOther, fsm.GuardNoOther:
-		exists, scenariosTrue, scenarioFalse := e.splitExists(sc, g.States)
+		exists, scenariosTrue, scenarioFalse := e.splitExists(sc, tab)
 		if g.Kind == fsm.GuardAnyOther {
 			switch exists {
 			case condTrue:
@@ -319,11 +376,10 @@ const (
 // In the definite-false cases the returned false scenario has the set's
 // star classes zeroed out (they are provably empty), so downstream rules do
 // not mistake ghost classes for populated ones.
-func (e *Engine) splitExists(sc *scenario, states []fsm.State) (cond, []*scenario, *scenario) {
+func (e *Engine) splitExists(sc *scenario, tab *ruleTab) (cond, []*scenario, *scenario) {
 	zeroSet := func(from *scenario) *scenario {
 		f := from.clone()
-		for _, st := range states {
-			i := e.p.StateIndex(st)
+		for _, i := range tab.guardIdxs {
 			if f.rem[i] == RStar {
 				f.rem[i] = RZero
 			}
@@ -336,16 +392,15 @@ func (e *Engine) splitExists(sc *scenario, states []fsm.State) (cond, []*scenari
 
 	// Fast path: when the tested set is exactly the valid-copy set and the
 	// copy count is tracked, the bound decides existence outright.
-	if e.isValidSet(states) && sc.othersIval.lo >= 1 {
+	if tab.guardIsValidSet && sc.othersIval.lo >= 1 {
 		return condTrue, nil, nil
 	}
-	if e.isValidSet(states) && sc.othersIval.hi == 0 {
+	if tab.guardIsValidSet && sc.othersIval.hi == 0 {
 		return condFalse, nil, zeroSet(sc)
 	}
 
 	var stars []int
-	for _, st := range states {
-		i := e.p.StateIndex(st)
+	for _, i := range tab.guardIdxs {
 		switch sc.rem[i] {
 		case ROne, RPlus:
 			return condTrue, nil, nil
@@ -378,12 +433,11 @@ func (e *Engine) splitExists(sc *scenario, states []fsm.State) (cond, []*scenari
 	return condAmbiguous, trueScs, falseSc
 }
 
-func (e *Engine) isValidSet(states []fsm.State) bool {
-	if len(states) != len(e.validIdxs) {
+func (e *Engine) isValidSet(idxs []int) bool {
+	if len(idxs) != len(e.validIdxs) {
 		return false
 	}
-	for _, st := range states {
-		i := e.p.StateIndex(st)
+	for _, i := range idxs {
 		if i < 0 || !e.valid[i] {
 			return false
 		}
@@ -393,7 +447,8 @@ func (e *Engine) isValidSet(states []fsm.State) bool {
 
 // applyRule performs the transition on a guard-resolved scenario, branching
 // over supplier choice and over copy-count ambiguity.
-func (e *Engine) applyRule(sc *scenario, rule *fsm.Rule, op fsm.Op) ([]Succ, error) {
+func (e *Engine) applyRule(sc *scenario, tab *ruleTab, op fsm.Op) ([]Succ, error) {
+	rule := tab.rule
 	// Resolve the data supplier.
 	type supplied struct {
 		sc   *scenario
@@ -401,8 +456,7 @@ func (e *Engine) applyRule(sc *scenario, rule *fsm.Rule, op fsm.Op) ([]Succ, err
 	}
 	var branches []supplied
 	if rule.Data.Source == fsm.SrcCache {
-		for _, ss := range rule.Data.Suppliers {
-			i := e.p.StateIndex(ss)
+		for _, i := range tab.suppliers {
 			if !sc.rem[i].CanBePositive() {
 				continue
 			}
@@ -425,13 +479,14 @@ func (e *Engine) applyRule(sc *scenario, rule *fsm.Rule, op fsm.Op) ([]Succ, err
 
 	var out []Succ
 	for _, br := range branches {
-		succs := e.applySupplied(br.sc, rule, op, br.data)
+		succs := e.applySupplied(br.sc, tab, op, br.data)
 		out = append(out, succs...)
 	}
 	return out, nil
 }
 
-func (e *Engine) applySupplied(sc *scenario, rule *fsm.Rule, op fsm.Op, supplierData Data) []Succ {
+func (e *Engine) applySupplied(sc *scenario, tab *ruleTab, op fsm.Op, supplierData Data) []Succ {
+	rule := tab.rule
 	// 1. Originator's incoming data and supplier write-back.
 	var origVal Data
 	newMdata := sc.mdata
@@ -449,19 +504,24 @@ func (e *Engine) applySupplied(sc *scenario, rule *fsm.Rule, op fsm.Op, supplier
 		}
 	}
 
-	// 2. Coincident transitions: pool every remaining class into its
-	// observed target (aggregation rules).
+	// 2+3. Coincident transitions — pool every remaining class into its
+	// observed target (aggregation rules) — fused with the abstract
+	// copy-count arithmetic over the other caches.
 	newReps := make([]Rep, e.n)
 	newData := make([]Data, e.n)
 	hasContrib := make([]bool, e.n)
+	survivors := ival{0, 0}
+	gained := ival{0, 0}
+	allValidSurvive := true
 	for c := 0; c < e.n; c++ {
 		if sc.rem[c] == RZero {
 			continue
 		}
-		t := e.p.StateIndex(rule.ObservedNext(e.p.States[c]))
+		t := tab.obs[c]
 		newReps[t] = merge(newReps[t], sc.rem[c])
+		contributes := e.valid[t]
 		d := DNone
-		if e.valid[t] {
+		if contributes {
 			d = sc.cdata[c]
 		}
 		if hasContrib[t] {
@@ -470,18 +530,6 @@ func (e *Engine) applySupplied(sc *scenario, rule *fsm.Rule, op fsm.Op, supplier
 			newData[t] = d
 			hasContrib[t] = true
 		}
-	}
-
-	// 3. Abstract copy-count arithmetic over the other caches.
-	survivors := ival{0, 0}
-	gained := ival{0, 0}
-	allValidSurvive := true
-	for c := 0; c < e.n; c++ {
-		if sc.rem[c] == RZero {
-			continue
-		}
-		t := e.p.StateIndex(rule.ObservedNext(e.p.States[c]))
-		contributes := e.valid[t]
 		r := ival{sc.rem[c].Min(), sc.rem[c].Max()}
 		switch {
 		case e.valid[c] && contributes:
@@ -532,7 +580,7 @@ func (e *Engine) applySupplied(sc *scenario, rule *fsm.Rule, op fsm.Op, supplier
 	}
 
 	// 6. Re-insert the originator into its next class.
-	ni := e.p.StateIndex(rule.Next)
+	ni := tab.next
 	newReps[ni] = addOne(newReps[ni])
 	d := DNone
 	if e.valid[ni] {
@@ -571,9 +619,15 @@ func (e *Engine) applySupplied(sc *scenario, rule *fsm.Rule, op fsm.Op, supplier
 		}
 	}
 	var out []Succ
-	for _, cnt := range counts {
-		r := append([]Rep(nil), newReps...)
-		dd := append([]Data(nil), newData...)
+	for ci, cnt := range counts {
+		r, dd := newReps, newData
+		if ci < len(counts)-1 {
+			// normalize mutates and newCState retains its arguments, so every
+			// branch but the last works on a copy; the last one takes over
+			// the scratch slices directly.
+			r = append([]Rep(nil), newReps...)
+			dd = append([]Data(nil), newData...)
+		}
 		st, ok := e.normalize(r, dd, cnt, newMdata)
 		if !ok {
 			continue

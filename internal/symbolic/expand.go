@@ -141,6 +141,9 @@ type Result struct {
 	// worklist boundary (the exact MaxVisits cap stops mid-step and is
 	// not checkpointable).
 	Checkpoint *Checkpoint
+	// EstBytes is the run's final estimated resident footprint, the value
+	// the memory budget was enforced against (see cstateBytes).
+	EstBytes int64
 }
 
 // OK reports whether the protocol verified cleanly: no erroneous states and
@@ -193,7 +196,7 @@ func (e *Engine) ExpandContext(ctx context.Context, opts Options) (*Result, erro
 			return x.res, nil
 		}
 	}
-	x.work = []*CState{init}
+	x.pushWork(init)
 	return x.run(ctx)
 }
 
@@ -213,6 +216,15 @@ type expander struct {
 	reported map[string]bool
 	seenKeys map[string]struct{}
 	sinceCp  int
+	// workIx and histIx are the containment indexes over work and hist,
+	// nil in the NoContainment ablation (identity dedup never queries
+	// containment). The ordered slices stay the source of truth; every
+	// mutation goes through the push/pop/prune helpers so slices, indexes
+	// and the incremental byte estimate cannot drift.
+	workIx *cindex
+	histIx *cindex
+	// listBytes is the running cstateBytes total of work + hist.
+	listBytes int64
 
 	res *Result
 }
@@ -222,34 +234,93 @@ func newExpander(e *Engine, opts Options) *expander {
 	if maxVisits <= 0 {
 		maxVisits = defaultMaxVisits
 	}
-	return &expander{
+	x := &expander{
 		e: e, opts: opts, maxVisits: maxVisits,
 		parents:  map[string]parentInfo{},
 		reported: map[string]bool{},
 		seenKeys: map[string]struct{}{},
 		res:      &Result{Protocol: e.p},
 	}
+	if !opts.NoContainment {
+		x.workIx = newCIndex()
+		x.histIx = newCIndex()
+	}
+	return x
 }
 
 // cstateBytes estimates the resident cost of one composite state: its two
-// component slices, its key (held twice: in the state and as a map key) and
-// the bookkeeping map entries.
+// component slices, its key (held twice: in the state and as a map key),
+// the bitmask summaries and the bookkeeping map entries. The constant is
+// pinned against measured heap growth by TestCStateBytesEstimate.
 func cstateBytes(s *CState) int64 {
-	return int64(2*len(s.reps) + 2*len(s.key) + 96)
+	return int64(2*len(s.reps) + 2*len(s.key) + 176)
 }
 
 // estBytes estimates the run's footprint from the worklist, the history and
 // the parent map. Computed from state sizes, not the allocator, so it is
-// deterministic across runs and platforms.
+// deterministic across runs and platforms; the list contribution is
+// maintained incrementally by the push/pop/prune helpers.
 func (x *expander) estBytes() int64 {
-	var b int64
-	for _, s := range x.work {
-		b += cstateBytes(s)
+	return x.listBytes + int64(len(x.parents))*64
+}
+
+// pushWork appends s to the working list (and its index).
+func (x *expander) pushWork(s *CState) {
+	x.work = append(x.work, s)
+	x.listBytes += cstateBytes(s)
+	if x.workIx != nil {
+		x.workIx.add(s)
 	}
-	for _, s := range x.hist {
-		b += cstateBytes(s)
+}
+
+// popWork removes and returns the head of the working list.
+func (x *expander) popWork() *CState {
+	s := x.work[0]
+	x.work = x.work[1:]
+	x.listBytes -= cstateBytes(s)
+	if x.workIx != nil {
+		x.workIx.remove(s)
 	}
-	return b + int64(len(x.parents))*64
+	return s
+}
+
+// pushHist appends s to the history list (and its index).
+func (x *expander) pushHist(s *CState) {
+	x.hist = append(x.hist, s)
+	x.listBytes += cstateBytes(s)
+	if x.histIx != nil {
+		x.histIx.add(s)
+	}
+}
+
+// inWork / inHist report whether an indexed state contains s.
+func (x *expander) inWork(s *CState) bool { return x.workIx.containedInAny(s) }
+func (x *expander) inHist(s *CState) bool { return x.histIx.containedInAny(s) }
+
+// prune drops every state of the list that s contains, preserving list
+// order, and returns the number of removals. Victims are found through the
+// index, so states with incompatible structural signatures are never
+// compared and the common no-victim case leaves the slice untouched.
+func (x *expander) prune(listp *[]*CState, ix *cindex, s *CState) int {
+	victims := ix.collectContained(s, nil)
+	if len(victims) == 0 {
+		return 0
+	}
+	drop := make(map[*CState]bool, len(victims))
+	for _, t := range victims {
+		drop[t] = true
+		ix.remove(t)
+		x.listBytes -= cstateBytes(t)
+	}
+	out := (*listp)[:0]
+	for _, t := range *listp {
+		if drop[t] {
+			continue
+		}
+		out = append(out, t)
+	}
+	*listp = out
+	return len(victims)
 }
 
 // stopCheck evaluates the boundary-granularity budgets. Distinct generated
@@ -272,6 +343,7 @@ func (x *expander) stop(reason error) {
 	x.res.StopReason = reason
 	x.res.Truncated = true
 	x.res.Essential = x.hist
+	x.res.EstBytes = x.estBytes()
 	if x.opts.CheckpointOnStop {
 		x.res.Checkpoint = x.snapshot()
 	}
@@ -296,8 +368,7 @@ func (x *expander) run(ctx context.Context) (*Result, error) {
 		if err := x.maybeCheckpoint(); err != nil {
 			return nil, err
 		}
-		a := x.work[0]
-		x.work = x.work[1:]
+		a := x.popWork()
 		superseded := false
 
 	expandA:
@@ -305,8 +376,8 @@ func (x *expander) run(ctx context.Context) (*Result, error) {
 			if !a.reps[oi].CanBePositive() {
 				continue
 			}
-			for _, op := range e.p.Ops {
-				rules := e.p.RulesFor(e.p.States[oi], op)
+			for k, op := range e.p.Ops {
+				rules := e.eventTabs[oi][k]
 				if len(rules) == 0 {
 					continue
 				}
@@ -333,6 +404,7 @@ func (x *expander) run(ctx context.Context) (*Result, error) {
 							})
 							if opts.StopOnViolation {
 								res.Essential = append(x.hist, x.work...)
+								res.EstBytes = x.estBytes()
 								return res, nil
 							}
 						}
@@ -345,23 +417,20 @@ func (x *expander) run(ctx context.Context) (*Result, error) {
 							outcome = OutcomeContained
 						} else {
 							x.seenKeys[ap.Key()] = struct{}{}
-							x.work = append(x.work, ap)
+							x.pushWork(ap)
 						}
 					case Contains(a, ap):
 						outcome = OutcomeContained
-					case containedInAny(ap, x.work) || containedInAny(ap, x.hist):
+					case x.inWork(ap) || x.inHist(ap):
 						outcome = OutcomeContained
 					default:
-						var removed int
-						x.work, removed = removeContained(x.work, ap)
-						if removed > 0 {
+						if x.prune(&x.work, x.workIx, ap) > 0 {
 							outcome = OutcomeSupersedes
 						}
-						x.hist, removed = removeContained(x.hist, ap)
-						if removed > 0 {
+						if x.prune(&x.hist, x.histIx, ap) > 0 {
 							outcome = OutcomeSupersedes
 						}
-						x.work = append(x.work, ap)
+						x.pushWork(ap)
 						if Contains(ap, a) {
 							// "discard A and terminate all FOR loops
 							// starting a new run."
@@ -387,14 +456,15 @@ func (x *expander) run(ctx context.Context) (*Result, error) {
 		if !superseded {
 			res.Expansions++
 			if opts.NoContainment {
-				x.hist = append(x.hist, a)
-			} else if !containedInAny(a, x.hist) && !containedInAny(a, x.work) {
-				x.hist = append(x.hist, a)
+				x.pushHist(a)
+			} else if !x.inHist(a) && !x.inWork(a) {
+				x.pushHist(a)
 			}
 		}
 		x.sinceCp++
 	}
 	res.Essential = x.hist
+	res.EstBytes = x.estBytes()
 	if len(x.work) > 0 {
 		// The exact MaxVisits cap tripped mid-expansion; no checkpoint for
 		// mid-step stops.
@@ -404,6 +474,8 @@ func (x *expander) run(ctx context.Context) (*Result, error) {
 	return res, nil
 }
 
+// containedInAny is the reference linear scan, used by the index for
+// unmasked states and within candidate buckets.
 func containedInAny(s *CState, list []*CState) bool {
 	for _, t := range list {
 		if Contains(t, s) {
@@ -411,21 +483,6 @@ func containedInAny(s *CState, list []*CState) bool {
 		}
 	}
 	return false
-}
-
-// removeContained drops every state of list contained in s and returns the
-// filtered list with the number of removals.
-func removeContained(list []*CState, s *CState) ([]*CState, int) {
-	out := list[:0]
-	removed := 0
-	for _, t := range list {
-		if Contains(s, t) {
-			removed++
-			continue
-		}
-		out = append(out, t)
-	}
-	return out, removed
 }
 
 // witness reconstructs a path from the initial state to s using the parent

@@ -1,0 +1,124 @@
+package symbolic
+
+// The containment index buckets composite states by structural signature —
+// copy-count attribute plus class-occupancy pattern (CState.occAll) — so
+// the worklist's containment queries (Figure 3's "is the new state
+// contained in W or H" and "remove every state the new state contains")
+// touch only the buckets whose signature is compatible instead of scanning
+// the whole list:
+//
+//   - t Contains s forces s's occupied classes to be occupied in t
+//     (1 ≤ 1,+,*; + ≤ +,*; * ≤ *) and t's definite classes (1, +) to be
+//     occupied in s, and the attributes to be equal. So for
+//     containedInAny(s) only buckets with sig.occ ⊇ s.occAll qualify, and
+//     for removeContained(s) only buckets with s's definite classes
+//     ⊆ sig.occ ⊆ s.occAll.
+//
+// The number of distinct signatures is tiny compared to the number of
+// essential states as per-cache state counts grow (BenchmarkScalingSynthetic:
+// one signature can hold many context/attr variants), which is what keeps
+// the prefilter effective. Protocols with more than 64 state symbols have
+// no masks; the index then degrades to a single linear list, matching the
+// old behavior.
+//
+// The ordered work/hist slices of the expander remain the source of truth
+// for iteration order; the index only answers membership and collects
+// removal victims.
+
+// csig is the bucketing signature.
+type csig struct {
+	attr Count
+	occ  uint64
+}
+
+// cindex is a containment index over one of the expander's state lists.
+type cindex struct {
+	buckets map[csig][]*CState
+	// flat is the fallback list for unmasked states (|Q| > 64).
+	flat []*CState
+}
+
+func newCIndex() *cindex {
+	return &cindex{buckets: make(map[csig][]*CState)}
+}
+
+func (ix *cindex) add(s *CState) {
+	if !s.masked {
+		ix.flat = append(ix.flat, s)
+		return
+	}
+	sig := csig{attr: s.attr, occ: s.occAll}
+	ix.buckets[sig] = append(ix.buckets[sig], s)
+}
+
+// remove deletes one state (by pointer identity) from its bucket.
+func (ix *cindex) remove(s *CState) {
+	if !s.masked {
+		ix.flat = removePtr(ix.flat, s)
+		return
+	}
+	sig := csig{attr: s.attr, occ: s.occAll}
+	b := removePtr(ix.buckets[sig], s)
+	if len(b) == 0 {
+		delete(ix.buckets, sig)
+	} else {
+		ix.buckets[sig] = b
+	}
+}
+
+func removePtr(list []*CState, s *CState) []*CState {
+	for i, t := range list {
+		if t == s {
+			last := len(list) - 1
+			list[i] = list[last]
+			list[last] = nil
+			return list[:last]
+		}
+	}
+	return list
+}
+
+// containedInAny reports whether any indexed state contains s.
+func (ix *cindex) containedInAny(s *CState) bool {
+	if containedInAny(s, ix.flat) {
+		return true
+	}
+	if !s.masked {
+		// An unmasked state can only be compared against unmasked ones
+		// (Covers rejects length mismatches), which all live in flat.
+		return false
+	}
+	for sig, b := range ix.buckets {
+		if sig.attr != s.attr || s.occAll&^sig.occ != 0 {
+			continue
+		}
+		if containedInAny(s, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectContained appends to out every indexed state that s contains.
+func (ix *cindex) collectContained(s *CState, out []*CState) []*CState {
+	for _, t := range ix.flat {
+		if Contains(s, t) {
+			out = append(out, t)
+		}
+	}
+	if !s.masked {
+		return out
+	}
+	def := s.maskOne | s.maskPlus
+	for sig, b := range ix.buckets {
+		if sig.attr != s.attr || sig.occ&^s.occAll != 0 || def&^sig.occ != 0 {
+			continue
+		}
+		for _, t := range b {
+			if Contains(s, t) {
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}

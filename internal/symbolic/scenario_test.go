@@ -18,6 +18,16 @@ func mkScenario(e *Engine, rem []Rep, others ival) *scenario {
 	}
 }
 
+// guardTab builds the index-resolved guard set splitExists operates on.
+func guardTab(e *Engine, states []fsm.State) *ruleTab {
+	t := &ruleTab{}
+	for _, s := range states {
+		t.guardIdxs = append(t.guardIdxs, e.p.StateIndex(s))
+	}
+	t.guardIsValidSet = e.isValidSet(t.guardIdxs)
+	return t
+}
+
 func TestSplitExistsDefiniteTrue(t *testing.T) {
 	e := illinoisEngine(t)
 	p := e.Protocol()
@@ -25,7 +35,7 @@ func TestSplitExistsDefiniteTrue(t *testing.T) {
 	rem[p.StateIndex("Dirty")] = ROne
 	rem[p.StateIndex("Invalid")] = RStar
 	sc := mkScenario(e, rem, ival{1, 1})
-	cond, trues, falseSc := e.splitExists(sc, []fsm.State{"Dirty"})
+	cond, trues, falseSc := e.splitExists(sc, guardTab(e, []fsm.State{"Dirty"}))
 	if cond != condTrue || trues != nil || falseSc != nil {
 		t.Fatalf("a singleton class must decide existence: %v", cond)
 	}
@@ -38,7 +48,7 @@ func TestSplitExistsDefiniteFalse(t *testing.T) {
 	rem[p.StateIndex("Shared")] = ROne
 	rem[p.StateIndex("Invalid")] = RStar
 	sc := mkScenario(e, rem, ival{1, 1})
-	cond, _, falseSc := e.splitExists(sc, []fsm.State{"Dirty"})
+	cond, _, falseSc := e.splitExists(sc, guardTab(e, []fsm.State{"Dirty"}))
 	if cond != condFalse {
 		t.Fatalf("an empty class must refute existence: %v", cond)
 	}
@@ -58,7 +68,7 @@ func TestSplitExistsAmbiguousBranches(t *testing.T) {
 	rem[di] = ROne
 	rem[p.StateIndex("Invalid")] = RStar
 	sc := mkScenario(e, rem, ival{1, 2})
-	cond, trues, falseSc := e.splitExists(sc, []fsm.State{"Shared"})
+	cond, trues, falseSc := e.splitExists(sc, guardTab(e, []fsm.State{"Shared"}))
 	if cond != condAmbiguous {
 		t.Fatalf("cond = %v, want ambiguous", cond)
 	}
@@ -81,11 +91,11 @@ func TestSplitExistsFastPathOnValidSet(t *testing.T) {
 	rem[p.StateIndex("Shared")] = RStar
 
 	sc := mkScenario(e, rem, ival{1, 1})
-	if cond, _, _ := e.splitExists(sc, valid); cond != condTrue {
+	if cond, _, _ := e.splitExists(sc, guardTab(e, valid)); cond != condTrue {
 		t.Fatalf("bound lo≥1 must prove existence, got %v", cond)
 	}
 	sc = mkScenario(e, rem, ival{0, 0})
-	cond, _, falseSc := e.splitExists(sc, valid)
+	cond, _, falseSc := e.splitExists(sc, guardTab(e, valid))
 	if cond != condFalse {
 		t.Fatalf("bound hi=0 must refute existence, got %v", cond)
 	}
