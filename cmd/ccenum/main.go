@@ -11,8 +11,13 @@
 // Usage:
 //
 //	ccenum -protocol illinois -n 4 [-mode strict|counting|both] [-strict]
-//	       [-workers k] [-timeout 30s] [-checkpoint run.ckpt]
+//	       [-workers k] [-timeout 30s] [-checkpoint run.ckpt] [-checkpoint-keep 3]
 //	ccenum -resume run.ckpt [-workers k] [-timeout 30s] [-checkpoint run.ckpt]
+//
+// Checkpoints go through the durable snapshot store (internal/ckptio):
+// atomic checksummed writes, rotation keeping the last -checkpoint-keep
+// good snapshots, and automatic fallback to the newest valid one when the
+// latest is truncated or corrupt.
 //
 // Exit codes: 0 verified clean, 1 usage or internal error, 2 violations
 // found, 3 stopped early (timeout, signal or budget).
@@ -23,9 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 
+	"repro/internal/ckptio"
 	"repro/internal/enum"
 	"repro/internal/protocols"
 	"repro/internal/report"
@@ -41,6 +45,7 @@ type cliOpts struct {
 	workers    int
 	checkpoint string // path to save a checkpoint to when the run stops
 	resume     string // path to load a checkpoint from
+	keep       int    // good snapshot generations retained at -checkpoint
 }
 
 func main() {
@@ -53,6 +58,7 @@ func main() {
 		workers    = flag.Int("workers", 1, "parallel BFS workers (1: sequential, 0: GOMAXPROCS)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0: none)")
 		checkpoint = flag.String("checkpoint", "", "write a resumable checkpoint here when the run is stopped")
+		keep       = flag.Int("checkpoint-keep", ckptio.DefaultKeep, "good checkpoint snapshots to retain (rotation)")
 		resume     = flag.String("resume", "", "resume an interrupted run from this checkpoint file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -76,21 +82,16 @@ func main() {
 		os.Exit(code)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := runctl.WithSignals(context.Background(), *timeout)
 	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
 
 	code, err := run(ctx, *protoName, *n, cliOpts{
 		mode: *mode, strict: *strict, max: *max, workers: *workers,
-		checkpoint: *checkpoint, resume: *resume,
+		checkpoint: *checkpoint, resume: *resume, keep: *keep,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccenum:", err)
-		exit(1)
+		exit(runctl.ExitUsage)
 	}
 	exit(code)
 }
@@ -111,7 +112,15 @@ func run(ctx context.Context, protoName string, n int, o cliOpts) (int, error) {
 	var outcomes []outcome
 
 	if o.resume != "" {
-		cp, err := enum.LoadCheckpoint(o.resume)
+		data, info, err := (&ckptio.Store{Path: o.resume, Keep: o.keep}).Load()
+		if err != nil {
+			return 0, err
+		}
+		if info.Generation > 0 {
+			fmt.Fprintf(os.Stderr, "ccenum: newest checkpoint unusable (%v); resuming from older snapshot %s\n",
+				info.Skipped[0], info.Path)
+		}
+		cp, err := enum.DecodeCheckpoint(data)
 		if err != nil {
 			return 0, err
 		}
@@ -177,13 +186,13 @@ func run(ctx context.Context, protoName string, n int, o cliOpts) (int, error) {
 	}
 
 	t := report.NewTable("equivalence", "distinct states", "state tuples", "visits", "violations", "truncated")
-	code := 0
+	code := runctl.ExitClean
 	for _, oc := range outcomes {
 		res := oc.res
 		t.AddRow(oc.name, res.Unique, res.TupleStates, res.Visits, len(res.Violations), res.Truncated)
 		for _, v := range res.Violations {
 			fmt.Fprintf(os.Stderr, "erroneous state %s: %s\n", v.Config, v.Violations[0].Error())
-			code = 2
+			code = runctl.ExitViolation
 		}
 		for _, we := range res.WorkerErrors {
 			fmt.Fprintf(os.Stderr, "recovered worker panic (results unaffected): %v\n", we)
@@ -191,13 +200,17 @@ func run(ctx context.Context, protoName string, n int, o cliOpts) (int, error) {
 		if res.Truncated {
 			fmt.Fprintf(os.Stderr, "ccenum: %s stopped early: %v\n", oc.name, res.StopReason)
 			if o.checkpoint != "" && res.Checkpoint != nil {
-				if err := enum.SaveCheckpoint(o.checkpoint, res.Checkpoint); err != nil {
+				data, err := res.Checkpoint.Encode()
+				if err != nil {
+					return 0, fmt.Errorf("saving checkpoint: %w", err)
+				}
+				if err := (&ckptio.Store{Path: o.checkpoint, Keep: o.keep}).Save(data); err != nil {
 					return 0, fmt.Errorf("saving checkpoint: %w", err)
 				}
 				fmt.Fprintf(os.Stderr, "ccenum: checkpoint written to %s (resume with -resume %s)\n", o.checkpoint, o.checkpoint)
 			}
-			if code == 0 {
-				code = 3
+			if code == runctl.ExitClean {
+				code = runctl.ExitStopped
 			}
 		}
 	}

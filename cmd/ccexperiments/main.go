@@ -19,8 +19,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"repro/internal/runctl"
 )
@@ -68,13 +66,8 @@ func main() {
 		os.Exit(code)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := runctl.WithSignals(context.Background(), *timeout)
 	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
 
 	ran := false
 	for _, e := range allExperiments {
@@ -83,12 +76,12 @@ func main() {
 		}
 		if err := runctl.FromContext(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "ccexperiments: stopped before %s: %v\n", e.name, err)
-			exit(3)
+			exit(runctl.ExitStopped)
 		}
 		ran = true
 		if err := e.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "ccexperiments: %s: %v\n", e.name, err)
-			exit(1)
+			exit(runctl.ExitUsage)
 		}
 		fmt.Println()
 	}
@@ -97,7 +90,7 @@ func main() {
 		for _, e := range allExperiments {
 			fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.name, e.desc)
 		}
-		exit(1)
+		exit(runctl.ExitUsage)
 	}
-	exit(0)
+	exit(runctl.ExitClean)
 }

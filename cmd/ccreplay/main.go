@@ -24,10 +24,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
-	"syscall"
 
 	"repro/internal/enum"
 	"repro/internal/fsm"
@@ -63,13 +61,8 @@ func main() {
 		os.Exit(code)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := runctl.WithSignals(context.Background(), *timeout)
 	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
 
 	var in io.Reader = os.Stdin
 	if *script != "" {
@@ -78,12 +71,12 @@ func main() {
 	if err := run(ctx, os.Stdout, in, *protoName, *n, *script == ""); err != nil {
 		if runctl.IsStop(err) {
 			fmt.Fprintln(os.Stderr, "ccreplay: stopped early:", err)
-			exit(3)
+		} else {
+			fmt.Fprintln(os.Stderr, "ccreplay:", err)
 		}
-		fmt.Fprintln(os.Stderr, "ccreplay:", err)
-		exit(1)
+		exit(runctl.ExitCode(err))
 	}
-	exit(0)
+	exit(runctl.ExitClean)
 }
 
 // parseRef parses a "<cache><op>" token like "0R" or "12W".

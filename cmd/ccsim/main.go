@@ -21,10 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
-	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/protocols"
@@ -68,18 +66,13 @@ func main() {
 		os.Exit(code)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := runctl.WithSignals(context.Background(), *timeout)
 	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
 
 	code, err := run(ctx, *protoName, *caches, *blocks, *capacity, *workload, *ops, *seed, *pwrite, *crossCheck)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccsim:", err)
-		exit(1)
+		exit(runctl.ExitUsage)
 	}
 	exit(code)
 }

@@ -24,12 +24,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
-	"syscall"
 
 	"repro/internal/ccpsl"
+	"repro/internal/ckptio"
 	"repro/internal/core"
 	"repro/internal/fsm"
 	"repro/internal/graph"
@@ -50,6 +49,7 @@ type cliOpts struct {
 	jsonFile   string
 	checkpoint string // path to save a checkpoint to when the run stops
 	resume     string // path to load a checkpoint from
+	keep       int    // good snapshot generations retained at -checkpoint
 }
 
 func main() {
@@ -65,6 +65,7 @@ func main() {
 		jsonFile   = flag.String("json", "", "write the machine-readable report to this JSON file")
 		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0: none)")
 		checkpoint = flag.String("checkpoint", "", "write a resumable checkpoint here when the run is stopped")
+		keep       = flag.Int("checkpoint-keep", ckptio.DefaultKeep, "good checkpoint snapshots to retain (rotation)")
 		resume     = flag.String("resume", "", "resume an interrupted symbolic expansion from this checkpoint file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -91,27 +92,22 @@ func main() {
 	if *compare != "" {
 		if err := runCompare(*compare); err != nil {
 			fmt.Fprintln(os.Stderr, "ccverify:", err)
-			exit(1)
+			exit(runctl.ExitUsage)
 		}
-		exit(0)
+		exit(runctl.ExitClean)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := runctl.WithSignals(context.Background(), *timeout)
 	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
 
 	code, err := run(ctx, *protoName, *specFile, cliOpts{
 		strict: *strict, showLog: *showLog, dotFile: *dotFile, localDot: *localDot,
 		crossCheck: *crossCheck, jsonFile: *jsonFile,
-		checkpoint: *checkpoint, resume: *resume,
+		checkpoint: *checkpoint, resume: *resume, keep: *keep,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccverify:", err)
-		exit(1)
+		exit(runctl.ExitUsage)
 	}
 	exit(code)
 }
@@ -167,7 +163,15 @@ func run(ctx context.Context, protoName, specFile string, o cliOpts) (int, error
 		}
 	}
 	if o.resume != "" {
-		cp, err := symbolic.LoadCheckpoint(o.resume)
+		data, info, err := (&ckptio.Store{Path: o.resume, Keep: o.keep}).Load()
+		if err != nil {
+			return 0, err
+		}
+		if info.Generation > 0 {
+			fmt.Fprintf(os.Stderr, "ccverify: newest checkpoint unusable (%v); resuming from older snapshot %s\n",
+				info.Skipped[0], info.Path)
+		}
+		cp, err := symbolic.DecodeCheckpoint(data)
 		if err != nil {
 			return 0, err
 		}
@@ -183,12 +187,16 @@ func run(ctx context.Context, protoName, specFile string, o cliOpts) (int, error
 	if stopped {
 		fmt.Fprintf(os.Stderr, "ccverify: stopped early: %v\n", err)
 		if o.checkpoint != "" && rep.Symbolic.Checkpoint != nil {
-			if err := symbolic.SaveCheckpoint(o.checkpoint, rep.Symbolic.Checkpoint); err != nil {
+			data, err := rep.Symbolic.Checkpoint.Encode()
+			if err != nil {
+				return 0, fmt.Errorf("saving checkpoint: %w", err)
+			}
+			if err := (&ckptio.Store{Path: o.checkpoint, Keep: o.keep}).Save(data); err != nil {
 				return 0, fmt.Errorf("saving checkpoint: %w", err)
 			}
 			fmt.Fprintf(os.Stderr, "ccverify: checkpoint written to %s (resume with -resume %s)\n", o.checkpoint, o.checkpoint)
 		}
-		return 3, nil
+		return runctl.ExitStopped, nil
 	}
 
 	if rep.Symbolic.OK() {
@@ -234,9 +242,9 @@ func run(ctx context.Context, protoName, specFile string, o cliOpts) (int, error
 	}
 
 	if !rep.OK() {
-		return 2, nil
+		return runctl.ExitViolation, nil
 	}
-	return 0, nil
+	return runctl.ExitClean, nil
 }
 
 func loadProtocol(protoName, specFile string) (*fsm.Protocol, error) {

@@ -1,0 +1,236 @@
+// Witness auditing: every violation a campaign reports is re-validated
+// independently of the engine that found it, by replaying its witness path
+// through the concrete FSM semantics of internal/fsm and re-checking the
+// Definition 3 data-consistency invariants with fsm.CheckConfig. The audit
+// deliberately avoids the engines' fast paths (packed keys, containment
+// pruning): it trusts only fsm.Step, enum.Canonicalize and the legacy
+// string key rendering, so a bug in an engine's bookkeeping cannot confirm
+// its own spurious witness.
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/enum"
+	"repro/internal/fsm"
+	"repro/internal/symbolic"
+)
+
+// auditMaxN bounds the cache counts the symbolic auditor tries when
+// concretizing a class-level witness path.
+const auditMaxN = 5
+
+// auditFrontierCap bounds the guided search frontier; a path whose
+// concretizations exceed it fails the audit loudly rather than silently
+// passing.
+const auditFrontierCap = 20000
+
+// auditEnum replays each enumeration witness step-by-step. A witness is
+// confirmed when every hop's replayed canonical key equals the recorded
+// one and the final configuration violates every invariant the engine
+// claimed it does.
+func (r *runner) auditEnum(rg rung, vs []enum.Violation) []WitnessRecord {
+	mode := enumMode(rg.engine)
+	out := make([]WitnessRecord, 0, len(vs))
+	for _, v := range vs {
+		w := WitnessRecord{
+			State:   v.Config.Key(),
+			Kinds:   kindNames(v.Violations),
+			PathLen: len(v.Path),
+		}
+		if r.policy.NoAudit {
+			out = append(out, w)
+			continue
+		}
+		w.Confirmed, w.AuditNote = replayEnumWitness(r.proto, rg.n, mode, r.job.Strict, v)
+		out = append(out, w)
+	}
+	return out
+}
+
+// replayEnumWitness is the concrete replay at the heart of the enum audit.
+func replayEnumWitness(p *fsm.Protocol, n int, mode string, strict bool, v enum.Violation) (bool, string) {
+	cfg := fsm.NewConfig(p, n)
+	enum.Canonicalize(cfg)
+	for i, step := range v.Path {
+		if step.Cache < 0 || step.Cache >= n {
+			return false, fmt.Sprintf("step %d: cache %d out of range for n=%d", i, step.Cache, n)
+		}
+		if _, err := fsm.Step(p, cfg, step.Cache, step.Op); err != nil {
+			return false, fmt.Sprintf("step %d (%d%s): %v", i, step.Cache, step.Op, err)
+		}
+		enum.Canonicalize(cfg)
+		key, err := enum.CanonicalKey(cfg, mode)
+		if err != nil {
+			return false, err.Error()
+		}
+		if key != step.To {
+			return false, fmt.Sprintf("step %d (%d%s): replay reached %q, witness claims %q",
+				i, step.Cache, step.Op, key, step.To)
+		}
+	}
+	// The replayed endpoint must be the claimed erroneous state…
+	key, err := enum.CanonicalKey(cfg, mode)
+	if err != nil {
+		return false, err.Error()
+	}
+	claimed := v.Config.Clone()
+	enum.Canonicalize(claimed)
+	claimedKey, err := enum.CanonicalKey(claimed, mode)
+	if err != nil {
+		return false, err.Error()
+	}
+	if key != claimedKey {
+		return false, fmt.Sprintf("replay endpoint %q is not the claimed state %q", key, claimedKey)
+	}
+	// …and must independently violate every claimed invariant.
+	got := map[fsm.ViolationKind]bool{}
+	for _, viol := range fsm.CheckConfig(p, cfg, strict) {
+		got[viol.Kind] = true
+	}
+	for _, claimedViol := range v.Violations {
+		if !got[claimedViol.Kind] {
+			return false, fmt.Sprintf("replayed state does not violate claimed invariant %s", claimedViol.Kind)
+		}
+	}
+	return true, ""
+}
+
+// auditSymbolic confirms class-level symbolic witnesses by concretizing
+// them: a guided breadth-limited search follows the path's labels through
+// the concrete FSM at small cache counts until some concrete run reaches a
+// state violating a claimed invariant.
+func (r *runner) auditSymbolic(vs []symbolic.StateViolation) []WitnessRecord {
+	out := make([]WitnessRecord, 0, len(vs))
+	for _, v := range vs {
+		w := WitnessRecord{
+			State:   v.State.Key(),
+			Kinds:   kindNames(v.Violations),
+			PathLen: len(v.Path),
+		}
+		if r.policy.NoAudit {
+			out = append(out, w)
+			continue
+		}
+		w.Confirmed, w.AuditNote = concretizeSymbolicWitness(r.proto, r.job.Strict, v)
+		out = append(out, w)
+	}
+	return out
+}
+
+// concretizeSymbolicWitness tries n = 2..auditMaxN cache counts; the
+// witness is confirmed as soon as one concretization works.
+func concretizeSymbolicWitness(p *fsm.Protocol, strict bool, v symbolic.StateViolation) (bool, string) {
+	var lastNote string
+	for n := 2; n <= auditMaxN; n++ {
+		ok, note := concretizeAtN(p, n, strict, v)
+		if ok {
+			return true, ""
+		}
+		lastNote = fmt.Sprintf("n=%d: %s", n, note)
+	}
+	return false, lastNote
+}
+
+// concretizeAtN follows the witness path's labels concretely for n caches.
+// Each label constrains which caches may act (those whose current state is
+// the label's originating class); an N-step label applies the operation to
+// the class's members one after another, keeping every intermediate prefix
+// as a candidate, mirroring rule 4 of Section 3.2.3. The search succeeds
+// when a configuration reached after the full path violates one of the
+// claimed invariants.
+func concretizeAtN(p *fsm.Protocol, n int, strict bool, v symbolic.StateViolation) (bool, string) {
+	claimed := map[fsm.ViolationKind]bool{}
+	for _, viol := range v.Violations {
+		claimed[viol.Kind] = true
+	}
+	hasClaimed := func(c *fsm.Config) bool {
+		for _, viol := range fsm.CheckConfig(p, c, strict) {
+			if claimed[viol.Kind] {
+				return true
+			}
+		}
+		return false
+	}
+
+	init := fsm.NewConfig(p, n)
+	enum.Canonicalize(init)
+	frontier := []*fsm.Config{init}
+	for i, step := range v.Path {
+		var next []*fsm.Config
+		seen := map[string]bool{}
+		admit := func(c *fsm.Config) {
+			k := c.Key()
+			if !seen[k] && len(next) < auditFrontierCap {
+				seen[k] = true
+				next = append(next, c)
+			}
+		}
+		// One symbolic transition can stand for several concrete
+		// applications of its operation: the class repetition operators
+		// absorb any number of caches (a single R_Invalid edge covers
+		// configurations with 2, 3, … sharers), and the explicit N-step
+		// labels of rule 4 (Section 3.2.3) make the multi-application
+		// reading first-class. So each path step closes the frontier
+		// under 1..n applications of the operation by distinct caches
+		// of the originating class, admitting every intermediate. The
+		// closure only guides the search — soundness comes from every
+		// admitted configuration being built by real fsm.Step calls
+		// from the initial state, plus the endpoint invariant check.
+		for _, cur := range frontier {
+			type branch struct {
+				c     *fsm.Config
+				acted uint32
+			}
+			work := []branch{{c: cur, acted: 0}}
+			stepSeen := map[string]bool{}
+			for len(work) > 0 {
+				b := work[0]
+				work = work[1:]
+				for j := 0; j < n; j++ {
+					if b.acted&(1<<j) != 0 {
+						continue
+					}
+					if step.Label.Origin != "" && b.c.States[j] != step.Label.Origin {
+						continue
+					}
+					c := b.c.Clone()
+					if _, err := fsm.Step(p, c, j, step.Label.Op); err != nil {
+						continue
+					}
+					enum.Canonicalize(c)
+					acted := b.acted | 1<<j
+					bk := fmt.Sprintf("%s#%d", c.Key(), acted)
+					if stepSeen[bk] {
+						continue
+					}
+					stepSeen[bk] = true
+					admit(c)
+					work = append(work, branch{c: c, acted: acted})
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false, fmt.Sprintf("path step %d (%s) has no concrete counterpart", i, step.Label)
+		}
+		frontier = next
+	}
+	for _, c := range frontier {
+		if hasClaimed(c) {
+			return true, ""
+		}
+	}
+	// The path may end one derivation short of the erroneous state when
+	// the violation is already visible along the way; accept a violating
+	// intermediate only at the endpoint to stay conservative.
+	return false, "no concretization of the path endpoint violates a claimed invariant"
+}
+
+// kindNames renders violation kinds deterministically.
+func kindNames(vs []fsm.Violation) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.Kind.String()
+	}
+	return out
+}

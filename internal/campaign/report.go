@@ -1,0 +1,103 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Totals aggregates job verdicts.
+type Totals struct {
+	Jobs        int `json:"jobs"`
+	Clean       int `json:"clean"`
+	Violations  int `json:"violations"`
+	Quarantined int `json:"quarantined"`
+	Canceled    int `json:"canceled"`
+	Failed      int `json:"failed"`
+	Degraded    int `json:"degraded"`
+	Resumes     int `json:"resumes"`
+	// RecoveredCorruption counts checkpoint loads that fell back past a
+	// bad newest snapshot — the durability machinery earning its keep.
+	RecoveredCorruption int `json:"recovered_corruption"`
+}
+
+// AuditTotals aggregates witness confirmation across the campaign.
+type AuditTotals struct {
+	Witnesses int `json:"witnesses"`
+	Confirmed int `json:"confirmed"`
+}
+
+// Report is the deterministic outcome of a campaign: jobs sorted by name,
+// no wall-clock fields, stable JSON encoding. Two runs of the same spec
+// (same seed, same chaos plan) produce byte-identical reports — the
+// property the crash-recovery CI job diffs on.
+type Report struct {
+	Seed  int64        `json:"seed"`
+	Jobs  []*JobResult `json:"jobs"`
+	Total Totals       `json:"totals"`
+	Audit AuditTotals  `json:"audit"`
+}
+
+// tally recomputes the aggregate sections from the job list.
+func (r *Report) tally() {
+	r.Total = Totals{Jobs: len(r.Jobs)}
+	r.Audit = AuditTotals{}
+	for _, j := range r.Jobs {
+		switch j.Verdict {
+		case VerdictClean:
+			r.Total.Clean++
+		case VerdictViolations:
+			r.Total.Violations++
+		case VerdictQuarantined:
+			r.Total.Quarantined++
+		case VerdictCanceled:
+			r.Total.Canceled++
+		case VerdictFailed:
+			r.Total.Failed++
+		}
+		if j.Degraded {
+			r.Total.Degraded++
+		}
+		r.Total.Resumes += j.Resumes
+		r.Total.RecoveredCorruption += j.RecoveredCorruption
+		for _, w := range j.Violations {
+			r.Audit.Witnesses++
+			if w.Confirmed {
+				r.Audit.Confirmed++
+			}
+		}
+	}
+}
+
+// Audited reports whether every reported violation in the campaign
+// carries a replay-confirmed witness.
+func (r *Report) Audited() bool { return r.Audit.Confirmed == r.Audit.Witnesses }
+
+// JSON renders the report as stable, indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", " ")
+}
+
+// WriteVerdictLines emits one grep- and diff-friendly line per job plus a
+// campaign summary line. The lines carry only deterministic fields, so
+// diffing the output of a clean run against a chaos run is exactly the
+// "corruption changes nothing" acceptance check.
+func (r *Report) WriteVerdictLines(w io.Writer) error {
+	for _, j := range r.Jobs {
+		confirmed := 0
+		for _, wit := range j.Violations {
+			if wit.Confirmed {
+				confirmed++
+			}
+		}
+		if _, err := fmt.Fprintf(w, "JOB %s VERDICT %s RUNG %s ESSENTIAL %d VISITS %d VIOLATIONS %d AUDIT %d/%d\n",
+			j.Name, j.Verdict, j.FinalRung, j.Essential, j.Visits,
+			len(j.Violations), confirmed, len(j.Violations)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "CAMPAIGN jobs=%d clean=%d violations=%d quarantined=%d canceled=%d failed=%d audit=%d/%d\n",
+		r.Total.Jobs, r.Total.Clean, r.Total.Violations, r.Total.Quarantined,
+		r.Total.Canceled, r.Total.Failed, r.Audit.Confirmed, r.Audit.Witnesses)
+	return err
+}

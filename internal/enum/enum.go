@@ -160,6 +160,23 @@ func countingKey(c *fsm.Config) string {
 	return strings.Join(pairs, ",") + fmt.Sprintf("|m:%d", c.MemVersion)
 }
 
+// CanonicalKey renders the canonical string identity of a canonicalized
+// configuration under the given mode, in the exact format checkpoints and
+// witness paths store (PathStep.To). It is computed by the legacy string
+// reference implementation — not the packed fast-path codec — so an
+// independent auditor (internal/campaign) replaying a witness through
+// fsm.Step can match claimed keys without trusting the engine's packed
+// encoding.
+func CanonicalKey(c *fsm.Config, mode string) (string, error) {
+	if err := validMode(mode); err != nil {
+		return "", err
+	}
+	if mode == ModeCounting {
+		return countingKey(c), nil
+	}
+	return strictKey(c), nil
+}
+
 // Enumeration modes, recorded in checkpoints so a resumed run re-selects
 // the equivalence of the interrupted one.
 const (

@@ -1,0 +1,57 @@
+package runctl
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Process exit codes shared by every binary in this repository. The
+// contract is part of the CLI surface (scripts and CI branch on it) and is
+// pinned by TestExitCodeContract.
+const (
+	// ExitClean: the run completed and the protocol verified clean.
+	ExitClean = 0
+	// ExitUsage: a usage or internal error prevented a verdict.
+	ExitUsage = 1
+	// ExitViolation: the run completed and found violations.
+	ExitViolation = 2
+	// ExitStopped: the run was stopped early (timeout, signal or budget)
+	// before reaching a verdict.
+	ExitStopped = 3
+)
+
+// ExitCode maps a run-ending error to the shared contract: nil is
+// ExitClean, any of the stop sentinels is ExitStopped, and everything else
+// is ExitUsage. Violations are a verdict, not an error, so callers report
+// ExitViolation themselves.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitClean
+	case IsStop(err):
+		return ExitStopped
+	default:
+		return ExitUsage
+	}
+}
+
+// WithSignals is the shared CLI run-control wiring: the returned context
+// is canceled on SIGINT or SIGTERM and, when timeout is positive, after
+// the wall-clock timeout. Classify the resulting ctx.Err with FromContext
+// (ErrCanceled for signals, ErrDeadline for the timeout) and exit with
+// ExitCode. The cancel function releases the signal handler and must be
+// called when the run ends.
+func WithSignals(parent context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	return ctx, func() {
+		cancel()
+		stop()
+	}
+}

@@ -1,0 +1,87 @@
+package runctl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestExitCodeContract pins the process exit codes every binary exposes:
+// 0 clean, 1 usage/internal, 2 violations, 3 stopped early. Changing any
+// value breaks scripts and CI — this test is the contract.
+func TestExitCodeContract(t *testing.T) {
+	if ExitClean != 0 || ExitUsage != 1 || ExitViolation != 2 || ExitStopped != 3 {
+		t.Fatalf("exit codes = %d/%d/%d/%d, contract is 0/1/2/3",
+			ExitClean, ExitUsage, ExitViolation, ExitStopped)
+	}
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitClean},
+		{ErrCanceled, ExitStopped},
+		{ErrDeadline, ExitStopped},
+		{ErrStateBudget, ExitStopped},
+		{ErrMemBudget, ExitStopped},
+		{fmt.Errorf("run stopped: %w", ErrDeadline), ExitStopped},
+		{errors.New("flag provided but not defined"), ExitUsage},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestWithSignalsTimeout(t *testing.T) {
+	ctx, cancel := WithSignals(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout never fired")
+	}
+	if err := FromContext(ctx); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("stop reason = %v, want ErrDeadline", err)
+	}
+	if ExitCode(FromContext(ctx)) != ExitStopped {
+		t.Fatal("a timed-out run must exit with the stopped code")
+	}
+}
+
+func TestWithSignalsSignal(t *testing.T) {
+	ctx, cancel := WithSignals(context.Background(), 0)
+	defer cancel()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGTERM did not cancel the context")
+	}
+	if err := FromContext(ctx); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("stop reason = %v, want ErrCanceled", err)
+	}
+	if ExitCode(FromContext(ctx)) != ExitStopped {
+		t.Fatal("a signaled run must exit with the stopped code")
+	}
+}
+
+func TestWithSignalsParentCancel(t *testing.T) {
+	parent, pcancel := context.WithCancel(context.Background())
+	ctx, cancel := WithSignals(parent, time.Hour)
+	defer cancel()
+	pcancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("parent cancellation did not propagate")
+	}
+	if err := FromContext(ctx); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("stop reason = %v, want ErrCanceled", err)
+	}
+}

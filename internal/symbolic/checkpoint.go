@@ -4,11 +4,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
-	"runtime"
 	"sort"
 
+	"repro/internal/ckptio"
 	"repro/internal/fsm"
 )
 
@@ -254,43 +252,25 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	return &cp, nil
 }
 
-// SaveCheckpoint writes the checkpoint atomically (temp file + rename), so
-// an interrupt during the write can never leave a torn checkpoint behind.
+// SaveCheckpoint writes the checkpoint through the durable snapshot store
+// (internal/ckptio): checksummed envelope, atomic temp-file + rename with
+// fsync, so a crash during the write can never leave a torn checkpoint
+// behind and a later bit flip is detected on load. Callers wanting
+// rotation across several good snapshots use a ckptio.Store with Keep > 1
+// around Encode/DecodeCheckpoint directly (as cmd/ccverify and
+// internal/campaign do).
 func SaveCheckpoint(path string, cp *Checkpoint) error {
 	data, err := cp.Encode()
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".ccverify-checkpoint-*")
-	if err != nil {
-		return err
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return err
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		if runtime.GOOS == "windows" {
-			os.Remove(path)
-			if err2 := os.Rename(tmpName, path); err2 == nil {
-				return nil
-			}
-		}
-		os.Remove(tmpName)
-		return err
-	}
-	return nil
+	return (&ckptio.Store{Path: path, Keep: 1}).Save(data)
 }
 
-// LoadCheckpoint reads and decodes a checkpoint file.
+// LoadCheckpoint reads, validates and decodes a checkpoint file, accepting
+// both enveloped snapshots and bare pre-envelope JSON files.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
-	data, err := os.ReadFile(path)
+	data, _, err := (&ckptio.Store{Path: path, Keep: 1}).Load()
 	if err != nil {
 		return nil, err
 	}
