@@ -25,6 +25,8 @@ import (
 	"os/exec"
 	"strconv"
 	"strings"
+
+	"repro/internal/runctl"
 )
 
 // BenchResult is one parsed benchmark line.
@@ -43,13 +45,19 @@ func main() {
 	var (
 		bench = flag.String("bench", "BenchmarkFig2Exhaustive|BenchmarkParallelEnumeration|BenchmarkFig3SymbolicExpansion|BenchmarkScalingSynthetic",
 			"benchmark selection regex passed to go test -bench")
-		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
-		count     = flag.Int("count", 1, "go test -count value")
-		pkg       = flag.String("pkg", ".", "package pattern to benchmark")
-		textOut   = flag.String("text", "", "also write the raw go test output to this file (for benchstat)")
-		jsonOut   = flag.String("json", "", "write the parsed JSON summary to this file")
+		benchtime   = flag.String("benchtime", "1x", "go test -benchtime value")
+		count       = flag.Int("count", 1, "go test -count value")
+		pkg         = flag.String("pkg", ".", "package pattern to benchmark")
+		textOut     = flag.String("text", "", "also write the raw go test output to this file (for benchstat)")
+		jsonOut     = flag.String("json", "", "write the parsed JSON summary to this file")
+		showVersion = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(runctl.VersionString("ccbench"))
+		os.Exit(0)
+	}
 
 	raw, err := runBenchmarks(*pkg, *bench, *benchtime, *count)
 	if raw != nil {

@@ -38,26 +38,32 @@ import (
 
 func main() {
 	var (
-		protos     = flag.String("protocols", "illinois", "comma-separated protocol names")
-		engines    = flag.String("engines", "enum-strict,symbolic", "comma-separated engines: enum-strict, enum-counting, symbolic")
-		ns         = flag.String("n", "3", "comma-separated cache counts for enumeration engines")
-		strict     = flag.Bool("strict", false, "enable the clean-state/memory extension check")
-		mutants    = flag.Bool("mutants", false, "campaign over the fault-injected mutants of each protocol instead of the protocol itself")
-		attempts   = flag.Int("max-attempts", 4, "attempts per job before quarantine")
-		atimeout   = flag.Duration("attempt-timeout", 0, "per-attempt wall-clock deadline (0: none)")
-		maxStates  = flag.Int("max-states", 0, "per-attempt distinct-state budget (0: engine default)")
-		workers    = flag.Int("workers", 1, "parallel enumeration workers on the ladder's first rung")
-		ckptDir    = flag.String("checkpoint-dir", "", "durable snapshot store directory (empty: no checkpoints)")
-		ckptEvery  = flag.Int("checkpoint-every", 512, "periodic snapshot cadence in expanded states")
-		keep       = flag.Int("checkpoint-keep", ckptio.DefaultKeep, "good snapshot generations each job retains")
-		seed       = flag.Int64("seed", 1993, "campaign seed (backoff jitter determinism)")
-		noAudit    = flag.Bool("no-audit", false, "skip the independent witness confirmation pass")
-		noFallback = flag.Bool("no-symbolic-fallback", false, "remove the symbolic rung from enumeration ladders")
-		chaosSpec  = flag.String("chaos", "", "fault injection plan: comma-separated kind:job:at-save triples (kinds: corrupt, delete, kill, wedge)")
-		jsonFile   = flag.String("json", "", "write the machine-readable campaign report to this JSON file")
-		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the whole campaign (0: none)")
+		protos      = flag.String("protocols", "illinois", "comma-separated protocol names")
+		engines     = flag.String("engines", "enum-strict,symbolic", "comma-separated engines: enum-strict, enum-counting, symbolic")
+		ns          = flag.String("n", "3", "comma-separated cache counts for enumeration engines")
+		strict      = flag.Bool("strict", false, "enable the clean-state/memory extension check")
+		mutants     = flag.Bool("mutants", false, "campaign over the fault-injected mutants of each protocol instead of the protocol itself")
+		attempts    = flag.Int("max-attempts", 4, "attempts per job before quarantine")
+		atimeout    = flag.Duration("attempt-timeout", 0, "per-attempt wall-clock deadline (0: none)")
+		maxStates   = flag.Int("max-states", 0, "per-attempt distinct-state budget (0: engine default)")
+		workers     = flag.Int("workers", 1, "parallel enumeration workers on the ladder's first rung")
+		ckptDir     = flag.String("checkpoint-dir", "", "durable snapshot store directory (empty: no checkpoints)")
+		ckptEvery   = flag.Int("checkpoint-every", 512, "periodic snapshot cadence in expanded states")
+		keep        = flag.Int("checkpoint-keep", ckptio.DefaultKeep, "good snapshot generations each job retains")
+		seed        = flag.Int64("seed", 1993, "campaign seed (backoff jitter determinism)")
+		noAudit     = flag.Bool("no-audit", false, "skip the independent witness confirmation pass")
+		noFallback  = flag.Bool("no-symbolic-fallback", false, "remove the symbolic rung from enumeration ladders")
+		chaosSpec   = flag.String("chaos", "", "fault injection plan: comma-separated kind:job:at-save triples (kinds: corrupt, delete, kill, wedge)")
+		jsonFile    = flag.String("json", "", "write the machine-readable campaign report to this JSON file")
+		timeout     = flag.Duration("timeout", 0, "wall-clock limit for the whole campaign (0: none)")
+		showVersion = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(runctl.VersionString("cccampaign"))
+		os.Exit(runctl.ExitClean)
+	}
 
 	ctx, stop := runctl.WithSignals(context.Background(), *timeout)
 	defer stop()

@@ -50,20 +50,26 @@ type cliOpts struct {
 
 func main() {
 	var (
-		protoName  = flag.String("protocol", "illinois", "built-in protocol name")
-		n          = flag.Int("n", 4, "number of caches")
-		mode       = flag.String("mode", "both", "strict, counting, or both")
-		strict     = flag.Bool("strict", false, "enable the clean-state/memory extension check")
-		max        = flag.Int("max", 0, "state cap (0: default)")
-		workers    = flag.Int("workers", 1, "parallel BFS workers (1: sequential, 0: GOMAXPROCS)")
-		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0: none)")
-		checkpoint = flag.String("checkpoint", "", "write a resumable checkpoint here when the run is stopped")
-		keep       = flag.Int("checkpoint-keep", ckptio.DefaultKeep, "good checkpoint snapshots to retain (rotation)")
-		resume     = flag.String("resume", "", "resume an interrupted run from this checkpoint file")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		protoName   = flag.String("protocol", "illinois", "built-in protocol name")
+		n           = flag.Int("n", 4, "number of caches")
+		mode        = flag.String("mode", "both", "strict, counting, or both")
+		strict      = flag.Bool("strict", false, "enable the clean-state/memory extension check")
+		max         = flag.Int("max", 0, "state cap (0: default)")
+		workers     = flag.Int("workers", 1, "parallel BFS workers (1: sequential, 0: GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0: none)")
+		checkpoint  = flag.String("checkpoint", "", "write a resumable checkpoint here when the run is stopped")
+		keep        = flag.Int("checkpoint-keep", ckptio.DefaultKeep, "good checkpoint snapshots to retain (rotation)")
+		resume      = flag.String("resume", "", "resume an interrupted run from this checkpoint file")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		showVersion = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(runctl.VersionString("ccenum"))
+		os.Exit(runctl.ExitClean)
+	}
 
 	stopProf, err := runctl.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -103,6 +109,13 @@ func run(ctx context.Context, protoName string, n int, o cliOpts) (int, error) {
 		Strict:           o.strict,
 		MaxStates:        o.max,
 		CheckpointOnStop: o.checkpoint != "",
+	}
+	if o.checkpoint != "" {
+		// Probe the checkpoint directory up front: an unwritable -checkpoint
+		// target should fail before the enumeration, not at the stop snapshot.
+		if err := (&ckptio.Store{Path: o.checkpoint, Keep: o.keep}).Preflight(); err != nil {
+			return 0, err
+		}
 	}
 
 	type outcome struct {

@@ -42,12 +42,18 @@ var allExperiments = []struct {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (all, fig1, fig4, fig4table, a2, complexity, suite, mutants, workloads)")
-		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the sweep, checked between experiments (0: none)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		exp         = flag.String("exp", "all", "experiment to run (all, fig1, fig4, fig4table, a2, complexity, suite, mutants, workloads)")
+		timeout     = flag.Duration("timeout", 0, "wall-clock limit for the sweep, checked between experiments (0: none)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		showVersion = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(runctl.VersionString("ccexperiments"))
+		os.Exit(runctl.ExitClean)
+	}
 
 	stopProf, err := runctl.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {

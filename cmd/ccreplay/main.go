@@ -35,14 +35,20 @@ import (
 
 func main() {
 	var (
-		protoName = flag.String("protocol", "illinois", "built-in protocol name ("+strings.Join(protocols.Names(), ", ")+")")
-		n         = flag.Int("n", 3, "number of caches")
-		script     = flag.String("script", "", "space-separated references, e.g. \"0R 1W 0Z\"; empty reads stdin")
-		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the whole session (0: none)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		protoName   = flag.String("protocol", "illinois", "built-in protocol name ("+strings.Join(protocols.Names(), ", ")+")")
+		n           = flag.Int("n", 3, "number of caches")
+		script      = flag.String("script", "", "space-separated references, e.g. \"0R 1W 0Z\"; empty reads stdin")
+		timeout     = flag.Duration("timeout", 0, "wall-clock limit for the whole session (0: none)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		showVersion = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(runctl.VersionString("ccreplay"))
+		os.Exit(runctl.ExitClean)
+	}
 
 	stopProf, err := runctl.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {

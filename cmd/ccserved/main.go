@@ -1,0 +1,176 @@
+// Command ccserved is the long-running verification service: an HTTP/JSON
+// daemon that accepts ccpsl specifications (or library protocol names),
+// verifies them with the symbolic or explicit-state engines, and serves
+// results from a content-addressed cache keyed by the canonical spec plus
+// engine options (Theorem 1 makes the results deterministic, hence
+// perfectly cacheable). Concurrent identical requests coalesce onto one
+// engine run; a bounded worker pool with admission control keeps overload
+// a 429, not a meltdown.
+//
+// Usage:
+//
+//	ccserved -listen 127.0.0.1:8344
+//	ccserved -unix /run/ccserved.sock -workers 4 -cache-dir /var/cache/ccserved
+//
+// Endpoints: POST /v1/verify (async job submission; ?wait=1 blocks),
+// GET /v1/jobs/{id} (poll; ?wait=1 blocks), DELETE /v1/jobs/{id} (cancel),
+// GET /v1/protocols, GET /healthz, GET /statsz. See docs/service.md.
+//
+// On SIGINT/SIGTERM (or -timeout) the server drains: intake closes
+// (healthz turns 503, new verifies are rejected), queued and running jobs
+// finish within -drain-timeout, then the process exits with the shared
+// stopped code.
+//
+// Exit codes: 0 never in practice (the server runs until stopped), 1 usage
+// or internal error, 3 stopped by signal or -timeout after a drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/runctl"
+	"repro/internal/serve"
+)
+
+// cliOpts carries the service configuration; run takes it whole so tests
+// can drive exact configurations.
+type cliOpts struct {
+	listen       string
+	unixSocket   string
+	cfg          serve.Config
+	drainTimeout time.Duration
+	// ready, when non-nil, receives the bound listener address once the
+	// server is accepting (used by tests to avoid port races).
+	ready chan<- string
+}
+
+func main() {
+	var (
+		listen       = flag.String("listen", "127.0.0.1:8344", "TCP listen address (ignored when -unix is set)")
+		unixSocket   = flag.String("unix", "", "unix socket path to listen on instead of TCP")
+		workers      = flag.Int("workers", 0, "verification worker pool width (0: GOMAXPROCS, capped at 8)")
+		queue        = flag.Int("queue", 64, "admission-control bound on queued jobs")
+		jobTimeout   = flag.Duration("job-timeout", 60*time.Second, "per-job wall-clock deadline (also caps per-request timeout_ms)")
+		cacheBytes   = flag.Int64("cache-bytes", serve.DefaultCacheBytes, "memory result-cache budget in bytes")
+		cacheDir     = flag.String("cache-dir", "", "durable disk cache tier directory (empty: memory only)")
+		keepJobs     = flag.Int("keep-jobs", 1024, "terminal job records retained for polling")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs after SIGTERM")
+		timeout      = flag.Duration("timeout", 0, "wall-clock limit for the whole service (0: run until signaled)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		showVersion  = flag.Bool("version", false, "print version information and exit")
+	)
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(runctl.VersionString("ccserved"))
+		os.Exit(runctl.ExitClean)
+	}
+
+	stopProf, err := runctl.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccserved:", err)
+		os.Exit(runctl.ExitUsage)
+	}
+	// os.Exit skips deferred calls, so every exit path flushes the profiles
+	// explicitly first.
+	exit := func(code int) {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "ccserved:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
+
+	ctx, stop := runctl.WithSignals(context.Background(), *timeout)
+	defer stop()
+
+	code, err := run(ctx, cliOpts{
+		listen:     *listen,
+		unixSocket: *unixSocket,
+		cfg: serve.Config{
+			Workers:    *workers,
+			QueueDepth: *queue,
+			JobTimeout: *jobTimeout,
+			CacheBytes: *cacheBytes,
+			CacheDir:   *cacheDir,
+			KeepJobs:   *keepJobs,
+		},
+		drainTimeout: *drainTimeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccserved:", err)
+		exit(runctl.ExitUsage)
+	}
+	exit(code)
+}
+
+// listenOn binds the configured TCP address or unix socket. A stale unix
+// socket file from a previous unclean exit is removed first — the exclusive
+// bind below makes that safe only for sockets, never for foreign files.
+func listenOn(o cliOpts) (net.Listener, error) {
+	if o.unixSocket != "" {
+		if fi, err := os.Lstat(o.unixSocket); err == nil && fi.Mode()&os.ModeSocket != 0 {
+			os.Remove(o.unixSocket)
+		}
+		return net.Listen("unix", o.unixSocket)
+	}
+	return net.Listen("tcp", o.listen)
+}
+
+// run starts the service and blocks until ctx is canceled (signal or
+// -timeout), then drains and returns the shared stopped exit code.
+func run(ctx context.Context, o cliOpts) (int, error) {
+	srv, err := serve.New(o.cfg)
+	if err != nil {
+		return 0, err
+	}
+	ln, err := listenOn(o)
+	if err != nil {
+		return 0, err
+	}
+	srv.Start()
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "ccserved: listening on %s\n", ln.Addr())
+	if o.ready != nil {
+		o.ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-serveErr:
+		// The listener died underneath us; drain what is already queued.
+		drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+		defer cancel()
+		srv.Drain(drainCtx)
+		return 0, fmt.Errorf("ccserved: listener failed: %w", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop intake first so polling clients see 503s and
+	// queued work finishes, then shut the HTTP side down.
+	fmt.Fprintln(os.Stderr, "ccserved: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "ccserved:", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		httpSrv.Close()
+	}
+	if o.unixSocket != "" {
+		os.Remove(o.unixSocket)
+	}
+	fmt.Fprintln(os.Stderr, "ccserved: drained")
+	return runctl.ExitCode(runctl.FromContext(ctx)), nil
+}

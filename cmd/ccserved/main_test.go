@@ -1,0 +1,178 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/runctl"
+	"repro/internal/serve"
+)
+
+// startRun launches run() in a goroutine with a ready channel and returns
+// the bound address plus a channel yielding (code, err) on exit.
+func startRun(t *testing.T, ctx context.Context, o cliOpts) (string, chan struct{}, *runResult) {
+	t.Helper()
+	ready := make(chan string, 1)
+	o.ready = ready
+	res := &runResult{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		res.code, res.err = run(ctx, o)
+	}()
+	select {
+	case addr := <-ready:
+		return addr, done, res
+	case <-done:
+		t.Fatalf("run exited before listening: code %d err %v", res.code, res.err)
+		return "", nil, nil
+	}
+}
+
+type runResult struct {
+	code int
+	err  error
+}
+
+// TestRunDrainsAndExitsStopped pins the signal contract end to end:
+// cancellation (what runctl.WithSignals does on SIGTERM) drains in-flight
+// work — a blocked ?wait=1 client still gets its completed report — and the
+// process exit code is the shared stopped code, 3.
+func TestRunDrainsAndExitsStopped(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr, done, res := startRun(t, ctx, cliOpts{
+		listen:       "127.0.0.1:0",
+		cfg:          serve.Config{Workers: 2, QueueDepth: 8},
+		drainTimeout: 10 * time.Second,
+	})
+	base := "http://" + addr
+
+	// Warm request proves the service is answering.
+	resp, err := http.Post(base+"/v1/verify?wait=1", "application/json",
+		strings.NewReader(`{"protocol": "illinois"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || st.State != serve.StateDone {
+		t.Fatalf("warm request: http %d state %s err %q", resp.StatusCode, st.State, st.Error)
+	}
+
+	// A second client blocks on a fresh (uncached) verification while the
+	// stop signal lands; the drain must let it finish.
+	inflight := make(chan *serve.JobStatus, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/verify?wait=1", "application/json",
+			strings.NewReader(`{"protocol": "dragon", "engine": "enum-strict", "n": 4}`))
+		if err != nil {
+			inflight <- nil
+			return
+		}
+		defer resp.Body.Close()
+		var st serve.JobStatus
+		if json.NewDecoder(resp.Body).Decode(&st) != nil {
+			inflight <- nil
+			return
+		}
+		inflight <- &st
+	}()
+	// Give the in-flight request a moment to be admitted before stopping.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not exit after cancellation")
+	}
+	if res.err != nil {
+		t.Fatalf("run: %v", res.err)
+	}
+	if res.code != runctl.ExitStopped {
+		t.Fatalf("exit code %d, want %d (stopped)", res.code, runctl.ExitStopped)
+	}
+	if st := <-inflight; st != nil && st.State != serve.StateDone && st.State != serve.StateCanceled {
+		t.Errorf("in-flight job ended as %s", st.State)
+	}
+}
+
+// TestRunUnixSocket: the daemon listens on a unix socket, answers health
+// checks, and removes the socket file on the way out.
+func TestRunUnixSocket(t *testing.T) {
+	dir, err := os.MkdirTemp("", "ccsrvd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sock := filepath.Join(dir, "d.sock")
+	// A stale socket file from a prior unclean exit must not block startup.
+	staleLn, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleLn.(*net.UnixListener).SetUnlinkOnClose(false)
+	staleLn.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, done, res := startRun(t, ctx, cliOpts{
+		unixSocket:   sock,
+		cfg:          serve.Config{Workers: 1, QueueDepth: 4},
+		drainTimeout: 5 * time.Second,
+	})
+
+	client := &http.Client{Transport: &http.Transport{
+		DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "unix", sock)
+		},
+	}}
+	resp, err := client.Get("http://ccserved/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: http %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit")
+	}
+	if res.code != runctl.ExitStopped {
+		t.Errorf("exit code %d, want %d", res.code, runctl.ExitStopped)
+	}
+	if _, err := os.Lstat(sock); !os.IsNotExist(err) {
+		t.Errorf("socket file not removed on exit (err %v)", err)
+	}
+}
+
+// TestRunRejectsBadConfig: an unusable cache directory fails startup.
+func TestRunRejectsBadConfig(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "plain")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := run(context.Background(), cliOpts{
+		listen: "127.0.0.1:0",
+		cfg:    serve.Config{CacheDir: file},
+	})
+	if err == nil {
+		t.Fatal("run with a plain-file cache dir: want error")
+	}
+}

@@ -34,20 +34,26 @@ import (
 
 func main() {
 	var (
-		protoName  = flag.String("protocol", "illinois", "built-in protocol name ("+strings.Join(protocols.Names(), ", ")+")")
-		caches     = flag.Int("caches", 4, "number of caches/processors")
-		blocks     = flag.Int("blocks", 16, "number of memory blocks")
-		capacity   = flag.Int("capacity", 8, "cache capacity in blocks (0: unbounded)")
-		workload   = flag.String("workload", "uniform", "uniform, hot-block, migratory, or producer-consumer")
-		ops        = flag.Int("ops", 1000000, "number of memory references")
-		seed       = flag.Int64("seed", 1993, "workload RNG seed")
-		pwrite     = flag.Float64("pwrite", 0.3, "write probability (uniform/hot-block)")
-		crossCheck = flag.String("crosscheck", "", "comma-separated cache counts for symbolic cross-validation")
-		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0: none)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		protoName   = flag.String("protocol", "illinois", "built-in protocol name ("+strings.Join(protocols.Names(), ", ")+")")
+		caches      = flag.Int("caches", 4, "number of caches/processors")
+		blocks      = flag.Int("blocks", 16, "number of memory blocks")
+		capacity    = flag.Int("capacity", 8, "cache capacity in blocks (0: unbounded)")
+		workload    = flag.String("workload", "uniform", "uniform, hot-block, migratory, or producer-consumer")
+		ops         = flag.Int("ops", 1000000, "number of memory references")
+		seed        = flag.Int64("seed", 1993, "workload RNG seed")
+		pwrite      = flag.Float64("pwrite", 0.3, "write probability (uniform/hot-block)")
+		crossCheck  = flag.String("crosscheck", "", "comma-separated cache counts for symbolic cross-validation")
+		timeout     = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0: none)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		showVersion = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(runctl.VersionString("ccsim"))
+		os.Exit(runctl.ExitClean)
+	}
 
 	stopProf, err := runctl.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {

@@ -54,23 +54,29 @@ type cliOpts struct {
 
 func main() {
 	var (
-		protoName  = flag.String("protocol", "", "built-in protocol name ("+strings.Join(protocols.Names(), ", ")+")")
-		specFile   = flag.String("spec", "", "path to a ccpsl protocol specification")
-		strict     = flag.Bool("strict", false, "enable the clean-state/memory consistency extension check")
-		showLog    = flag.Bool("log", false, "print the expansion visit log (Appendix A.2 style)")
-		dotFile    = flag.String("dot", "", "write the global transition diagram to this DOT file")
-		localDot   = flag.String("local-dot", "", "write the per-cache diagram (Figure 1 style) to this DOT file")
-		crossCheck = flag.String("crosscheck", "", "comma-separated cache counts for explicit-state cross-validation, e.g. 2,3,4")
-		compare    = flag.String("compare", "", "compare the global diagrams of two protocols, e.g. illinois,firefly")
-		jsonFile   = flag.String("json", "", "write the machine-readable report to this JSON file")
-		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0: none)")
-		checkpoint = flag.String("checkpoint", "", "write a resumable checkpoint here when the run is stopped")
-		keep       = flag.Int("checkpoint-keep", ckptio.DefaultKeep, "good checkpoint snapshots to retain (rotation)")
-		resume     = flag.String("resume", "", "resume an interrupted symbolic expansion from this checkpoint file")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		protoName   = flag.String("protocol", "", "built-in protocol name ("+strings.Join(protocols.Names(), ", ")+")")
+		specFile    = flag.String("spec", "", "path to a ccpsl protocol specification")
+		strict      = flag.Bool("strict", false, "enable the clean-state/memory consistency extension check")
+		showLog     = flag.Bool("log", false, "print the expansion visit log (Appendix A.2 style)")
+		dotFile     = flag.String("dot", "", "write the global transition diagram to this DOT file")
+		localDot    = flag.String("local-dot", "", "write the per-cache diagram (Figure 1 style) to this DOT file")
+		crossCheck  = flag.String("crosscheck", "", "comma-separated cache counts for explicit-state cross-validation, e.g. 2,3,4")
+		compare     = flag.String("compare", "", "compare the global diagrams of two protocols, e.g. illinois,firefly")
+		jsonFile    = flag.String("json", "", "write the machine-readable report to this JSON file")
+		timeout     = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0: none)")
+		checkpoint  = flag.String("checkpoint", "", "write a resumable checkpoint here when the run is stopped")
+		keep        = flag.Int("checkpoint-keep", ckptio.DefaultKeep, "good checkpoint snapshots to retain (rotation)")
+		resume      = flag.String("resume", "", "resume an interrupted symbolic expansion from this checkpoint file")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		showVersion = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(runctl.VersionString("ccverify"))
+		os.Exit(runctl.ExitClean)
+	}
 
 	stopProf, err := runctl.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -152,6 +158,13 @@ func run(ctx context.Context, protoName, specFile string, o cliOpts) (int, error
 		RecordLog:        o.showLog,
 		BuildGraph:       true,
 		CheckpointOnStop: o.checkpoint != "",
+	}
+	if o.checkpoint != "" {
+		// Probe the checkpoint directory up front: an unwritable -checkpoint
+		// target should fail before the expansion, not at the stop snapshot.
+		if err := (&ckptio.Store{Path: o.checkpoint, Keep: o.keep}).Preflight(); err != nil {
+			return 0, err
+		}
 	}
 	if o.crossCheck != "" {
 		for _, part := range strings.Split(o.crossCheck, ",") {

@@ -25,6 +25,24 @@ const auditMaxN = 5
 // passing.
 const auditFrontierCap = 20000
 
+// ConfirmEnumWitness independently confirms one enumeration violation by
+// replaying its witness path step-by-step through the concrete FSM
+// semantics for n caches under the given equivalence mode (enum.ModeStrict
+// or enum.ModeCounting). It is the exported form of the campaign runner's
+// own audit, shared with the verification service so no violation verdict
+// enters a result cache without an engine-independent confirmation. A false
+// return carries a note explaining the failed confirmation.
+func ConfirmEnumWitness(p *fsm.Protocol, n int, mode string, strict bool, v enum.Violation) (confirmed bool, note string) {
+	return replayEnumWitness(p, n, mode, strict, v)
+}
+
+// ConfirmSymbolicWitness independently confirms one symbolic violation by
+// concretizing its class-level witness path at small cache counts (n =
+// 2..5). Exported for the same cache-trust reason as ConfirmEnumWitness.
+func ConfirmSymbolicWitness(p *fsm.Protocol, strict bool, v symbolic.StateViolation) (confirmed bool, note string) {
+	return concretizeSymbolicWitness(p, strict, v)
+}
+
 // auditEnum replays each enumeration witness step-by-step. A witness is
 // confirmed when every hop's replayed canonical key equals the recorded
 // one and the final configuration violates every invariant the engine

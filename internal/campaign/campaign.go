@@ -380,6 +380,10 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 		if err := os.MkdirAll(pol.CheckpointDir, 0o755); err != nil {
 			return nil, fmt.Errorf("campaign: checkpoint dir: %w", err)
 		}
+		// Fail before the first job starts, not at its first periodic save.
+		if err := ckptio.PreflightDir(pol.CheckpointDir); err != nil {
+			return nil, fmt.Errorf("campaign: checkpoint dir: %w", err)
+		}
 	}
 	seen := map[string]bool{}
 	rep := &Report{Seed: pol.Seed}

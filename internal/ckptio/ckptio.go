@@ -62,7 +62,65 @@ var (
 	// ErrNoSnapshot: no generation of the store validates (including
 	// "no file exists at all").
 	ErrNoSnapshot = errors.New("ckptio: no usable snapshot")
+	// ErrUnwritable: the snapshot directory failed the preflight
+	// writability probe, so no Save can ever succeed there. The concrete
+	// error is an *UnwritableError carrying the directory and cause.
+	ErrUnwritable = errors.New("ckptio: snapshot directory not writable")
 )
+
+// UnwritableError reports a snapshot directory that failed the preflight
+// probe of PreflightDir. It unwraps to ErrUnwritable.
+type UnwritableError struct {
+	// Dir is the directory that was probed.
+	Dir string
+	// Err is the underlying filesystem error.
+	Err error
+}
+
+func (e *UnwritableError) Error() string {
+	return fmt.Sprintf("ckptio: snapshot directory %s is not writable: %v", e.Dir, e.Err)
+}
+
+func (e *UnwritableError) Unwrap() error { return ErrUnwritable }
+
+// PreflightDir probes that dir can actually host durable snapshots — it
+// exists, is a directory, and a file can be created, written and removed in
+// it — before any long run starts. Save performs the same operations, so a
+// run whose store passes preflight cannot discover an unwritable directory
+// only at its first mid-run snapshot, hours in. Failures are typed: the
+// returned error unwraps to ErrUnwritable.
+func PreflightDir(dir string) error {
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return &UnwritableError{Dir: dir, Err: err}
+	}
+	if !fi.IsDir() {
+		return &UnwritableError{Dir: dir, Err: fmt.Errorf("not a directory")}
+	}
+	f, err := os.CreateTemp(dir, ".ckptio-preflight-*")
+	if err != nil {
+		return &UnwritableError{Dir: dir, Err: err}
+	}
+	name := f.Name()
+	_, werr := f.Write([]byte("preflight"))
+	cerr := f.Close()
+	rerr := os.Remove(name)
+	for _, e := range []error{werr, cerr, rerr} {
+		if e != nil {
+			return &UnwritableError{Dir: dir, Err: e}
+		}
+	}
+	return nil
+}
+
+// Preflight probes the store's directory with PreflightDir; call it at
+// store creation to fail fast instead of at the first Save.
+func (s *Store) Preflight() error {
+	if s.Path == "" {
+		return fmt.Errorf("ckptio: store has no path")
+	}
+	return PreflightDir(filepath.Dir(s.Path))
+}
 
 // CorruptError reports a snapshot that failed envelope validation. It
 // unwraps to ErrCorrupt.

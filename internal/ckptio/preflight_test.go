@@ -1,0 +1,59 @@
+package ckptio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPreflightDirOK(t *testing.T) {
+	dir := t.TempDir()
+	if err := PreflightDir(dir); err != nil {
+		t.Fatalf("PreflightDir(%s): %v", dir, err)
+	}
+	// The probe file must not linger.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("preflight left %d files behind", len(ents))
+	}
+}
+
+func TestPreflightDirMissing(t *testing.T) {
+	err := PreflightDir(filepath.Join(t.TempDir(), "does-not-exist"))
+	if !errors.Is(err, ErrUnwritable) {
+		t.Fatalf("error %v, want ErrUnwritable", err)
+	}
+	var ue *UnwritableError
+	if !errors.As(err, &ue) || ue.Dir == "" {
+		t.Fatalf("error %v does not carry the directory", err)
+	}
+}
+
+func TestPreflightDirNotADirectory(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "plain")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := PreflightDir(file); !errors.Is(err, ErrUnwritable) {
+		t.Fatalf("error %v, want ErrUnwritable", err)
+	}
+}
+
+func TestStorePreflight(t *testing.T) {
+	var empty Store
+	if err := empty.Preflight(); err == nil {
+		t.Error("Preflight on a pathless store must error")
+	}
+	s := &Store{Path: filepath.Join(t.TempDir(), "snap.ckpt")}
+	if err := s.Preflight(); err != nil {
+		t.Errorf("Preflight: %v", err)
+	}
+	bad := &Store{Path: filepath.Join(t.TempDir(), "missing", "snap.ckpt")}
+	if err := bad.Preflight(); !errors.Is(err, ErrUnwritable) {
+		t.Errorf("error %v, want ErrUnwritable", err)
+	}
+}

@@ -1,0 +1,55 @@
+package runctl
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// readBuildInfo is swapped in tests to exercise every build-info shape.
+var readBuildInfo = debug.ReadBuildInfo
+
+// VersionString renders the shared -version output of every binary in this
+// repository: the binary name, the module version, and — when the binary
+// was built from a VCS checkout — the revision, its commit time and a
+// +dirty marker for modified working trees. All of it comes from
+// runtime/debug.ReadBuildInfo, so the string is accurate for `go build`,
+// `go install` and `go run` alike without any linker-flag plumbing.
+func VersionString(binary string) string {
+	info, ok := readBuildInfo()
+	if !ok {
+		return binary + " version unknown (no build info)"
+	}
+	version := info.Main.Version
+	if version == "" {
+		version = "(devel)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", binary, version)
+	var revision, modified, vcsTime string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		case "vcs.time":
+			vcsTime = s.Value
+		}
+	}
+	if revision != "" {
+		if len(revision) > 12 {
+			revision = revision[:12]
+		}
+		fmt.Fprintf(&b, " (%s", revision)
+		if vcsTime != "" {
+			fmt.Fprintf(&b, " %s", vcsTime)
+		}
+		if modified == "true" {
+			b.WriteString(" +dirty")
+		}
+		b.WriteString(")")
+	}
+	fmt.Fprintf(&b, " %s", info.GoVersion)
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package runctl
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+// withBuildInfo swaps the build-info source for one test.
+func withBuildInfo(t *testing.T, info *debug.BuildInfo, ok bool) {
+	t.Helper()
+	orig := readBuildInfo
+	readBuildInfo = func() (*debug.BuildInfo, bool) { return info, ok }
+	t.Cleanup(func() { readBuildInfo = orig })
+}
+
+func TestVersionStringNoBuildInfo(t *testing.T) {
+	withBuildInfo(t, nil, false)
+	got := VersionString("ccserved")
+	if got != "ccserved version unknown (no build info)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestVersionStringDevelWithVCS(t *testing.T) {
+	withBuildInfo(t, &debug.BuildInfo{
+		GoVersion: "go1.22.0",
+		Main:      debug.Module{Path: "repro", Version: "(devel)"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+			{Key: "vcs.time", Value: "2026-08-06T00:00:00Z"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}, true)
+	got := VersionString("ccenum")
+	want := "ccenum (devel) (0123456789ab 2026-08-06T00:00:00Z +dirty) go1.22.0"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestVersionStringTaggedClean(t *testing.T) {
+	withBuildInfo(t, &debug.BuildInfo{
+		GoVersion: "go1.22.0",
+		Main:      debug.Module{Path: "repro", Version: "v1.4.0"},
+	}, true)
+	got := VersionString("ccverify")
+	if got != "ccverify v1.4.0 go1.22.0" {
+		t.Errorf("got %q", got)
+	}
+}
+
+// TestVersionStringReal exercises the live ReadBuildInfo path: under `go
+// test` build info is always present, so the output must lead with the
+// binary name and never be the unknown form.
+func TestVersionStringReal(t *testing.T) {
+	got := VersionString("cctool")
+	if !strings.HasPrefix(got, "cctool ") || strings.Contains(got, "version unknown") {
+		t.Errorf("got %q", got)
+	}
+}

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/protocols"
+)
+
+// The cache hit / cache miss pair quantifies what the content-addressed
+// cache buys: a hit is a map lookup plus a payload copy, a miss is a full
+// symbolic verification. ccbench publishes them as BENCH_PR4.json.
+
+func benchServer(b *testing.B) (*Server, func()) {
+	b.Helper()
+	srv, err := New(Config{Workers: 2, QueueDepth: 64, KeepJobs: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.Start()
+	return srv, func() {}
+}
+
+func benchSubmit(b *testing.B, srv *Server, noCache bool) {
+	b.Helper()
+	p, err := protocols.ByName("illinois")
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, canonical, err := ResolveSpec("illinois", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := JobOptions{Engine: EngineSymbolic}
+	if err := opts.normalize(); err != nil {
+		b.Fatal(err)
+	}
+	// Warm run so the hit benchmark measures hits from iteration one.
+	j, _, err := srv.Submit(p, canonical, opts, 30*time.Second, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-j.Done()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, _, err := srv.Submit(p, canonical, opts, 30*time.Second, noCache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-j.Done()
+	}
+}
+
+func BenchmarkServeCacheHit(b *testing.B) {
+	srv, done := benchServer(b)
+	defer done()
+	benchSubmit(b, srv, false)
+}
+
+func BenchmarkServeCacheMiss(b *testing.B) {
+	srv, done := benchServer(b)
+	defer done()
+	benchSubmit(b, srv, true)
+}

@@ -1,0 +1,28 @@
+// Package serve implements ccserved, the long-running verification
+// service: an HTTP/JSON front end over the repository's verification
+// engines (internal/symbolic, internal/enum) with a content-addressed
+// result cache, a bounded worker pool with admission control, and
+// coalescing of concurrent identical requests.
+//
+// The design leans on Theorem 1 of Pong & Dubois: the reduction from a
+// protocol specification to its essential states is deterministic, so a
+// verification result is a pure function of the canonically formatted
+// specification plus the engine options. That makes results perfectly
+// cacheable by content — the cache key is the SHA-256 of the canonical
+// ccpsl rendering of the protocol (ccpsl.Format, which normalizes away
+// whitespace, rule order artifacts and syntactic sugar) concatenated with
+// the engine options, so two textually different specifications of the
+// same protocol share one cache entry.
+//
+// Trust mirrors internal/campaign: before a violation verdict is admitted
+// to the cache, every witness is confirmed by the campaign package's
+// engine-independent concrete replay. A verdict whose witnesses fail the
+// audit is still served to the requester (flagged unconfirmed) but never
+// cached, so a bookkeeping bug in an engine cannot poison the cache.
+//
+// Results are cached and served as the exact bytes of their first
+// rendering, so a cache hit is byte-identical to the fresh response, and
+// the optional disk tier reuses internal/ckptio's checksummed envelope and
+// atomic writes — a torn or corrupted cache file is detected and treated
+// as a miss, never served.
+package serve

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/protocols"
+)
+
+// maxRequestBytes bounds a verify request body; specs are small.
+const maxRequestBytes = 1 << 20
+
+// Request is the body of POST /v1/verify. Exactly one of Protocol (a
+// library name) or Spec (inline ccpsl source) selects the protocol.
+type Request struct {
+	Protocol string `json:"protocol,omitempty"`
+	Spec     string `json:"spec,omitempty"`
+	JobOptions
+	// TimeoutMS overrides the per-job deadline, capped by the server's
+	// JobTimeout. Not part of the cache key: a deadline can only fail a
+	// run, never change a completed verdict.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the cache read; the fresh result is still stored.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// JobStatus is the service's job-facing response document, returned by
+// POST /v1/verify, GET /v1/jobs/{id} and DELETE /v1/jobs/{id}.
+type JobStatus struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	CacheKey string `json:"cache_key"`
+	// Cached: the report was served from the cache without an engine run.
+	Cached bool `json:"cached,omitempty"`
+	// Coalesced: this submission attached to an identical in-flight job.
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Error     string `json:"error,omitempty"`
+	// Report holds the verification report verbatim for done jobs.
+	Report json.RawMessage `json:"report,omitempty"`
+}
+
+// errorDoc is the uniform error body.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return mux
+}
+
+// writeJSON renders v with a status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Unreachable for the fixed document types; keep the contract.
+		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+// writeError renders the uniform error body.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorDoc{Error: err.Error()})
+}
+
+// status renders a job's current JobStatus; disposition tags the
+// submission path that produced this response ("" for plain polls).
+func status(j *Job, disposition string) (JobStatus, int) {
+	state, cached, errText, payload := j.snapshot()
+	st := JobStatus{
+		ID:        j.ID,
+		State:     state,
+		CacheKey:  j.CacheKey,
+		Cached:    cached,
+		Coalesced: disposition == DispositionCoalesced,
+		Error:     errText,
+		Report:    payload,
+	}
+	code := http.StatusOK
+	if state == StateQueued || state == StateRunning {
+		code = http.StatusAccepted
+	}
+	return st, code
+}
+
+// wantWait reports the ?wait=1 polling-free mode.
+func wantWait(r *http.Request) bool {
+	switch r.URL.Query().Get("wait") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// awaitJob blocks until the job reaches a terminal state or the client
+// gives up; it returns false on client abandonment.
+func awaitJob(r *http.Request, j *Job) bool {
+	select {
+	case <-j.Done():
+		return true
+	case <-r.Context().Done():
+		return false
+	}
+}
+
+// handleVerify is POST /v1/verify: resolve the spec, route through cache /
+// dedup / admission, and answer with the job status (optionally waiting
+// for completion with ?wait=1).
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	p, canonical, err := ResolveSpec(req.Protocol, req.Spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := req.JobOptions
+	if err := opts.normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+
+	j, disposition, err := s.Submit(p, canonical, opts, timeout, req.NoCache)
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("X-CC-Disposition", disposition)
+	if wantWait(r) {
+		awaitJob(r, j)
+	}
+	st, code := status(j, disposition)
+	writeJSON(w, code, st)
+}
+
+// handleJobGet is GET /v1/jobs/{id}, with the same ?wait=1 contract as
+// verify.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.JobByID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		return
+	}
+	if wantWait(r) {
+		awaitJob(r, j)
+	}
+	st, code := status(j, "")
+	writeJSON(w, code, st)
+}
+
+// handleJobCancel is DELETE /v1/jobs/{id}: cancel a queued or running job.
+// Terminal jobs are unaffected; the response is the job's resulting state
+// either way.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.JobByID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		return
+	}
+	j.Cancel()
+	st, code := status(j, "")
+	writeJSON(w, code, st)
+}
+
+// protocolsDoc is the GET /v1/protocols body.
+type protocolsDoc struct {
+	Protocols []string `json:"protocols"`
+}
+
+// handleProtocols lists the built-in protocol library.
+func (s *Server) handleProtocols(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, protocolsDoc{Protocols: protocols.Names()})
+}
+
+// handleHealthz reports liveness: 200 while serving, 503 while draining so
+// load balancers stop routing to a terminating instance.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleStatsz serves the service counters.
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

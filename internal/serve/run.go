@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/campaign"
+	"repro/internal/enum"
+	"repro/internal/fsm"
+	"repro/internal/runctl"
+	"repro/internal/symbolic"
+)
+
+// ReportSchema versions the result JSON; it rides inside every report so
+// clients and the disk tier can detect incompatible producers.
+const ReportSchema = 1
+
+// Report is the verification result the service returns and caches. It is
+// rendered exactly once per verdict (see encodeReport) and from then on
+// moved around as opaque bytes, which is what makes cached and fresh
+// responses byte-identical. It deliberately contains nothing
+// run-dependent: no timestamps, durations or host data.
+type Report struct {
+	Schema         int    `json:"schema"`
+	Protocol       string `json:"protocol"`
+	Characteristic string `json:"characteristic"`
+	Engine         string `json:"engine"`
+	N              int    `json:"n,omitempty"`
+	Strict         bool   `json:"strict,omitempty"`
+	MaxStates      int    `json:"max_states,omitempty"`
+	// CacheKey is the content address of this result.
+	CacheKey string `json:"cache_key"`
+	// Verdict is "clean" or "violations".
+	Verdict string `json:"verdict"`
+	// Essential counts essential states (symbolic) or distinct states
+	// (enumeration); Visits is the engine's state-visit counter.
+	Essential int `json:"essential"`
+	Visits    int `json:"visits"`
+	// EssentialStates lists the essential composite states in canonical
+	// order (symbolic engine only).
+	EssentialStates []string `json:"essential_states,omitempty"`
+	// Violations lists erroneous states with audit outcomes.
+	Violations []ViolationReport `json:"violations,omitempty"`
+}
+
+// ViolationReport is one erroneous state, its witness and the outcome of
+// the engine-independent audit replay.
+type ViolationReport struct {
+	State   string   `json:"state"`
+	Kinds   []string `json:"kinds"`
+	Witness []string `json:"witness,omitempty"`
+	// Confirmed reports that the campaign auditor reproduced the
+	// violation by concrete replay. Unconfirmed violations are served but
+	// never cached.
+	Confirmed bool   `json:"confirmed"`
+	AuditNote string `json:"audit_note,omitempty"`
+}
+
+// encodeReport is the single rendering point for Report bytes.
+func encodeReport(rep *Report) ([]byte, error) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// runVerification executes one verification job and renders its report.
+// cacheable is false when the verdict must not enter the cache: the run
+// was truncated, or a violation witness failed its independent audit.
+// Errors follow the runctl taxonomy: a stopped run returns an error
+// matching the runctl sentinels via errors.Is.
+func runVerification(ctx context.Context, p *fsm.Protocol, key string, opts JobOptions) (rep *Report, cacheable bool, err error) {
+	switch opts.Engine {
+	case EngineSymbolic:
+		rep, err = runSymbolic(ctx, p, opts)
+	default:
+		rep, err = runEnum(ctx, p, opts)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	rep.Schema = ReportSchema
+	rep.Protocol = p.Name
+	rep.Characteristic = p.Characteristic.String()
+	rep.Engine = opts.Engine
+	rep.N = opts.N
+	rep.Strict = opts.Strict
+	rep.MaxStates = opts.MaxStates
+	rep.CacheKey = key
+	rep.Verdict = VerdictClean
+	cacheable = true
+	for _, v := range rep.Violations {
+		rep.Verdict = VerdictViolations
+		if !v.Confirmed {
+			cacheable = false
+		}
+	}
+	return rep, cacheable, nil
+}
+
+// Report verdicts.
+const (
+	VerdictClean      = "clean"
+	VerdictViolations = "violations"
+)
+
+// runSymbolic runs the Figure 3 symbolic expansion and audits any
+// violations by concretization.
+func runSymbolic(ctx context.Context, p *fsm.Protocol, opts JobOptions) (*Report, error) {
+	eng, err := symbolic.NewEngine(p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.ExpandContext(ctx, symbolic.Options{
+		Strict:    opts.Strict,
+		MaxVisits: opts.MaxStates,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Truncated {
+		return nil, fmt.Errorf("serve: symbolic expansion stopped: %w", res.StopReason)
+	}
+	if len(res.SpecErrors) > 0 {
+		return nil, fmt.Errorf("serve: specification error: %v", res.SpecErrors[0])
+	}
+	rep := &Report{Essential: len(res.Essential), Visits: res.Visits}
+	for _, s := range symbolic.SortStates(res.Essential) {
+		rep.EssentialStates = append(rep.EssentialStates, s.StructureString(p))
+	}
+	for _, v := range res.Violations {
+		vr := ViolationReport{State: v.State.StructureString(p)}
+		for _, viol := range v.Violations {
+			vr.Kinds = append(vr.Kinds, viol.Kind.String())
+		}
+		for _, st := range v.Path {
+			vr.Witness = append(vr.Witness, st.Label.String()+" -> "+st.To.StructureString(p))
+		}
+		vr.Confirmed, vr.AuditNote = campaign.ConfirmSymbolicWitness(p, opts.Strict, v)
+		rep.Violations = append(rep.Violations, vr)
+	}
+	return rep, nil
+}
+
+// runEnum runs an explicit-state enumeration (Figure 2 strict or
+// Definition 5 counting) and audits any violations by step replay.
+func runEnum(ctx context.Context, p *fsm.Protocol, opts JobOptions) (*Report, error) {
+	eopts := enum.Options{
+		Strict:    opts.Strict,
+		MaxStates: opts.MaxStates,
+		Budget:    runctl.Budget{},
+	}
+	var res *enum.Result
+	var err error
+	mode := enum.ModeStrict
+	if opts.Engine == EngineEnumCounting {
+		mode = enum.ModeCounting
+		res, err = enum.CountingContext(ctx, p, opts.N, eopts)
+	} else {
+		res, err = enum.ExhaustiveContext(ctx, p, opts.N, eopts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if res.Truncated {
+		return nil, fmt.Errorf("serve: enumeration stopped: %w", res.StopReason)
+	}
+	if len(res.SpecErrors) > 0 {
+		return nil, fmt.Errorf("serve: specification error: %v", res.SpecErrors[0])
+	}
+	rep := &Report{Essential: res.Unique, Visits: res.Visits}
+	for _, v := range res.Violations {
+		vr := ViolationReport{State: v.Config.Key()}
+		for _, viol := range v.Violations {
+			vr.Kinds = append(vr.Kinds, viol.Kind.String())
+		}
+		for _, st := range v.Path {
+			vr.Witness = append(vr.Witness, fmt.Sprintf("%d%s -> %s", st.Cache, st.Op, st.To))
+		}
+		vr.Confirmed, vr.AuditNote = campaign.ConfirmEnumWitness(p, opts.N, mode, opts.Strict, v)
+		rep.Violations = append(rep.Violations, vr)
+	}
+	return rep, nil
+}

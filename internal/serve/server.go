@@ -1,0 +1,463 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fsm"
+	"repro/internal/runctl"
+)
+
+// Config tunes a Server. The zero value is fully usable.
+type Config struct {
+	// Workers is the verification worker-pool width (<=0: GOMAXPROCS,
+	// capped at 8 — verification is CPU-bound, so more workers than cores
+	// only adds contention).
+	Workers int
+	// QueueDepth is the admission-control bound on queued jobs (<=0: 64).
+	// A submit that finds the queue full is rejected with ErrBusy rather
+	// than accepted into an unbounded backlog.
+	QueueDepth int
+	// JobTimeout is the per-job wall-clock deadline, and the cap on any
+	// per-request deadline (<=0: 60s).
+	JobTimeout time.Duration
+	// CacheBytes is the memory cache budget (<=0: DefaultCacheBytes).
+	CacheBytes int64
+	// CacheDir enables the durable disk cache tier ("" disables it).
+	CacheDir string
+	// KeepJobs bounds retained terminal job records for polling (<=0:
+	// 1024); the oldest are forgotten first.
+	KeepJobs int
+}
+
+// withDefaults fills the zero-value fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 60 * time.Second
+	}
+	if c.KeepJobs <= 0 {
+		c.KeepJobs = 1024
+	}
+	return c
+}
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Job is one verification request's lifecycle record. Identical concurrent
+// requests share one Job (dedup): the first miss creates it, later
+// arrivals coalesce onto it and poll the same ID.
+type Job struct {
+	ID       string
+	CacheKey string
+
+	proto   *fsm.Protocol
+	opts    JobOptions
+	timeout time.Duration
+	noStore bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu      sync.Mutex
+	state   string
+	cached  bool // result was served from the cache, no engine run
+	errText string
+	payload []byte // encoded Report, exactly as cached/served
+}
+
+// snapshot reads the job's terminal-relevant fields atomically.
+func (j *Job) snapshot() (state string, cached bool, errText string, payload []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.cached, j.errText, j.payload
+}
+
+// setRunning flips a queued job to running; it reports false when the job
+// was already canceled.
+func (j *Job) setRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	return true
+}
+
+// Done exposes the completion channel (closed at any terminal state).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel requests cancellation of a queued or running job.
+func (j *Job) Cancel() { j.cancel() }
+
+// Submission dispositions.
+const (
+	DispositionHit       = "hit"       // served from cache, no job ran
+	DispositionCoalesced = "coalesced" // attached to an in-flight identical job
+	DispositionQueued    = "queued"    // admitted as a fresh job
+)
+
+// Typed submission rejections.
+var (
+	// ErrBusy: the admission queue is full; retry later.
+	ErrBusy = errors.New("serve: queue full")
+	// ErrDraining: the server is draining and accepts no new work.
+	ErrDraining = errors.New("serve: draining")
+)
+
+// serverStats are the monotonic service counters; all fields are atomics.
+type serverStats struct {
+	requests         atomic.Int64
+	cacheHits        atomic.Int64
+	coalesced        atomic.Int64
+	admitted         atomic.Int64
+	rejectedBusy     atomic.Int64
+	rejectedDraining atomic.Int64
+	engineRuns       atomic.Int64
+	jobsDone         atomic.Int64
+	jobsFailed       atomic.Int64
+	jobsCanceled     atomic.Int64
+	auditRejected    atomic.Int64
+	panics           atomic.Int64
+}
+
+// Server is the verification service: cache, dedup index, worker pool and
+// job table. Create with New, start the pool with Start, serve HTTP via
+// Handler, and stop with Drain.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	stats serverStats
+	start time.Time
+
+	// jobsCtx parents every job context; jobsCancel is the drain
+	// deadline's force-stop.
+	jobsCtx    context.Context
+	jobsCancel context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+	queue    chan *Job
+	jobs     map[string]*Job // by ID, terminal records retained up to KeepJobs
+	inflight map[string]*Job // by cache key, queued or running only
+	order    []string        // terminal job IDs, oldest first
+	nextID   int64
+
+	wg sync.WaitGroup
+
+	// runJob executes one verification; tests swap it to control timing
+	// and count runs. The default is runVerification.
+	runJob func(ctx context.Context, p *fsm.Protocol, key string, opts JobOptions) (*Report, bool, error)
+}
+
+// New builds a Server (cache preflighted, workers not yet started).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	cache, err := NewCache(cfg.CacheBytes, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:        cfg,
+		cache:      cache,
+		start:      time.Now(),
+		jobsCtx:    ctx,
+		jobsCancel: cancel,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		jobs:       map[string]*Job{},
+		inflight:   map[string]*Job{},
+		runJob:     runVerification,
+	}, nil
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Drain stops intake and waits for every queued and running job to finish.
+// When ctx expires first, the remaining jobs are canceled and Drain still
+// waits for the workers to observe that, then reports the forced stop.
+// Drain is idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		s.jobsCancel()
+		<-finished
+		return fmt.Errorf("serve: drain deadline exceeded; in-flight jobs canceled")
+	}
+}
+
+// Draining reports whether intake is closed.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Submit routes one verification request: cache hit, coalesce onto an
+// identical in-flight job, or admit a fresh job — in that order. timeout
+// <= 0 means the server's JobTimeout; larger values are capped by it.
+// noCache bypasses the cache read (the result is still stored).
+func (s *Server) Submit(p *fsm.Protocol, canonical string, opts JobOptions, timeout time.Duration, noCache bool) (*Job, string, error) {
+	s.stats.requests.Add(1)
+	if timeout <= 0 || timeout > s.cfg.JobTimeout {
+		timeout = s.cfg.JobTimeout
+	}
+	key := CacheKey(canonical, opts)
+
+	if !noCache {
+		if payload, hit, _ := s.cache.Get(key); hit {
+			s.stats.cacheHits.Add(1)
+			return s.recordHit(key, payload)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.stats.rejectedDraining.Add(1)
+		return nil, "", ErrDraining
+	}
+	if j, ok := s.inflight[key]; ok {
+		s.stats.coalesced.Add(1)
+		return j, DispositionCoalesced, nil
+	}
+	jctx, cancel := context.WithCancel(s.jobsCtx)
+	j := &Job{
+		ID:       fmt.Sprintf("j-%06d", s.nextID+1),
+		CacheKey: key,
+		proto:    p,
+		opts:     opts,
+		timeout:  timeout,
+		noStore:  false,
+		ctx:      jctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		state:    StateQueued,
+	}
+	select {
+	case s.queue <- j:
+	default:
+		cancel()
+		s.stats.rejectedBusy.Add(1)
+		return nil, "", ErrBusy
+	}
+	s.nextID++
+	s.jobs[j.ID] = j
+	s.inflight[key] = j
+	s.stats.admitted.Add(1)
+	return j, DispositionQueued, nil
+}
+
+// recordHit registers a pre-completed job record for a cache hit, so the
+// response carries a pollable job ID like every other disposition.
+func (s *Server) recordHit(key string, payload []byte) (*Job, string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	j := &Job{
+		ID:       fmt.Sprintf("j-%06d", s.nextID),
+		CacheKey: key,
+		done:     make(chan struct{}),
+		state:    StateDone,
+		cached:   true,
+		payload:  payload,
+		cancel:   func() {},
+	}
+	close(j.done)
+	s.jobs[j.ID] = j
+	s.retireLocked(j.ID)
+	return j, DispositionHit, nil
+}
+
+// JobByID looks up a job record.
+func (s *Server) JobByID(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// worker drains the queue until Drain closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.execute(j)
+	}
+}
+
+// execute runs one job to a terminal state with panic isolation.
+func (s *Server) execute(j *Job) {
+	if j.ctx.Err() != nil || !j.setRunning() {
+		s.finish(j, StateCanceled, nil, "canceled before start")
+		return
+	}
+	ctx, cancel := context.WithTimeout(j.ctx, j.timeout)
+	defer cancel()
+	s.stats.engineRuns.Add(1)
+	rep, cacheable, err := s.safeRun(ctx, j)
+	switch {
+	case err == nil:
+		payload, eerr := encodeReport(rep)
+		if eerr != nil {
+			s.finish(j, StateFailed, nil, eerr.Error())
+			return
+		}
+		if cacheable {
+			s.cache.Put(j.CacheKey, payload)
+		} else {
+			s.stats.auditRejected.Add(1)
+		}
+		s.finish(j, StateDone, payload, "")
+	case errors.Is(err, runctl.ErrCanceled), errors.Is(err, context.Canceled):
+		s.finish(j, StateCanceled, nil, err.Error())
+	default:
+		s.finish(j, StateFailed, nil, err.Error())
+	}
+}
+
+// safeRun isolates engine panics: a panicking verification fails its own
+// job and leaves the worker, the pool and every other job intact.
+func (s *Server) safeRun(ctx context.Context, j *Job) (rep *Report, cacheable bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.stats.panics.Add(1)
+			rep, cacheable = nil, false
+			err = fmt.Errorf("serve: verification panicked: %v", r)
+		}
+	}()
+	return s.runJob(ctx, j.proto, j.CacheKey, j.opts)
+}
+
+// finish moves a job to its terminal state and retires it from the dedup
+// index so later identical requests miss the inflight table (and hit the
+// cache instead, when the job succeeded).
+func (s *Server) finish(j *Job, state string, payload []byte, errText string) {
+	j.mu.Lock()
+	j.state = state
+	j.payload = payload
+	j.errText = errText
+	j.mu.Unlock()
+	j.cancel() // release the context resources
+
+	s.mu.Lock()
+	if s.inflight[j.CacheKey] == j {
+		delete(s.inflight, j.CacheKey)
+	}
+	s.retireLocked(j.ID)
+	s.mu.Unlock()
+
+	switch state {
+	case StateDone:
+		s.stats.jobsDone.Add(1)
+	case StateCanceled:
+		s.stats.jobsCanceled.Add(1)
+	default:
+		s.stats.jobsFailed.Add(1)
+	}
+	close(j.done)
+}
+
+// retireLocked appends a terminal job to the retention ring and forgets
+// the oldest records beyond KeepJobs. Callers hold s.mu.
+func (s *Server) retireLocked(id string) {
+	s.order = append(s.order, id)
+	for len(s.order) > s.cfg.KeepJobs {
+		delete(s.jobs, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
+// Stats is the statsz document.
+type Stats struct {
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	Draining         bool    `json:"draining"`
+	Workers          int     `json:"workers"`
+	QueueCap         int     `json:"queue_cap"`
+	Queued           int     `json:"queued"`
+	Inflight         int     `json:"inflight"`
+	Requests         int64   `json:"requests"`
+	CacheHits        int64   `json:"cache_hits"`
+	Coalesced        int64   `json:"coalesced"`
+	Admitted         int64   `json:"admitted"`
+	RejectedBusy     int64   `json:"rejected_busy"`
+	RejectedDraining int64   `json:"rejected_draining"`
+	EngineRuns       int64   `json:"engine_runs"`
+	JobsDone         int64   `json:"jobs_done"`
+	JobsFailed       int64   `json:"jobs_failed"`
+	JobsCanceled     int64   `json:"jobs_canceled"`
+	AuditRejected    int64   `json:"audit_rejected"`
+	Panics           int64   `json:"panics"`
+	CacheStats
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	queued := len(s.queue)
+	inflight := len(s.inflight)
+	draining := s.draining
+	s.mu.Unlock()
+	return Stats{
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Draining:         draining,
+		Workers:          s.cfg.Workers,
+		QueueCap:         s.cfg.QueueDepth,
+		Queued:           queued,
+		Inflight:         inflight,
+		Requests:         s.stats.requests.Load(),
+		CacheHits:        s.stats.cacheHits.Load(),
+		Coalesced:        s.stats.coalesced.Load(),
+		Admitted:         s.stats.admitted.Load(),
+		RejectedBusy:     s.stats.rejectedBusy.Load(),
+		RejectedDraining: s.stats.rejectedDraining.Load(),
+		EngineRuns:       s.stats.engineRuns.Load(),
+		JobsDone:         s.stats.jobsDone.Load(),
+		JobsFailed:       s.stats.jobsFailed.Load(),
+		JobsCanceled:     s.stats.jobsCanceled.Load(),
+		AuditRejected:    s.stats.auditRejected.Load(),
+		Panics:           s.stats.panics.Load(),
+		CacheStats:       s.cache.Stats(),
+	}
+}
