@@ -97,6 +97,36 @@ func BenchmarkFig3SymbolicExpansion(b *testing.B) {
 	}
 }
 
+// BenchmarkObservability — the cost of the observability layer around the
+// Figure 3 expansion. The nil-observer variant is the default fast path and
+// must stay within noise of BenchmarkFig3SymbolicExpansion/Illinois (the
+// engine-optimization baseline): engines skip every hook on a nil run
+// handle without allocating. The observed variant bounds the overhead of
+// per-level callbacks plus registry counters.
+func BenchmarkObservability(b *testing.B) {
+	p := protocols.Illinois()
+	b.Run("nil-observer", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := symbolic.Expand(p, symbolic.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("observed", func(b *testing.B) {
+		b.ReportAllocs()
+		reg := NewMetrics()
+		var opts symbolic.Options
+		opts.RunConfig.Observer = ObserverFuncs{Level: func(LevelStats) {}}
+		opts.RunConfig.Metrics = reg
+		for i := 0; i < b.N; i++ {
+			if _, err := symbolic.Expand(p, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkFig4GlobalDiagram — E4: symbolic expansion plus global diagram
 // construction for Illinois (the full Figure 4 artifact).
 func BenchmarkFig4GlobalDiagram(b *testing.B) {

@@ -32,6 +32,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/ckptio"
 	"repro/internal/mutate"
+	"repro/internal/obs"
 	"repro/internal/protocols"
 	"repro/internal/runctl"
 )
@@ -55,6 +56,8 @@ func main() {
 		noFallback  = flag.Bool("no-symbolic-fallback", false, "remove the symbolic rung from enumeration ladders")
 		chaosSpec   = flag.String("chaos", "", "fault injection plan: comma-separated kind:job:at-save triples (kinds: corrupt, delete, kill, wedge)")
 		jsonFile    = flag.String("json", "", "write the machine-readable campaign report to this JSON file")
+		progress    = flag.Bool("progress", false, "print one progress line per expansion level and phase to stderr")
+		metricsJSON = flag.String("metrics-json", "", "write the campaign's metrics snapshot to this JSON file")
 		timeout     = flag.Duration("timeout", 0, "wall-clock limit for the whole campaign (0: none)")
 		showVersion = flag.Bool("version", false, "print version information and exit")
 	)
@@ -80,6 +83,12 @@ func main() {
 		NoAudit:            *noAudit,
 		NoSymbolicFallback: *noFallback,
 	}
+	if *progress {
+		pol.Observer = obs.Progress(os.Stderr)
+	}
+	if *metricsJSON != "" {
+		pol.Metrics = obs.NewRegistry()
+	}
 	var err error
 	pol.Chaos, err = parseChaos(*chaosSpec)
 	if err != nil {
@@ -97,6 +106,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cccampaign:", err)
 		os.Exit(runctl.ExitUsage)
+	}
+	if *metricsJSON != "" {
+		if err := obs.WriteFile(*metricsJSON, pol.Metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "cccampaign:", err)
+			os.Exit(runctl.ExitUsage)
+		}
 	}
 	os.Exit(code)
 }

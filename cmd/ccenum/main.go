@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/ckptio"
 	"repro/internal/enum"
+	"repro/internal/obs"
 	"repro/internal/protocols"
 	"repro/internal/report"
 	"repro/internal/runctl"
@@ -39,13 +40,15 @@ import (
 // cliOpts carries everything below the protocol/n pair; the run function
 // takes it whole so tests can drive exact configurations.
 type cliOpts struct {
-	mode       string
-	strict     bool
-	max        int
-	workers    int
-	checkpoint string // path to save a checkpoint to when the run stops
-	resume     string // path to load a checkpoint from
-	keep       int    // good snapshot generations retained at -checkpoint
+	mode        string
+	strict      bool
+	max         int
+	workers     int
+	checkpoint  string // path to save a checkpoint to when the run stops
+	resume      string // path to load a checkpoint from
+	keep        int    // good snapshot generations retained at -checkpoint
+	progress    bool   // one stderr line per BFS level
+	metricsJSON string // write the metrics snapshot here after the run
 }
 
 func main() {
@@ -60,6 +63,8 @@ func main() {
 		checkpoint  = flag.String("checkpoint", "", "write a resumable checkpoint here when the run is stopped")
 		keep        = flag.Int("checkpoint-keep", ckptio.DefaultKeep, "good checkpoint snapshots to retain (rotation)")
 		resume      = flag.String("resume", "", "resume an interrupted run from this checkpoint file")
+		progress    = flag.Bool("progress", false, "print one progress line per BFS level to stderr")
+		metricsJSON = flag.String("metrics-json", "", "write the run's metrics snapshot to this JSON file")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		showVersion = flag.Bool("version", false, "print version information and exit")
@@ -94,6 +99,7 @@ func main() {
 	code, err := run(ctx, *protoName, *n, cliOpts{
 		mode: *mode, strict: *strict, max: *max, workers: *workers,
 		checkpoint: *checkpoint, resume: *resume, keep: *keep,
+		progress: *progress, metricsJSON: *metricsJSON,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccenum:", err)
@@ -109,6 +115,12 @@ func run(ctx context.Context, protoName string, n int, o cliOpts) (int, error) {
 		Strict:           o.strict,
 		MaxStates:        o.max,
 		CheckpointOnStop: o.checkpoint != "",
+	}
+	if o.progress {
+		opts.RunConfig.Observer = obs.Progress(os.Stderr)
+	}
+	if o.metricsJSON != "" {
+		opts.RunConfig.Metrics = obs.NewRegistry()
 	}
 	if o.checkpoint != "" {
 		// Probe the checkpoint directory up front: an unwritable -checkpoint
@@ -228,5 +240,10 @@ func run(ctx context.Context, protoName string, n int, o cliOpts) (int, error) {
 		}
 	}
 	fmt.Printf("protocol %s, n=%d caches\n%s", protoName, n, t.String())
+	if o.metricsJSON != "" {
+		if err := obs.WriteFile(o.metricsJSON, opts.RunConfig.Metrics); err != nil {
+			return 0, err
+		}
+	}
 	return code, nil
 }

@@ -14,7 +14,10 @@
 //
 // Endpoints: POST /v1/verify (async job submission; ?wait=1 blocks),
 // GET /v1/jobs/{id} (poll; ?wait=1 blocks), DELETE /v1/jobs/{id} (cancel),
-// GET /v1/protocols, GET /healthz, GET /statsz. See docs/service.md.
+// GET /v1/protocols, GET /v1/metrics (the observability-registry snapshot:
+// service counters, per-protocol verify_latency_seconds.* histograms and
+// engine counters), GET /healthz, GET /statsz. See docs/service.md and
+// docs/observability.md.
 //
 // On SIGINT/SIGTERM (or -timeout) the server drains: intake closes
 // (healthz turns 503, new verifies are rejected), queued and running jobs

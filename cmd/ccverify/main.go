@@ -7,6 +7,14 @@
 //	ccverify -spec myprotocol.ccpsl [-local-dot out.dot]
 //	ccverify -protocol illinois -timeout 30s -checkpoint run.ckpt
 //	ccverify -protocol illinois -resume run.ckpt
+//	ccverify -run symbolic -progress illinois
+//	ccverify -run enum-strict -n 4 -metrics-json run-metrics.json illinois
+//
+// The protocol may also be named as the positional argument, as in the last
+// two forms. -run selects the engine: symbolic (the default: the full
+// pipeline with graph construction and cross-checks), enum-strict (Figure 2
+// exhaustive search for -n caches) or enum-counting (the Definition 5
+// counting-equivalence variant).
 //
 // It prints the protocol's essential states with their context variables,
 // the verdict (permissible or erroneous, with witness paths), and optionally
@@ -14,6 +22,11 @@
 // Runs stop cleanly on SIGINT/SIGTERM or when -timeout expires, reporting a
 // structured stop reason; -checkpoint preserves the interrupted symbolic
 // expansion and -resume continues it.
+//
+// Observability: -progress prints one line per expansion level (and per
+// completed phase) to stderr, and -metrics-json FILE writes the run's full
+// metrics snapshot — counters, gauges and phase-timing histograms — as
+// deterministic JSON (see docs/observability.md).
 //
 // Exit codes: 0 verified clean, 1 usage or internal error, 2 violations
 // found, 3 stopped early (timeout, signal or budget).
@@ -30,8 +43,10 @@ import (
 	"repro/internal/ccpsl"
 	"repro/internal/ckptio"
 	"repro/internal/core"
+	"repro/internal/enum"
 	"repro/internal/fsm"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/protocols"
 	"repro/internal/report"
 	"repro/internal/runctl"
@@ -41,21 +56,50 @@ import (
 // cliOpts carries the output and resilience flags; run takes it whole so
 // tests can drive exact configurations.
 type cliOpts struct {
-	strict     bool
-	showLog    bool
-	dotFile    string
-	localDot   string
-	crossCheck string
-	jsonFile   string
-	checkpoint string // path to save a checkpoint to when the run stops
-	resume     string // path to load a checkpoint from
-	keep       int    // good snapshot generations retained at -checkpoint
+	engine      string // -run: symbolic, enum-strict or enum-counting
+	n           int    // cache count for the enum engines
+	strict      bool
+	showLog     bool
+	dotFile     string
+	localDot    string
+	crossCheck  string
+	jsonFile    string
+	checkpoint  string // path to save a checkpoint to when the run stops
+	resume      string // path to load a checkpoint from
+	keep        int    // good snapshot generations retained at -checkpoint
+	progress    bool   // one stderr line per expansion level and phase
+	metricsJSON string // write the metrics snapshot here after the run
+}
+
+// observability builds the run's observer and metrics registry from the
+// -progress / -metrics-json flags; both are nil (zero overhead) when the
+// flags are off.
+func (o cliOpts) observability() (obs.Observer, *obs.Registry) {
+	var observer obs.Observer
+	if o.progress {
+		observer = obs.Progress(os.Stderr)
+	}
+	var reg *obs.Registry
+	if o.metricsJSON != "" {
+		reg = obs.NewRegistry()
+	}
+	return observer, reg
+}
+
+// writeMetrics flushes the registry snapshot to -metrics-json, if set.
+func (o cliOpts) writeMetrics(reg *obs.Registry) error {
+	if o.metricsJSON == "" {
+		return nil
+	}
+	return obs.WriteFile(o.metricsJSON, reg)
 }
 
 func main() {
 	var (
-		protoName   = flag.String("protocol", "", "built-in protocol name ("+strings.Join(protocols.Names(), ", ")+")")
+		protoName   = flag.String("protocol", "", "built-in protocol name ("+strings.Join(protocols.Names(), ", ")+"); may also be given as the positional argument")
 		specFile    = flag.String("spec", "", "path to a ccpsl protocol specification")
+		engine      = flag.String("run", "symbolic", "engine: symbolic (full pipeline), enum-strict or enum-counting")
+		nCaches     = flag.Int("n", 4, "cache count for the enum engines")
 		strict      = flag.Bool("strict", false, "enable the clean-state/memory consistency extension check")
 		showLog     = flag.Bool("log", false, "print the expansion visit log (Appendix A.2 style)")
 		dotFile     = flag.String("dot", "", "write the global transition diagram to this DOT file")
@@ -67,11 +111,19 @@ func main() {
 		checkpoint  = flag.String("checkpoint", "", "write a resumable checkpoint here when the run is stopped")
 		keep        = flag.Int("checkpoint-keep", ckptio.DefaultKeep, "good checkpoint snapshots to retain (rotation)")
 		resume      = flag.String("resume", "", "resume an interrupted symbolic expansion from this checkpoint file")
+		progress    = flag.Bool("progress", false, "print one progress line per expansion level (and per phase) to stderr")
+		metricsJSON = flag.String("metrics-json", "", "write the run's metrics snapshot to this JSON file")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		showVersion = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+	if flag.NArg() == 1 && *protoName == "" && *specFile == "" {
+		*protoName = flag.Arg(0)
+	} else if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "ccverify: unexpected arguments %q\n", flag.Args())
+		os.Exit(runctl.ExitUsage)
+	}
 
 	if *showVersion {
 		fmt.Println(runctl.VersionString("ccverify"))
@@ -107,9 +159,11 @@ func main() {
 	defer stop()
 
 	code, err := run(ctx, *protoName, *specFile, cliOpts{
+		engine: *engine, n: *nCaches,
 		strict: *strict, showLog: *showLog, dotFile: *dotFile, localDot: *localDot,
 		crossCheck: *crossCheck, jsonFile: *jsonFile,
 		checkpoint: *checkpoint, resume: *resume, keep: *keep,
+		progress: *progress, metricsJSON: *metricsJSON,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccverify:", err)
@@ -145,20 +199,83 @@ func runCompare(pair string) error {
 	return nil
 }
 
-// run executes the verification and returns the process exit code (0 clean,
-// 2 violations, 3 stopped early).
+// run dispatches on -run, threads the observability flags through, and
+// returns the process exit code (0 clean, 2 violations, 3 stopped early).
 func run(ctx context.Context, protoName, specFile string, o cliOpts) (int, error) {
 	p, err := loadProtocol(protoName, specFile)
 	if err != nil {
 		return 0, err
 	}
+	observer, reg := o.observability()
+	var code int
+	switch o.engine {
+	case "", "symbolic":
+		code, err = runSymbolic(ctx, p, o, observer, reg)
+	case "enum-strict", "enum-counting":
+		code, err = runEnumEngine(ctx, p, o, observer, reg)
+	default:
+		return 0, fmt.Errorf("invalid -run %q (want symbolic, enum-strict or enum-counting)", o.engine)
+	}
+	if err != nil {
+		return code, err
+	}
+	if err := o.writeMetrics(reg); err != nil {
+		return 0, err
+	}
+	return code, nil
+}
 
+// runEnumEngine is the -run enum-strict / enum-counting path: one
+// explicit-state enumeration at -n caches. Checkpoints and the symbolic
+// pipeline's outputs belong to ccenum / the symbolic path.
+func runEnumEngine(ctx context.Context, p *fsm.Protocol, o cliOpts, observer obs.Observer, reg *obs.Registry) (int, error) {
+	if o.checkpoint != "" || o.resume != "" || o.crossCheck != "" || o.dotFile != "" || o.showLog || o.jsonFile != "" {
+		return 0, fmt.Errorf("-run %s supports only -n, -strict, -progress and -metrics-json (use ccenum for checkpointed enumeration)", o.engine)
+	}
+	eopts := enum.Options{
+		RunConfig: runctl.RunConfig{Observer: observer, Metrics: reg},
+		Strict:    o.strict,
+	}
+	var res *enum.Result
+	var err error
+	if o.engine == "enum-counting" {
+		res, err = enum.CountingContext(ctx, p, o.n, eopts)
+	} else {
+		res, err = enum.ExhaustiveContext(ctx, p, o.n, eopts)
+	}
+	if err != nil {
+		return 0, err
+	}
+	fmt.Printf("protocol %s, n=%d caches (%s): %d distinct states, %d visits, %d violations\n",
+		p.Name, o.n, o.engine, res.Unique, res.Visits, len(res.Violations))
+	for _, v := range res.Violations {
+		fmt.Fprintf(os.Stderr, "erroneous state %s: %s\n", v.Config, v.Violations[0].Error())
+	}
+	code := runctl.ExitClean
+	if len(res.Violations) > 0 {
+		code = runctl.ExitViolation
+	}
+	if res.Truncated {
+		fmt.Fprintf(os.Stderr, "ccverify: stopped early: %v\n", res.StopReason)
+		if code == runctl.ExitClean {
+			code = runctl.ExitStopped
+		}
+	}
+	return code, nil
+}
+
+// runSymbolic executes the full verification pipeline (the default -run
+// symbolic engine).
+func runSymbolic(ctx context.Context, p *fsm.Protocol, o cliOpts, observer obs.Observer, reg *obs.Registry) (int, error) {
 	opts := core.Options{
 		Strict:           o.strict,
 		RecordLog:        o.showLog,
 		BuildGraph:       true,
 		CheckpointOnStop: o.checkpoint != "",
+		Observer:         observer,
+		Metrics:          reg,
 	}
+	var err error
 	if o.checkpoint != "" {
 		// Probe the checkpoint directory up front: an unwritable -checkpoint
 		// target should fail before the expansion, not at the stop snapshot.

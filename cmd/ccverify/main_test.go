@@ -1,12 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestLoadProtocolByName(t *testing.T) {
@@ -140,5 +144,69 @@ func TestRunWritesJSONReport(t *testing.T) {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("JSON report missing %q", want)
 		}
+	}
+}
+
+// TestRunEnumEngine exercises the -run enum-strict / enum-counting paths.
+func TestRunEnumEngine(t *testing.T) {
+	for _, engine := range []string{"enum-strict", "enum-counting"} {
+		code, err := run(context.Background(), "illinois", "", cliOpts{engine: engine, n: 3})
+		if err != nil || code != 0 {
+			t.Errorf("%s: code %d err %v", engine, code, err)
+		}
+	}
+	if _, err := run(context.Background(), "illinois", "", cliOpts{engine: "warp"}); err == nil {
+		t.Error("unknown -run engine must error")
+	}
+	if _, err := run(context.Background(), "illinois", "", cliOpts{engine: "enum-strict", n: 3, crossCheck: "2"}); err == nil {
+		t.Error("enum engines must reject symbolic-pipeline flags")
+	}
+}
+
+// TestMetricsJSONGolden pins the -metrics-json snapshot for the symbolic
+// verification of Illinois: after zeroing the wall-clock-dependent parts
+// (histogram sums and bucket spreads), every counter, gauge and observation
+// count is deterministic, so the whole document is golden-comparable.
+// Regenerate with UPDATE_GOLDEN=1 go test ./cmd/ccverify/.
+func TestMetricsJSONGolden(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	code, err := run(context.Background(), "illinois", "", cliOpts{engine: "symbolic", metricsJSON: path})
+	if err != nil || code != 0 {
+		t.Fatalf("code %d err %v", code, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["expand_levels_total"] == 0 {
+		t.Error("expand_levels_total = 0; want one increment per expansion level")
+	}
+	if snap.Counters["contained_discarded_total"] == 0 {
+		t.Error("contained_discarded_total = 0; want the ⊆_F-pruned discards")
+	}
+	snap.ZeroTimings()
+	got, err := snap.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics_illinois_symbolic.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("metrics snapshot drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }

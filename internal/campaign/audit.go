@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/enum"
 	"repro/internal/fsm"
+	"repro/internal/obs"
 	"repro/internal/symbolic"
 )
 
@@ -48,6 +49,10 @@ func ConfirmSymbolicWitness(p *fsm.Protocol, strict bool, v symbolic.StateViolat
 // one and the final configuration violates every invariant the engine
 // claimed it does.
 func (r *runner) auditEnum(rg rung, vs []enum.Violation) []WitnessRecord {
+	if len(vs) > 0 && !r.policy.NoAudit {
+		sp := r.orun.Phase(obs.PhaseAudit)
+		defer sp.End()
+	}
 	mode := enumMode(rg.engine)
 	out := make([]WitnessRecord, 0, len(vs))
 	for _, v := range vs {
@@ -119,6 +124,10 @@ func replayEnumWitness(p *fsm.Protocol, n int, mode string, strict bool, v enum.
 // the concrete FSM at small cache counts until some concrete run reaches a
 // state violating a claimed invariant.
 func (r *runner) auditSymbolic(vs []symbolic.StateViolation) []WitnessRecord {
+	if len(vs) > 0 && !r.policy.NoAudit {
+		sp := r.orun.Phase(obs.PhaseAudit)
+		defer sp.End()
+	}
 	out := make([]WitnessRecord, 0, len(vs))
 	for _, v := range vs {
 		w := WitnessRecord{

@@ -38,6 +38,7 @@ import (
 	"repro/internal/ckptio"
 	"repro/internal/enum"
 	"repro/internal/fsm"
+	"repro/internal/obs"
 	"repro/internal/protocols"
 	"repro/internal/runctl"
 	"repro/internal/symbolic"
@@ -155,6 +156,14 @@ type Policy struct {
 	NoAudit bool
 	// Chaos lists faults to inject, for tests and the CI chaos job.
 	Chaos []ChaosOp
+
+	// Observer receives phase/level/event callbacks from the campaign
+	// itself (campaign_attempts_total, campaign_resumes_total, audit
+	// phases) and from every engine attempt it launches; nil disables them.
+	Observer obs.Observer
+	// Metrics, when non-nil, accumulates the campaign's counters and the
+	// engines' run metrics in one shared registry.
+	Metrics *obs.Registry
 
 	// sleep replaces time.Sleep in tests; nil means real sleeping.
 	sleep func(time.Duration)
@@ -365,7 +374,8 @@ type runner struct {
 	rungs   []rung
 	store   *ckptio.Store // nil when checkpointing is off
 	rng     *rand.Rand
-	attempt int // current attempt ordinal, for chaos "kill" scoping
+	attempt int      // current attempt ordinal, for chaos "kill" scoping
+	orun    *obs.Run // nil when the policy carries no observer/registry
 	res     *JobResult
 }
 
@@ -418,11 +428,13 @@ func runJob(ctx context.Context, pol Policy, j JobSpec) *JobResult {
 		policy: pol,
 		job:    j,
 		rng:    rand.New(rand.NewSource(jobSeed(pol.Seed, j.Name))),
+		orun:   obs.Sink{Observer: pol.Observer, Metrics: pol.Metrics}.Run("campaign", j.Protocol),
 		res: &JobResult{
 			Name: j.Name, Protocol: j.Protocol, Engine: j.Engine,
 			N: j.N, Strict: j.Strict,
 		},
 	}
+	r.orun.Event("campaign_jobs_total", 1)
 	r.proto = j.Proto
 	if r.proto == nil {
 		p, err := protocols.ByName(j.Protocol)
@@ -465,6 +477,7 @@ func (r *runner) run() {
 	for attempt := 1; ; attempt++ {
 		if attempt > r.policy.MaxAttempts {
 			r.res.Verdict = VerdictQuarantined
+			r.orun.Event("campaign_quarantined_total", 1)
 			return
 		}
 		if err := runctl.FromContext(r.ctx); err != nil {
@@ -476,10 +489,15 @@ func (r *runner) run() {
 		r.attempt = attempt
 		rg := r.rungs[rungIdx]
 		rec := AttemptRecord{Attempt: attempt, Rung: rungIdx, RungDesc: rg.desc}
+		r.orun.Event("campaign_attempts_total", 1)
+		if attempt > 1 {
+			r.orun.Event("campaign_retries_total", 1)
+		}
 		done, resumed, err := r.attemptRung(rg)
 		rec.Resumed = resumed
 		if resumed {
 			r.res.Resumes++
+			r.orun.Event("campaign_resumes_total", 1)
 		}
 		if done {
 			r.res.Attempts = append(r.res.Attempts, rec)
@@ -520,6 +538,7 @@ func (r *runner) run() {
 			} else {
 				r.res.Attempts = append(r.res.Attempts, rec)
 				r.res.Verdict = VerdictQuarantined
+				r.orun.Event("campaign_quarantined_total", 1)
 				r.res.FailClass = class
 				r.res.FailError = err.Error()
 				return
@@ -644,13 +663,17 @@ func corruptFile(path string) {
 // strict or counting) with durable periodic snapshots and chaos firing.
 func (r *runner) attemptEnum(rg rung, budget runctl.Budget) (bool, bool, error) {
 	opts := enum.Options{
-		Strict:           r.job.Strict,
-		Budget:           budget,
-		CheckpointOnStop: r.store != nil,
+		RunConfig: runctl.RunConfig{
+			Budget:           budget,
+			CheckpointOnStop: r.store != nil,
+			Observer:         r.policy.Observer,
+			Metrics:          r.policy.Metrics,
+		},
+		Strict: r.job.Strict,
 	}
 	if r.store != nil {
 		saves := 0
-		opts.CheckpointEvery = r.policy.CheckpointEvery
+		opts.RunConfig.CheckpointEvery = r.policy.CheckpointEvery
 		opts.OnCheckpoint = func(cp *enum.Checkpoint) error {
 			data, err := cp.Encode()
 			if err != nil {
@@ -723,16 +746,20 @@ func (r *runner) attemptSymbolic(budget runctl.Budget) (bool, bool, error) {
 		return false, false, fmt.Errorf("%w: %v", errSpec, err)
 	}
 	opts := symbolic.Options{
-		Strict:           r.job.Strict,
-		Budget:           budget,
-		CheckpointOnStop: r.store != nil,
+		RunConfig: runctl.RunConfig{
+			Budget:           budget,
+			CheckpointOnStop: r.store != nil,
+			Observer:         r.policy.Observer,
+			Metrics:          r.policy.Metrics,
+		},
+		Strict: r.job.Strict,
 	}
 	if r.policy.MaxStates > 0 {
 		opts.MaxVisits = r.policy.MaxStates
 	}
 	if r.store != nil {
 		saves := 0
-		opts.CheckpointEvery = r.policy.CheckpointEvery
+		opts.RunConfig.CheckpointEvery = r.policy.CheckpointEvery
 		opts.OnCheckpoint = func(cp *symbolic.Checkpoint) error {
 			data, err := cp.Encode()
 			if err != nil {

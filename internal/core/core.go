@@ -14,6 +14,7 @@ import (
 	"repro/internal/enum"
 	"repro/internal/fsm"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/runctl"
 	"repro/internal/symbolic"
@@ -51,6 +52,16 @@ type Options struct {
 	// Resume continues the symbolic expansion from a previously captured
 	// checkpoint instead of starting from the initial composite state.
 	Resume *symbolic.Checkpoint
+
+	// Observer receives phase boundaries (expand, graph, crosscheck),
+	// per-level stats and discrete events from every stage of the pipeline;
+	// nil disables the callbacks with no overhead (the engines' nil-check
+	// fast path).
+	Observer obs.Observer
+	// Metrics, when non-nil, accumulates the pipeline's counters, gauges
+	// and per-phase timing histograms across all stages; see internal/obs
+	// for the metric-name catalog.
+	Metrics *obs.Registry
 }
 
 // CrossCheck is the result of one explicit-state validation run.
@@ -111,13 +122,21 @@ func VerifyContext(ctx context.Context, p *fsm.Protocol, opts Options) (*Report,
 		return nil, err
 	}
 	rep := &Report{Protocol: p, engine: eng}
+	// The pipeline's own run handle times the graph and cross-check phases;
+	// the engines open their own expand/reconcile phases on the same
+	// observer and registry through their RunConfig.
+	orun := obs.Sink{Observer: opts.Observer, Metrics: opts.Metrics}.Run("core", p.Name)
 	symOpts := symbolic.Options{
-		MaxVisits:        opts.MaxVisits,
-		RecordLog:        opts.RecordLog,
-		StopOnViolation:  opts.StopOnViolation,
-		Strict:           opts.Strict,
-		Budget:           opts.Budget,
-		CheckpointOnStop: opts.CheckpointOnStop,
+		RunConfig: runctl.RunConfig{
+			Budget:           opts.Budget,
+			CheckpointOnStop: opts.CheckpointOnStop,
+			Observer:         opts.Observer,
+			Metrics:          opts.Metrics,
+		},
+		MaxVisits:       opts.MaxVisits,
+		RecordLog:       opts.RecordLog,
+		StopOnViolation: opts.StopOnViolation,
+		Strict:          opts.Strict,
 	}
 	if opts.Resume != nil {
 		rep.Symbolic, err = eng.ResumeContext(ctx, opts.Resume, symOpts)
@@ -132,7 +151,9 @@ func VerifyContext(ctx context.Context, p *fsm.Protocol, opts Options) (*Report,
 	}
 
 	if opts.BuildGraph && rep.Symbolic.OK() {
+		gsp := orun.Phase(obs.PhaseGraph)
 		g, err := graph.BuildGlobal(eng, rep.Symbolic.Essential)
+		gsp.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: building global diagram for %s: %w", p.Name, err)
 		}
@@ -140,7 +161,9 @@ func VerifyContext(ctx context.Context, p *fsm.Protocol, opts Options) (*Report,
 	}
 
 	for _, n := range opts.CrossCheckN {
+		csp := orun.Phase(obs.PhaseCrossCheck)
 		cc, err := crossCheck(ctx, eng, rep.Symbolic.Essential, n, opts)
+		csp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -157,9 +180,13 @@ func VerifyContext(ctx context.Context, p *fsm.Protocol, opts Options) (*Report,
 func crossCheck(ctx context.Context, eng *symbolic.Engine, essential []*symbolic.CState, n int, opts Options) (*CrossCheck, error) {
 	p := eng.Protocol()
 	res, err := enum.CountingContext(ctx, p, n, enum.Options{
+		RunConfig: runctl.RunConfig{
+			Budget:   opts.Budget,
+			Observer: opts.Observer,
+			Metrics:  opts.Metrics,
+		},
 		KeepReachable: true,
 		Strict:        opts.Strict,
-		Budget:        opts.Budget,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: enumerating %s with %d caches: %w", p.Name, n, err)

@@ -225,6 +225,9 @@ func ResumeParallelContext(ctx context.Context, p *fsm.Protocol, cp *Checkpoint,
 		return nil, err
 	}
 	if workers <= 0 {
+		workers = b.rc.Workers
+	}
+	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return b.runPar(ctx, frontier, workers)
@@ -268,7 +271,8 @@ func resumeBFS(p *fsm.Protocol, cp *Checkpoint, opts Options) (*bfs, []*fsm.Conf
 	}
 
 	opts.Strict = cp.Strict
-	maxStates := opts.Budget.MaxStates
+	rc := opts.runCtl()
+	maxStates := rc.Budget.MaxStates
 	if maxStates <= 0 {
 		maxStates = opts.MaxStates
 	}
@@ -276,7 +280,8 @@ func resumeBFS(p *fsm.Protocol, cp *Checkpoint, opts Options) (*bfs, []*fsm.Conf
 		maxStates = defaultMaxStates
 	}
 	b := &bfs{
-		p: p, n: cp.N, opts: opts, kc: newKeyCodec(p, cp.N, cp.Mode), mode: cp.Mode,
+		p: p, n: cp.N, opts: opts, rc: rc, kc: newKeyCodec(p, cp.N, cp.Mode), mode: cp.Mode,
+		orun:      rc.Sink().Run("enum-"+cp.Mode, p.Name),
 		symmetric: cp.Mode == ModeCounting,
 		maxStates: maxStates,
 		visited:   make(map[Key]bool, len(cp.Visited)),

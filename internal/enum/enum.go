@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/fsm"
+	"repro/internal/obs"
 	"repro/internal/runctl"
 )
 
@@ -42,12 +43,25 @@ func Canonicalize(c *fsm.Config) {
 	c.Latest = canonFresh
 }
 
-// Options tune an enumeration run.
+// Options tune an enumeration run. Run control (budgets, checkpoint
+// cadence, parallelism defaults, observability) lives in the embedded
+// runctl.RunConfig, shared with symbolic.Options:
+//
+//	enum.Options{RunConfig: runctl.RunConfig{Budget: b, Metrics: reg}}
+//
+// Cancellation, the deadline and the memory budget are checked at
+// worklist-item granularity by the sequential engine and at level
+// granularity by the parallel engine, so a stopped run always ends at a
+// clean boundary and its partial Result (and checkpoint) covers whole
+// expansion steps only.
 type Options struct {
+	runctl.RunConfig
+
 	// MaxStates bounds the number of distinct states explored (0: 5_000_000).
-	// Budget.MaxStates, when set, takes precedence. Unlike the other
-	// budgets, the state cap is enforced per admitted state, so Unique
-	// never exceeds it; a run stopped this way carries no checkpoint.
+	// RunConfig.Budget.MaxStates, when set, takes precedence. Unlike the
+	// other budgets, the state cap is enforced per admitted state, so
+	// Unique never exceeds it; a run stopped this way carries no
+	// checkpoint.
 	MaxStates int
 	// KeepReachable retains every distinct canonical configuration in the
 	// result, for cross-validation against the symbolic essential states.
@@ -57,24 +71,46 @@ type Options struct {
 	// StopOnViolation aborts at the first erroneous state.
 	StopOnViolation bool
 
-	// Budget bounds the run's wall clock, state count and estimated
-	// worklist memory. Cancellation, the deadline and the memory budget
-	// are checked at worklist-item granularity by the sequential engine
-	// and at level granularity by the parallel engine, so a stopped run
-	// always ends at a clean boundary and its partial Result (and
-	// checkpoint) covers whole expansion steps only.
-	Budget runctl.Budget
-	// CheckpointOnStop captures a resumable snapshot into
-	// Result.Checkpoint when the run is stopped by cancellation, the
-	// deadline or the memory budget.
-	CheckpointOnStop bool
-	// CheckpointEvery, with OnCheckpoint, emits a periodic snapshot every
-	// that many expanded states (sequential) or frontier states
-	// (parallel), taken at the same clean boundaries as stop snapshots.
-	CheckpointEvery int
-	// OnCheckpoint receives periodic snapshots; a non-nil return aborts
-	// the run with that error.
+	// OnCheckpoint receives the periodic snapshots requested by
+	// RunConfig.CheckpointEvery (every that many expanded states for the
+	// sequential engine, frontier states for the parallel one); a non-nil
+	// return aborts the run with that error. It stays outside RunConfig
+	// because the checkpoint type is engine-specific.
 	OnCheckpoint func(*Checkpoint) error
+
+	// Budget bounds the run.
+	//
+	// Deprecated: set RunConfig.Budget instead. This alias shadows the
+	// embedded field, is honored when non-zero, and will be removed in the
+	// next release.
+	Budget runctl.Budget
+	// CheckpointOnStop captures a resumable snapshot into Result.Checkpoint
+	// when the run is stopped early at a clean boundary.
+	//
+	// Deprecated: set RunConfig.CheckpointOnStop instead. Honored when
+	// true; removed in the next release.
+	CheckpointOnStop bool
+	// CheckpointEvery is the periodic snapshot cadence.
+	//
+	// Deprecated: set RunConfig.CheckpointEvery instead. Honored when
+	// positive; removed in the next release.
+	CheckpointEvery int
+}
+
+// runCtl resolves the effective run configuration: the embedded RunConfig,
+// overridden by any of the deprecated top-level aliases that are set.
+func (o Options) runCtl() runctl.RunConfig {
+	rc := o.RunConfig
+	if o.Budget != (runctl.Budget{}) {
+		rc.Budget = o.Budget
+	}
+	if o.CheckpointOnStop {
+		rc.CheckpointOnStop = true
+	}
+	if o.CheckpointEvery > 0 {
+		rc.CheckpointEvery = o.CheckpointEvery
+	}
+	return rc
 }
 
 const defaultMaxStates = 5000000
@@ -230,6 +266,8 @@ type bfs struct {
 	p         *fsm.Protocol
 	n         int
 	opts      Options
+	rc        runctl.RunConfig // resolved run control (see Options.runCtl)
+	orun      *obs.Run         // nil when unobserved: the allocation-free fast path
 	kc        *keyCodec
 	mode      string
 	symmetric bool
@@ -241,6 +279,10 @@ type bfs struct {
 	bytes   int64 // estimated worklist+visited footprint
 	// sinceCp counts expanded states since the last periodic checkpoint.
 	sinceCp int
+	// dups counts successors discarded as identity duplicates by the
+	// sequential engine (the parallel engine derives the same quantity from
+	// Visits at level boundaries); it feeds LevelStats.Pruned.
+	dups int
 
 	res *Result
 }
@@ -267,7 +309,8 @@ func newBFS(p *fsm.Protocol, n int, opts Options, mode string) (b *bfs, init *fs
 	if err := validMode(mode); err != nil {
 		return nil, nil, false, err
 	}
-	maxStates := opts.Budget.MaxStates
+	rc := opts.runCtl()
+	maxStates := rc.Budget.MaxStates
 	if maxStates <= 0 {
 		maxStates = opts.MaxStates
 	}
@@ -275,7 +318,8 @@ func newBFS(p *fsm.Protocol, n int, opts Options, mode string) (b *bfs, init *fs
 		maxStates = defaultMaxStates
 	}
 	b = &bfs{
-		p: p, n: n, opts: opts, kc: newKeyCodec(p, n, mode), mode: mode,
+		p: p, n: n, opts: opts, rc: rc, kc: newKeyCodec(p, n, mode), mode: mode,
+		orun:      rc.Sink().Run("enum-"+mode, p.Name),
 		symmetric: mode == ModeCounting,
 		maxStates: maxStates,
 		res:       &Result{Protocol: p, N: n},
@@ -293,6 +337,7 @@ func newBFS(p *fsm.Protocol, n int, opts Options, mode string) (b *bfs, init *fs
 	}
 	if v := fsm.CheckConfig(p, init, opts.Strict); len(v) > 0 {
 		b.res.Violations = append(b.res.Violations, Violation{Config: init.Clone(), Violations: v})
+		b.orun.Event(obs.MetricViolations, 1)
 		if opts.StopOnViolation {
 			b.finish()
 			return b, init, true, nil
@@ -308,10 +353,10 @@ func (b *bfs) stopCheck(ctx context.Context) error {
 	if err := runctl.FromContext(ctx); err != nil {
 		return err
 	}
-	if err := b.opts.Budget.CheckDeadline(time.Now()); err != nil {
+	if err := b.rc.Budget.CheckDeadline(time.Now()); err != nil {
 		return err
 	}
-	return b.opts.Budget.CheckMem(b.bytes)
+	return b.rc.Budget.CheckMem(b.bytes)
 }
 
 // stop finalizes an early stop at a clean boundary: frontier holds the
@@ -321,17 +366,18 @@ func (b *bfs) stop(reason error, frontier []*fsm.Config) {
 	b.res.StopReason = reason
 	b.res.Truncated = true
 	b.finish()
-	if b.opts.CheckpointOnStop {
+	if b.rc.CheckpointOnStop {
 		b.res.Checkpoint = b.snapshot(frontier)
 	}
 }
 
 // maybeCheckpoint emits a periodic snapshot when due.
 func (b *bfs) maybeCheckpoint(frontier []*fsm.Config) error {
-	if b.opts.OnCheckpoint == nil || b.opts.CheckpointEvery <= 0 || b.sinceCp < b.opts.CheckpointEvery {
+	if b.opts.OnCheckpoint == nil || b.rc.CheckpointEvery <= 0 || b.sinceCp < b.rc.CheckpointEvery {
 		return nil
 	}
 	b.sinceCp = 0
+	b.orun.Event("checkpoints_total", 1)
 	return b.opts.OnCheckpoint(b.snapshot(frontier))
 }
 
@@ -348,6 +394,7 @@ func (b *bfs) finish() {
 func (b *bfs) admit(it succItem, next *[]*fsm.Config) bool {
 	b.res.Visits++
 	if b.visited[it.key] {
+		b.dups++
 		releaseConfig(it.cfg)
 		return false
 	}
@@ -369,6 +416,7 @@ func (b *bfs) commit(it succItem, viol []fsm.Violation, next *[]*fsm.Config) boo
 			Violations: viol,
 			Path:       witness(b.kc, b.parents, it.key),
 		})
+		b.orun.Event(obs.MetricViolations, 1)
 		if b.opts.StopOnViolation {
 			b.finish()
 			return true
@@ -409,7 +457,16 @@ func run(ctx context.Context, p *fsm.Protocol, n int, opts Options, mode string)
 // to the pool, so the steady-state loop allocates only for newly admitted
 // frontier states.
 func (b *bfs) runSeq(ctx context.Context, queue []*fsm.Config) (*Result, error) {
+	sp := b.orun.Phase(obs.PhaseExpand)
+	defer sp.End()
 	expanded := 0
+	// FIFO order expands the queue level by level, so the boundary where
+	// the current level's last state has been dequeued and expanded is a
+	// true BFS level boundary: everything left on the queue is the next
+	// level's frontier. Visits may carry over from a resumed checkpoint;
+	// level stats are relative to this run so registry counters never
+	// double-count.
+	level, remaining, visits0 := 0, len(queue), b.res.Visits
 	var out workerOut
 	for len(queue) > 0 {
 		if err := b.stopCheck(ctx); err != nil {
@@ -428,6 +485,9 @@ func (b *bfs) runSeq(ctx context.Context, queue []*fsm.Config) (*Result, error) 
 		out.specErrs = out.specErrs[:0]
 		expandOne(b.kc, b.symmetric, cur, &out)
 		b.res.SpecErrors = append(b.res.SpecErrors, out.specErrs...)
+		if len(out.specErrs) > 0 {
+			b.orun.Event("spec_errors_total", int64(len(out.specErrs)))
+		}
 		for _, it := range out.items {
 			if b.admit(it, &queue) {
 				return b.res, nil
@@ -436,6 +496,18 @@ func (b *bfs) runSeq(ctx context.Context, queue []*fsm.Config) (*Result, error) 
 		releaseConfig(cur)
 		expanded++
 		b.sinceCp++
+		if remaining--; remaining == 0 {
+			b.orun.Level(obs.LevelStats{
+				Level:     level,
+				Frontier:  len(queue),
+				Essential: len(b.visited),
+				Visits:    b.res.Visits - visits0,
+				Pruned:    b.dups,
+				EstBytes:  b.bytes,
+			})
+			level++
+			remaining = len(queue)
+		}
 	}
 	b.finish()
 	return b.res, nil

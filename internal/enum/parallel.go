@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/fsm"
+	"repro/internal/obs"
 )
 
 // ExhaustiveParallel runs the Figure 2 exhaustive search with a
@@ -234,6 +235,11 @@ func runParallel(ctx context.Context, p *fsm.Protocol, n int, opts Options, mode
 		return b.res, nil
 	}
 	if workers <= 0 {
+		// The caller didn't pick: fall back to the shared run configuration,
+		// then to GOMAXPROCS.
+		workers = b.rc.Workers
+	}
+	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return b.runPar(ctx, []*fsm.Config{init}, workers)
@@ -269,6 +275,11 @@ func (b *bfs) expandWorker(w int, frontier []*fsm.Config, ps *pendSet) (int, []e
 // state. Budgets are checked between levels; the reconcile applies the
 // pending admissions in rank order, which equals sequential order.
 func (b *bfs) runPar(ctx context.Context, frontier []*fsm.Config, workers int) (*Result, error) {
+	sp := b.orun.Phase(obs.PhaseExpand)
+	defer sp.End()
+	// Bases for run-relative level stats (Visits and the visited set may
+	// carry over from a resumed checkpoint).
+	visits0, admitted0 := b.res.Visits, len(b.visited)
 	for level := 0; len(frontier) > 0; level++ {
 		if err := b.stopCheck(ctx); err != nil {
 			b.stop(err, frontier)
@@ -340,6 +351,7 @@ func (b *bfs) runPar(ctx context.Context, frontier []*fsm.Config, workers int) (
 				continue
 			}
 			b.res.WorkerErrors = append(b.res.WorkerErrors, we)
+			b.orun.Event("worker_panics_total", 1)
 			lo, hi := bounds(w)
 			func() {
 				defer func() {
@@ -359,6 +371,7 @@ func (b *bfs) runPar(ctx context.Context, frontier []*fsm.Config, workers int) (
 		// mid-level stop (StopOnViolation, state cap) at rank (w, i)
 		// counts exactly the successors the sequential merge would have
 		// processed by then: all of workers < w plus i+1 of worker w.
+		rsp := b.orun.Phase(obs.PhaseReconcile)
 		next := make([]*fsm.Config, 0, 16)
 		appended := 0 // workers whose spec errors are already in res
 		stopped := false
@@ -377,6 +390,7 @@ func (b *bfs) runPar(ctx context.Context, frontier []*fsm.Config, workers int) (
 				break
 			}
 		}
+		rsp.End()
 		if stopped {
 			return b.res, nil
 		}
@@ -391,6 +405,15 @@ func (b *bfs) runPar(ctx context.Context, frontier []*fsm.Config, workers int) (
 		}
 		b.sinceCp += len(frontier)
 		frontier = next
+		visits := b.res.Visits - visits0
+		b.orun.Level(obs.LevelStats{
+			Level:     level,
+			Frontier:  len(frontier),
+			Essential: len(b.visited),
+			Visits:    visits,
+			Pruned:    visits - (len(b.visited) - admitted0),
+			EstBytes:  b.bytes,
+		})
 	}
 	b.finish()
 	return b.res, nil

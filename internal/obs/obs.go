@@ -1,0 +1,221 @@
+// Package obs is the zero-dependency observability layer shared by every
+// engine of the verifier: the explicit-state enumerators (internal/enum),
+// the symbolic expansion (internal/symbolic), the verification pipeline
+// (internal/core), the campaign runner (internal/campaign) and the
+// verification service (internal/serve).
+//
+// The paper's algorithms (Figure 2 breadth-first enumeration, Figure 3
+// worklist expansion with ⊆_F containment pruning) are long-running
+// searches whose behavior is invisible from the outside: a run either
+// returns or it does not. Parameterized-verification practice leans on
+// per-phase state counts and pruning statistics to understand and tune
+// runs, so the engines report three kinds of signals through this package:
+//
+//   - Metrics: a Registry of typed counters, gauges and histograms with a
+//     deterministic snapshot-as-JSON rendering (the -metrics-json flag and
+//     the service's /v1/metrics endpoint).
+//   - Phases: monotonic span timings around the pipeline's stages (parse,
+//     expand, reconcile, prune, graph, crosscheck, audit).
+//   - Levels: one structured callback per expansion level with live stats
+//     (frontier size, essential states, states discarded by pruning).
+//
+// Engines accept an Observer plus a *Registry through their options
+// (runctl.RunConfig); both default to nil, and the nil path is
+// allocation-free — a single nil check per level boundary — so
+// uninstrumented runs keep their benchmarked cost.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Phase names, keyed to the stages of the paper's algorithm. Engines pass
+// these to Run.Phase; the registry records one "phase_seconds.<name>"
+// histogram per phase.
+const (
+	// PhaseParse: compiling a ccpsl specification into a protocol.
+	PhaseParse = "parse"
+	// PhaseExpand: the main state-space search (Figure 2 or Figure 3).
+	PhaseExpand = "expand"
+	// PhaseReconcile: the parallel BFS's post-level rank-ordered merge.
+	PhaseReconcile = "reconcile"
+	// PhasePrune: containment pruning work (Definition 9).
+	PhasePrune = "prune"
+	// PhaseGraph: building the global transition diagram.
+	PhaseGraph = "graph"
+	// PhaseCrossCheck: explicit-state cross-validation (Theorem 1).
+	PhaseCrossCheck = "crosscheck"
+	// PhaseAudit: independent witness confirmation by concrete replay.
+	PhaseAudit = "audit"
+)
+
+// PhaseEvent is one edge of a phase span.
+type PhaseEvent struct {
+	// Engine identifies the reporting engine ("symbolic", "enum-strict",
+	// "enum-counting", "core", "campaign", ...).
+	Engine string
+	// Protocol is the protocol under verification ("" when not applicable).
+	Protocol string
+	// Phase is one of the Phase* constants (or an engine-specific name).
+	Phase string
+	// End marks the closing edge of the span; Elapsed is set only then,
+	// measured on the monotonic clock.
+	End     bool
+	Elapsed time.Duration
+}
+
+// LevelStats is the per-expansion-level progress report. All counts are
+// cumulative over the run, so an observer can render either totals or
+// per-level deltas.
+type LevelStats struct {
+	// Engine and Protocol identify the run (see PhaseEvent).
+	Engine   string
+	Protocol string
+	// Level is the expansion ordinal: the BFS depth for the enumerators,
+	// the number of fully expanded worklist states for the symbolic engine.
+	Level int
+	// Frontier is the number of states admitted but not yet expanded (the
+	// working list W of Figure 3, the next BFS level for Figure 2).
+	Frontier int
+	// Essential is the retained-state count: the history list H for the
+	// symbolic engine, distinct visited states for the enumerators.
+	Essential int
+	// Visits counts generated successor states (the paper's state-visit
+	// metric).
+	Visits int
+	// Pruned counts generated states discarded without expansion:
+	// ⊆_F-contained states for the symbolic engine (Definition 9),
+	// identity duplicates for the enumerators.
+	Pruned int
+	// Superseded counts worklist states discarded because a successor
+	// contained them (symbolic engine only).
+	Superseded int
+	// EstBytes is the engine's estimated resident footprint.
+	EstBytes int64
+}
+
+// Observer receives engine progress callbacks. Implementations must be
+// safe for concurrent use when shared across runs. Engines call OnPhase at
+// phase boundaries, OnLevel once per expansion level, and OnEvent for
+// out-of-band counters; a nil Observer disables all three with a single
+// nil check (the allocation-free fast path).
+type Observer interface {
+	// OnPhase is called at the opening and closing edge of every phase.
+	OnPhase(PhaseEvent)
+	// OnLevel is called after every completed expansion level.
+	OnLevel(LevelStats)
+	// OnEvent is called for discrete occurrences outside the level cadence
+	// (violations found, checkpoints saved, retries, ...).
+	OnEvent(name string, delta int64)
+}
+
+// Funcs adapts plain functions to the Observer interface; nil fields are
+// no-ops.
+type Funcs struct {
+	Phase func(PhaseEvent)
+	Level func(LevelStats)
+	Event func(name string, delta int64)
+}
+
+// OnPhase implements Observer.
+func (f Funcs) OnPhase(ev PhaseEvent) {
+	if f.Phase != nil {
+		f.Phase(ev)
+	}
+}
+
+// OnLevel implements Observer.
+func (f Funcs) OnLevel(st LevelStats) {
+	if f.Level != nil {
+		f.Level(st)
+	}
+}
+
+// OnEvent implements Observer.
+func (f Funcs) OnEvent(name string, delta int64) {
+	if f.Event != nil {
+		f.Event(name, delta)
+	}
+}
+
+// multi fans callbacks out to several observers.
+type multi []Observer
+
+func (m multi) OnPhase(ev PhaseEvent) {
+	for _, o := range m {
+		o.OnPhase(ev)
+	}
+}
+
+func (m multi) OnLevel(st LevelStats) {
+	for _, o := range m {
+		o.OnLevel(st)
+	}
+}
+
+func (m multi) OnEvent(name string, delta int64) {
+	for _, o := range m {
+		o.OnEvent(name, delta)
+	}
+}
+
+// Multi combines observers into one; nil entries are dropped. It returns
+// nil when every entry is nil, preserving the engines' nil fast path.
+func Multi(obs ...Observer) Observer {
+	var out multi
+	for _, o := range obs {
+		if o != nil {
+			out = append(out, o)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
+// progress is the human-facing Observer behind the binaries' -progress
+// flag: one line per expansion level, one line per closed phase.
+type progress struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// Progress returns an Observer that writes one human-readable line per
+// expansion level (and per completed phase) to w, in the format
+//
+//	progress: symbolic illinois level=3 frontier=4 essential=2 pruned=5 visits=11 superseded=1
+//
+// Lines are written under a mutex so concurrent engines interleave whole
+// lines.
+func Progress(w io.Writer) Observer {
+	return &progress{w: w}
+}
+
+func (p *progress) OnPhase(ev PhaseEvent) {
+	if !ev.End {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "progress: %s %s phase=%s elapsed=%s\n", ev.Engine, ev.Protocol, ev.Phase, ev.Elapsed)
+}
+
+func (p *progress) OnLevel(st LevelStats) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "progress: %s %s level=%d frontier=%d essential=%d pruned=%d visits=%d superseded=%d\n",
+		st.Engine, st.Protocol, st.Level, st.Frontier, st.Essential, st.Pruned, st.Visits, st.Superseded)
+}
+
+func (p *progress) OnEvent(name string, delta int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "progress: event %s +%d\n", name, delta)
+}

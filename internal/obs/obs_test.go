@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrent hammers a shared registry from 8 goroutines while
+// a reader takes snapshots, asserting counters only ever move forward and
+// every snapshot marshals to valid JSON. Run under -race this doubles as
+// the data-race proof for the whole metrics layer.
+func TestRegistryConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 2000
+	)
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Reader: snapshot continuously, checking monotonicity + JSON validity.
+	readerDone := make(chan error, 1)
+	go func() {
+		var last int64
+		for {
+			s := r.Snapshot()
+			b, err := json.Marshal(s)
+			if err != nil {
+				readerDone <- err
+				return
+			}
+			if !json.Valid(b) {
+				t.Error("snapshot produced invalid JSON")
+			}
+			if v := s.Counters["hits_total"]; v < last {
+				t.Errorf("counter went backwards: %d -> %d", last, v)
+			} else {
+				last = v
+			}
+			select {
+			case <-stop:
+				readerDone <- nil
+				return
+			default:
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				r.Counter("hits_total").Inc()
+				r.Counter("hits_total").Add(2)
+				r.Counter("hits_total").Add(-5) // ignored: counters are monotonic
+				r.Gauge("frontier_states").Set(int64(i))
+				r.Gauge("bytes").Add(int64(w))
+				r.Histogram("latency_seconds").Observe(float64(i) / 1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-readerDone; err != nil {
+		t.Fatalf("snapshot marshal: %v", err)
+	}
+
+	s := r.Snapshot()
+	if got, want := s.Counters["hits_total"], int64(workers*rounds*3); got != want {
+		t.Errorf("hits_total = %d, want %d", got, want)
+	}
+	if got, want := s.Histograms["latency_seconds"].Count, int64(workers*rounds); got != want {
+		t.Errorf("latency count = %d, want %d", got, want)
+	}
+	var sum int64
+	for _, b := range s.Histograms["latency_seconds"].Buckets {
+		sum += b
+	}
+	if sum != s.Histograms["latency_seconds"].Count {
+		t.Errorf("bucket sum %d != count %d", sum, s.Histograms["latency_seconds"].Count)
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(3)
+	r.Histogram("z").Observe(1)
+	s := r.Snapshot()
+	if s.Schema != SnapshotSchema {
+		t.Errorf("nil snapshot schema = %d, want %d", s.Schema, SnapshotSchema)
+	}
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		r.Counter(name).Add(7)
+		r.Gauge("g_" + name).Set(1)
+	}
+	r.Histogram("phase_seconds.expand").Observe(0.002)
+	a, err := r.Snapshot().MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Snapshot().MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("snapshots differ:\n%s\n---\n%s", a, b)
+	}
+	if i := bytes.Index(a, []byte("alpha")); i < 0 || i > bytes.Index(a, []byte("zeta")) {
+		t.Errorf("keys not sorted in snapshot:\n%s", a)
+	}
+}
+
+func TestZeroTimings(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("phase_seconds.expand").Observe(1.5)
+	r.Histogram("sizes", 1, 10, 100).Observe(5)
+	s := r.Snapshot()
+	s.ZeroTimings()
+	ph := s.Histograms["phase_seconds.expand"]
+	if ph.Sum != 0 {
+		t.Errorf("seconds sum not zeroed: %v", ph.Sum)
+	}
+	for i, b := range ph.Buckets {
+		if b != 0 {
+			t.Errorf("seconds bucket %d not zeroed: %d", i, b)
+		}
+	}
+	if ph.Count != 1 {
+		t.Errorf("seconds count should be kept, got %d", ph.Count)
+	}
+	if s.Histograms["sizes"].Sum != 5 {
+		t.Errorf("non-seconds histogram was zeroed: %+v", s.Histograms["sizes"])
+	}
+}
+
+// TestRunLevelDeltas checks that Run.Level feeds cumulative stats to the
+// registry as monotonic deltas.
+func TestRunLevelDeltas(t *testing.T) {
+	r := NewRegistry()
+	run := Sink{Metrics: r}.Run("symbolic", "illinois")
+	run.Level(LevelStats{Level: 0, Visits: 4, Pruned: 1, Frontier: 3, Essential: 1})
+	run.Level(LevelStats{Level: 1, Visits: 9, Pruned: 3, Frontier: 2, Essential: 2})
+	s := r.Snapshot()
+	if got := s.Counters[MetricExpandLevels]; got != 2 {
+		t.Errorf("expand_levels_total = %d, want 2", got)
+	}
+	if got := s.Counters[MetricVisits]; got != 9 {
+		t.Errorf("visits_total = %d, want 9", got)
+	}
+	if got := s.Counters[MetricContainedDiscarded]; got != 3 {
+		t.Errorf("contained_discarded_total = %d, want 3", got)
+	}
+	if got := s.Gauges[MetricFrontier]; got != 2 {
+		t.Errorf("frontier_states = %d, want 2", got)
+	}
+}
+
+func TestRunPhaseSpan(t *testing.T) {
+	r := NewRegistry()
+	var events []PhaseEvent
+	run := Sink{
+		Observer: Funcs{Phase: func(ev PhaseEvent) { events = append(events, ev) }},
+		Metrics:  r,
+	}.Run("core", "illinois")
+	sp := run.Phase(PhaseExpand)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if len(events) != 2 || events[0].End || !events[1].End {
+		t.Fatalf("expected open+close phase events, got %+v", events)
+	}
+	if events[1].Elapsed <= 0 {
+		t.Errorf("elapsed not positive: %v", events[1].Elapsed)
+	}
+	h := r.Snapshot().Histograms[MetricPhasePrefix+PhaseExpand]
+	if h.Count != 1 || h.Sum <= 0 {
+		t.Errorf("phase histogram not recorded: %+v", h)
+	}
+}
+
+// TestNilRunAllocFree pins the acceptance criterion that the no-observer
+// path is allocation-free: every hook on a nil *Run must cost zero
+// allocations.
+func TestNilRunAllocFree(t *testing.T) {
+	var run *Run = Sink{}.Run("enum-strict", "illinois")
+	if run != nil {
+		t.Fatal("disabled sink must yield a nil run")
+	}
+	st := LevelStats{Level: 1, Visits: 10}
+	allocs := testing.AllocsPerRun(100, func() {
+		run.Level(st)
+		run.Event("violations_total", 1)
+		sp := run.Phase(PhaseExpand)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil-run hooks allocated %v times per call, want 0", allocs)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi(nil, nil) != nil {
+		t.Error("Multi of nils should be nil")
+	}
+	var a, b int
+	oa := Funcs{Event: func(string, int64) { a++ }}
+	ob := Funcs{Event: func(string, int64) { b++ }}
+	if got := Multi(nil, oa); got == nil {
+		t.Error("Multi dropped a live observer")
+	}
+	Multi(oa, ob).OnEvent("x", 1)
+	if a != 1 || b != 1 {
+		t.Errorf("fan-out failed: a=%d b=%d", a, b)
+	}
+}
+
+func TestProgressFormat(t *testing.T) {
+	var buf bytes.Buffer
+	p := Progress(&buf)
+	p.OnLevel(LevelStats{Engine: "symbolic", Protocol: "illinois", Level: 3,
+		Frontier: 4, Essential: 2, Pruned: 5, Visits: 11, Superseded: 1})
+	p.OnPhase(PhaseEvent{Engine: "core", Protocol: "illinois", Phase: PhaseCrossCheck}) // open edge: silent
+	p.OnPhase(PhaseEvent{Engine: "core", Protocol: "illinois", Phase: PhaseCrossCheck, End: true, Elapsed: time.Millisecond})
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 lines, got %d:\n%s", len(lines), out)
+	}
+	want := "progress: symbolic illinois level=3 frontier=4 essential=2 pruned=5 visits=11 superseded=1"
+	if lines[0] != want {
+		t.Errorf("level line:\n got %q\nwant %q", lines[0], want)
+	}
+	if !strings.Contains(lines[1], "phase=crosscheck") {
+		t.Errorf("phase line missing phase name: %q", lines[1])
+	}
+}

@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// SnapshotSchema versions the JSON layout produced by Snapshot. Bump it on
+// any incompatible change to the snapshot shape (see docs/observability.md
+// for the compatibility contract).
+const SnapshotSchema = 1
+
+// A Counter is a monotonically increasing metric. The zero value is unusable;
+// obtain counters from a Registry. All methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta; negative deltas are ignored so the
+// counter stays monotonic.
+func (c *Counter) Add(delta int64) {
+	if c == nil || delta <= 0 {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// A Gauge is a metric that can go up and down (frontier size, resident
+// bytes). Obtain gauges from a Registry; all methods are safe for
+// concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultSecondsBuckets are the histogram bounds used for the
+// "*_seconds.*" timing histograms: 1ms to 60s, roughly logarithmic.
+var DefaultSecondsBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}
+
+// A Histogram records the distribution of observed float64 values over
+// fixed bucket bounds. Obtain histograms from a Registry; Observe is safe
+// for concurrent use (bucket counts are atomic, the sum is CAS-updated).
+type Histogram struct {
+	bounds  []float64 // immutable after construction, sorted ascending
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Find the first bound >= v; the final bucket is the +Inf overflow.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Registry is a get-or-create store of named metrics. The zero value is
+// ready to use; NewRegistry is provided for symmetry. All methods are safe
+// for concurrent use, and a nil *Registry is a valid no-op receiver (every
+// getter returns nil, and nil metrics ignore updates), so engines can
+// thread an optional registry without branching.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the counter registered under name, creating it on first
+// use. Returns nil (a no-op counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket bounds on first use (DefaultSecondsBuckets when bounds
+// is empty). Bounds are fixed at creation; later calls with different
+// bounds return the existing histogram unchanged.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.histograms == nil {
+		r.histograms = make(map[string]*Histogram)
+	}
+	h := r.histograms[name]
+	if h == nil {
+		if len(bounds) == 0 {
+			bounds = DefaultSecondsBuckets
+		}
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is the frozen state of one histogram.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	// Sum is the sum of observed values.
+	Sum float64 `json:"sum"`
+	// Bounds are the upper bucket bounds; Buckets has len(Bounds)+1 entries,
+	// the last being the overflow (+Inf) bucket.
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"`
+}
+
+// Snapshot is a frozen, JSON-serializable view of a Registry. Map keys
+// serialize in sorted order (encoding/json), so two snapshots of the same
+// state render byte-identically.
+type Snapshot struct {
+	Schema     int                          `json:"schema"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot freezes the registry's current state. A nil registry yields an
+// empty (but schema-stamped) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Schema:     SnapshotSchema,
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+			Bounds: h.bounds,
+		}
+		hs.Buckets = make([]int64, len(h.buckets))
+		for i := range h.buckets {
+			hs.Buckets[i] = h.buckets[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// ZeroTimings zeroes the time-dependent parts of the snapshot — the sum
+// and bucket spread of every histogram whose name contains "seconds"
+// (observation counts are kept: they are deterministic). Golden tests pin
+// -metrics-json output this way.
+func (s *Snapshot) ZeroTimings() {
+	for name, h := range s.Histograms {
+		if !strings.Contains(name, "seconds") {
+			continue
+		}
+		h.Sum = 0
+		h.Buckets = make([]int64, len(h.Buckets))
+		s.Histograms[name] = h
+	}
+}
+
+// MarshalIndent renders the snapshot as deterministic, indented JSON with
+// a trailing newline.
+func (s Snapshot) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the registry's snapshot to path as indented JSON (the
+// -metrics-json flag of the binaries).
+func WriteFile(path string, r *Registry) error {
+	b, err := r.Snapshot().MarshalIndent()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

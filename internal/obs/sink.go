@@ -1,0 +1,137 @@
+package obs
+
+import "time"
+
+// Canonical metric names recorded by Run. Binaries and tests reference
+// these; see docs/observability.md for the full catalog.
+const (
+	// MetricExpandLevels counts completed expansion levels across engines.
+	MetricExpandLevels = "expand_levels_total"
+	// MetricVisits counts generated successor states.
+	MetricVisits = "visits_total"
+	// MetricContainedDiscarded counts states discarded without expansion
+	// (⊆_F containment for the symbolic engine, identity duplicates for
+	// the enumerators).
+	MetricContainedDiscarded = "contained_discarded_total"
+	// MetricSuperseded counts retained states evicted by a containing
+	// successor (symbolic engine).
+	MetricSuperseded = "superseded_total"
+	// MetricViolations counts protocol-invariant violations found.
+	MetricViolations = "violations_total"
+	// MetricFrontier / MetricEssential / MetricEstBytes are gauges tracking
+	// the live search shape.
+	MetricFrontier  = "frontier_states"
+	MetricEssential = "essential_states"
+	MetricEstBytes  = "est_bytes"
+	// MetricPhasePrefix prefixes per-phase timing histograms
+	// ("phase_seconds.expand", "phase_seconds.crosscheck", ...).
+	MetricPhasePrefix = "phase_seconds."
+)
+
+// Sink bundles the two observability outputs an engine can feed: a
+// callback Observer and a metrics Registry. Either or both may be nil.
+type Sink struct {
+	Observer Observer
+	Metrics  *Registry
+}
+
+// Enabled reports whether the sink has anywhere to deliver signals.
+func (s Sink) Enabled() bool { return s.Observer != nil || s.Metrics != nil }
+
+// Run opens a per-run handle for an engine verifying protocol. It returns
+// nil when the sink is disabled; every method on a nil *Run is a no-op
+// that performs no allocation, so engines call handle methods
+// unconditionally and uninstrumented runs stay on the benchmarked fast
+// path.
+func (s Sink) Run(engine, protocol string) *Run {
+	if !s.Enabled() {
+		return nil
+	}
+	return &Run{sink: s, engine: engine, protocol: protocol}
+}
+
+// Run is one engine run's observability handle. Its methods are intended
+// to be called from the run's coordinating goroutine (the worklist loop or
+// the level barrier), not from parallel workers.
+type Run struct {
+	sink     Sink
+	engine   string
+	protocol string
+	// prev remembers the last cumulative LevelStats so registry counters
+	// advance by deltas and stay monotonic.
+	prev LevelStats
+}
+
+// Level reports a completed expansion level. st carries cumulative counts;
+// Level forwards them to the observer verbatim and advances the registry
+// counters by the delta since the previous call.
+func (r *Run) Level(st LevelStats) {
+	if r == nil {
+		return
+	}
+	st.Engine, st.Protocol = r.engine, r.protocol
+	if o := r.sink.Observer; o != nil {
+		o.OnLevel(st)
+	}
+	if m := r.sink.Metrics; m != nil {
+		m.Counter(MetricExpandLevels).Inc()
+		m.Counter(MetricVisits).Add(int64(st.Visits - r.prev.Visits))
+		m.Counter(MetricContainedDiscarded).Add(int64(st.Pruned - r.prev.Pruned))
+		m.Counter(MetricSuperseded).Add(int64(st.Superseded - r.prev.Superseded))
+		m.Gauge(MetricFrontier).Set(int64(st.Frontier))
+		m.Gauge(MetricEssential).Set(int64(st.Essential))
+		m.Gauge(MetricEstBytes).Set(st.EstBytes)
+	}
+	r.prev = st
+}
+
+// Event reports a discrete occurrence: the observer sees OnEvent and the
+// registry counter of the same name advances by delta (if positive).
+func (r *Run) Event(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	if o := r.sink.Observer; o != nil {
+		o.OnEvent(name, delta)
+	}
+	if m := r.sink.Metrics; m != nil {
+		m.Counter(name).Add(delta)
+	}
+}
+
+// Phase opens a timing span for one of the Phase* constants. The returned
+// span is nil (and End a no-op) on a nil run.
+func (r *Run) Phase(phase string) *Span {
+	if r == nil {
+		return nil
+	}
+	if o := r.sink.Observer; o != nil {
+		o.OnPhase(PhaseEvent{Engine: r.engine, Protocol: r.protocol, Phase: phase})
+	}
+	return &Span{run: r, phase: phase, start: time.Now()}
+}
+
+// Span is an open phase timing; see Run.Phase.
+type Span struct {
+	run   *Run
+	phase string
+	start time.Time
+}
+
+// End closes the span: the observer sees the closing PhaseEvent and the
+// registry's "phase_seconds.<phase>" histogram records the elapsed time
+// (monotonic clock). End is safe on a nil span and idempotent only in the
+// sense that callers are expected to End once (typically via defer).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	elapsed := time.Since(s.start)
+	r := s.run
+	if o := r.sink.Observer; o != nil {
+		o.OnPhase(PhaseEvent{Engine: r.engine, Protocol: r.protocol, Phase: s.phase, End: true, Elapsed: elapsed})
+	}
+	if m := r.sink.Metrics; m != nil {
+		m.Histogram(MetricPhasePrefix + s.phase).Observe(elapsed.Seconds())
+	}
+}

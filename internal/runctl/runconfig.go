@@ -1,0 +1,50 @@
+package runctl
+
+import "repro/internal/obs"
+
+// RunConfig is the run-control and observability configuration shared by
+// every engine's Options struct. enum.Options and symbolic.Options embed
+// it, so the budget/checkpoint/parallelism knobs are declared once and
+// read identically everywhere:
+//
+//	opts := enum.Options{RunConfig: runctl.RunConfig{
+//		Budget:  runctl.Budget{MaxStates: 1 << 20},
+//		Workers: 8,
+//		Metrics: reg,
+//	}}
+//
+// The zero value runs unbounded, sequential and unobserved.
+type RunConfig struct {
+	// Budget bounds the run (wall clock, states, estimated bytes); the zero
+	// Budget is unlimited.
+	Budget Budget
+
+	// CheckpointOnStop asks the engine to capture a resumable checkpoint in
+	// its Result when the run stops early (budget, cancellation).
+	CheckpointOnStop bool
+
+	// CheckpointEvery, when > 0, additionally snapshots the run every that
+	// many expanded states through the engine's checkpoint callback
+	// (enum.Options.OnCheckpoint / symbolic.Options.OnCheckpoint — the
+	// callback stays on the engine's Options because the checkpoint types
+	// differ).
+	CheckpointEvery int
+
+	// Workers is the default parallelism for engines with a parallel mode:
+	// it is used when the caller passes workers <= 0 to the *Parallel*
+	// entry points (0 here means GOMAXPROCS, matching their contract).
+	Workers int
+
+	// Observer receives phase/level/event callbacks during the run; nil
+	// disables them with a single nil check (allocation-free fast path).
+	Observer obs.Observer
+
+	// Metrics, when non-nil, accumulates the run's counters, gauges and
+	// per-phase timing histograms (see internal/obs for the name catalog).
+	Metrics *obs.Registry
+}
+
+// Sink bundles the config's observability outputs for obs.Sink.Run.
+func (c RunConfig) Sink() obs.Sink {
+	return obs.Sink{Observer: c.Observer, Metrics: c.Metrics}
+}

@@ -56,6 +56,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -212,4 +213,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // handleStatsz serves the service counters.
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleMetrics is GET /v1/metrics: the full observability-registry
+// snapshot (service counters, per-protocol verify_latency_seconds.*
+// histograms, and the engine counters of every verification run).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/enum"
 	"repro/internal/fsm"
+	"repro/internal/obs"
 	"repro/internal/runctl"
 	"repro/internal/symbolic"
 )
@@ -70,13 +71,14 @@ func encodeReport(rep *Report) ([]byte, error) {
 // cacheable is false when the verdict must not enter the cache: the run
 // was truncated, or a violation witness failed its independent audit.
 // Errors follow the runctl taxonomy: a stopped run returns an error
-// matching the runctl sentinels via errors.Is.
-func runVerification(ctx context.Context, p *fsm.Protocol, key string, opts JobOptions) (rep *Report, cacheable bool, err error) {
+// matching the runctl sentinels via errors.Is. Engine counters (level,
+// visit and pruning totals) accumulate into reg, the server's registry.
+func runVerification(ctx context.Context, p *fsm.Protocol, key string, opts JobOptions, reg *obs.Registry) (rep *Report, cacheable bool, err error) {
 	switch opts.Engine {
 	case EngineSymbolic:
-		rep, err = runSymbolic(ctx, p, opts)
+		rep, err = runSymbolic(ctx, p, opts, reg)
 	default:
-		rep, err = runEnum(ctx, p, opts)
+		rep, err = runEnum(ctx, p, opts, reg)
 	}
 	if err != nil {
 		return nil, false, err
@@ -108,12 +110,13 @@ const (
 
 // runSymbolic runs the Figure 3 symbolic expansion and audits any
 // violations by concretization.
-func runSymbolic(ctx context.Context, p *fsm.Protocol, opts JobOptions) (*Report, error) {
+func runSymbolic(ctx context.Context, p *fsm.Protocol, opts JobOptions, reg *obs.Registry) (*Report, error) {
 	eng, err := symbolic.NewEngine(p)
 	if err != nil {
 		return nil, err
 	}
 	res, err := eng.ExpandContext(ctx, symbolic.Options{
+		RunConfig: runctl.RunConfig{Metrics: reg},
 		Strict:    opts.Strict,
 		MaxVisits: opts.MaxStates,
 	})
@@ -146,11 +149,11 @@ func runSymbolic(ctx context.Context, p *fsm.Protocol, opts JobOptions) (*Report
 
 // runEnum runs an explicit-state enumeration (Figure 2 strict or
 // Definition 5 counting) and audits any violations by step replay.
-func runEnum(ctx context.Context, p *fsm.Protocol, opts JobOptions) (*Report, error) {
+func runEnum(ctx context.Context, p *fsm.Protocol, opts JobOptions, reg *obs.Registry) (*Report, error) {
 	eopts := enum.Options{
+		RunConfig: runctl.RunConfig{Metrics: reg},
 		Strict:    opts.Strict,
 		MaxStates: opts.MaxStates,
-		Budget:    runctl.Budget{},
 	}
 	var res *enum.Result
 	var err error

@@ -17,6 +17,7 @@ import (
 	"repro/internal/ccpsl"
 	"repro/internal/fsm"
 	"repro/internal/mutate"
+	"repro/internal/obs"
 	"repro/internal/protocols"
 	"repro/internal/runctl"
 )
@@ -515,5 +516,74 @@ func TestBadRequests(t *testing.T) {
 	}
 	if _, code := tc.get(t, "/v1/jobs/nope"); code != http.StatusNotFound {
 		t.Errorf("unknown job: http %d", code)
+	}
+}
+
+// TestMetricsEndpoint: GET /v1/metrics serves the observability-registry
+// snapshot — the service counters under their canonical *_total names, the
+// per-protocol latency histogram, and the engine counters of the
+// verification runs — while /statsz reads the same counters under its
+// stable snake_case names plus the schema stamp.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := newServer(t, Config{Workers: 2})
+	tc := startUnixServer(t, srv)
+
+	st, code := tc.post(t, `{"protocol": "illinois"}`, true)
+	if code != http.StatusOK || st.State != StateDone {
+		t.Fatalf("verify: http %d state %s (%s)", code, st.State, st.Error)
+	}
+	if st, _ = tc.post(t, `{"protocol": "illinois"}`, true); !st.Cached {
+		t.Fatal("second identical request was not served from the cache")
+	}
+
+	data, code := tc.get(t, "/v1/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: http %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != obs.SnapshotSchema {
+		t.Errorf("snapshot schema = %d, want %d", snap.Schema, obs.SnapshotSchema)
+	}
+	for name, want := range map[string]int64{
+		"verify_requests_total": 2,
+		"cache_hits_total":      1,
+		"engine_runs_total":     1,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if snap.Counters["expand_levels_total"] == 0 {
+		t.Error("engine counters missing from the server registry (expand_levels_total = 0)")
+	}
+	if snap.Histograms["verify_latency_seconds.Illinois"].Count != 1 {
+		t.Errorf("verify_latency_seconds.Illinois count = %d, want 1 (histograms: %v)",
+			snap.Histograms["verify_latency_seconds.Illinois"].Count, snap.Histograms)
+	}
+
+	s := tc.stats(t)
+	if s.Schema != StatszSchema {
+		t.Errorf("statsz schema = %d, want %d", s.Schema, StatszSchema)
+	}
+	if s.Requests != 2 || s.CacheHits != 1 || s.EngineRuns != 1 {
+		t.Errorf("statsz requests=%d cache_hits=%d engine_runs=%d, want 2/1/1",
+			s.Requests, s.CacheHits, s.EngineRuns)
+	}
+}
+
+// TestSharedMetricsRegistry: a caller-supplied Config.Metrics registry is
+// used as-is, so several servers (or a host process) can aggregate.
+func TestSharedMetricsRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := newServer(t, Config{Metrics: reg})
+	if srv.Metrics() != reg {
+		t.Fatal("server did not adopt the supplied registry")
+	}
+	srv.stats.requests.Inc()
+	if got := reg.Counter("verify_requests_total").Value(); got != 1 {
+		t.Errorf("shared registry verify_requests_total = %d, want 1", got)
 	}
 }

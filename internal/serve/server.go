@@ -6,10 +6,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/fsm"
+	"repro/internal/obs"
 	"repro/internal/runctl"
 )
 
@@ -33,6 +33,12 @@ type Config struct {
 	// KeepJobs bounds retained terminal job records for polling (<=0:
 	// 1024); the oldest are forgotten first.
 	KeepJobs int
+	// Metrics is the observability registry backing the service counters,
+	// the per-protocol verify_latency_seconds.* histograms and the engine
+	// metrics of every verification run; /statsz and GET /v1/metrics read
+	// from it. nil creates a private registry (the usual case); pass one to
+	// aggregate several servers, or to scrape engine counters elsewhere.
+	Metrics *obs.Registry
 }
 
 // withDefaults fills the zero-value fields.
@@ -127,30 +133,52 @@ var (
 	ErrDraining = errors.New("serve: draining")
 )
 
-// serverStats are the monotonic service counters; all fields are atomics.
+// serverStats are the monotonic service counters. They live in the
+// server's obs registry (so /statsz and GET /v1/metrics read one source of
+// truth) but are resolved once at construction, keeping the hot paths free
+// of registry map lookups.
 type serverStats struct {
-	requests         atomic.Int64
-	cacheHits        atomic.Int64
-	coalesced        atomic.Int64
-	admitted         atomic.Int64
-	rejectedBusy     atomic.Int64
-	rejectedDraining atomic.Int64
-	engineRuns       atomic.Int64
-	jobsDone         atomic.Int64
-	jobsFailed       atomic.Int64
-	jobsCanceled     atomic.Int64
-	auditRejected    atomic.Int64
-	panics           atomic.Int64
+	requests         *obs.Counter // verify_requests_total
+	cacheHits        *obs.Counter // cache_hits_total
+	coalesced        *obs.Counter // coalesced_total
+	admitted         *obs.Counter // admitted_total
+	rejectedBusy     *obs.Counter // rejected_busy_total
+	rejectedDraining *obs.Counter // rejected_draining_total
+	engineRuns       *obs.Counter // engine_runs_total
+	jobsDone         *obs.Counter // jobs_done_total
+	jobsFailed       *obs.Counter // jobs_failed_total
+	jobsCanceled     *obs.Counter // jobs_canceled_total
+	auditRejected    *obs.Counter // audit_rejected_total
+	panics           *obs.Counter // panics_total
+}
+
+// newServerStats registers the service counters in reg.
+func newServerStats(reg *obs.Registry) serverStats {
+	return serverStats{
+		requests:         reg.Counter("verify_requests_total"),
+		cacheHits:        reg.Counter("cache_hits_total"),
+		coalesced:        reg.Counter("coalesced_total"),
+		admitted:         reg.Counter("admitted_total"),
+		rejectedBusy:     reg.Counter("rejected_busy_total"),
+		rejectedDraining: reg.Counter("rejected_draining_total"),
+		engineRuns:       reg.Counter("engine_runs_total"),
+		jobsDone:         reg.Counter("jobs_done_total"),
+		jobsFailed:       reg.Counter("jobs_failed_total"),
+		jobsCanceled:     reg.Counter("jobs_canceled_total"),
+		auditRejected:    reg.Counter("audit_rejected_total"),
+		panics:           reg.Counter("panics_total"),
+	}
 }
 
 // Server is the verification service: cache, dedup index, worker pool and
 // job table. Create with New, start the pool with Start, serve HTTP via
 // Handler, and stop with Drain.
 type Server struct {
-	cfg   Config
-	cache *Cache
-	stats serverStats
-	start time.Time
+	cfg     Config
+	cache   *Cache
+	metrics *obs.Registry
+	stats   serverStats
+	start   time.Time
 
 	// jobsCtx parents every job context; jobsCancel is the drain
 	// deadline's force-stop.
@@ -179,19 +207,31 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		cfg:        cfg,
 		cache:      cache,
+		metrics:    reg,
+		stats:      newServerStats(reg),
 		start:      time.Now(),
 		jobsCtx:    ctx,
 		jobsCancel: cancel,
 		queue:      make(chan *Job, cfg.QueueDepth),
 		jobs:       map[string]*Job{},
 		inflight:   map[string]*Job{},
-		runJob:     runVerification,
+		runJob: func(ctx context.Context, p *fsm.Protocol, key string, opts JobOptions) (*Report, bool, error) {
+			return runVerification(ctx, p, key, opts, reg)
+		},
 	}, nil
 }
+
+// Metrics exposes the server's observability registry (the one /statsz and
+// GET /v1/metrics read).
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
 // Start launches the worker pool.
 func (s *Server) Start() {
@@ -336,7 +376,9 @@ func (s *Server) execute(j *Job) {
 	ctx, cancel := context.WithTimeout(j.ctx, j.timeout)
 	defer cancel()
 	s.stats.engineRuns.Add(1)
+	began := time.Now()
 	rep, cacheable, err := s.safeRun(ctx, j)
+	s.metrics.Histogram("verify_latency_seconds." + j.proto.Name).Observe(time.Since(began).Seconds())
 	switch {
 	case err == nil:
 		payload, eerr := encodeReport(rep)
@@ -409,8 +451,15 @@ func (s *Server) retireLocked(id string) {
 	}
 }
 
-// Stats is the statsz document.
+// StatszSchema versions the /statsz JSON layout (see docs/service.md for
+// the compatibility contract).
+const StatszSchema = 1
+
+// Stats is the statsz document. Field names are snake_case and stable:
+// existing names never change meaning; new fields may be added alongside a
+// Schema bump only for incompatible reshapes.
 type Stats struct {
+	Schema           int     `json:"schema"`
 	UptimeSeconds    float64 `json:"uptime_seconds"`
 	Draining         bool    `json:"draining"`
 	Workers          int     `json:"workers"`
@@ -440,24 +489,25 @@ func (s *Server) Stats() Stats {
 	draining := s.draining
 	s.mu.Unlock()
 	return Stats{
+		Schema:           StatszSchema,
 		UptimeSeconds:    time.Since(s.start).Seconds(),
 		Draining:         draining,
 		Workers:          s.cfg.Workers,
 		QueueCap:         s.cfg.QueueDepth,
 		Queued:           queued,
 		Inflight:         inflight,
-		Requests:         s.stats.requests.Load(),
-		CacheHits:        s.stats.cacheHits.Load(),
-		Coalesced:        s.stats.coalesced.Load(),
-		Admitted:         s.stats.admitted.Load(),
-		RejectedBusy:     s.stats.rejectedBusy.Load(),
-		RejectedDraining: s.stats.rejectedDraining.Load(),
-		EngineRuns:       s.stats.engineRuns.Load(),
-		JobsDone:         s.stats.jobsDone.Load(),
-		JobsFailed:       s.stats.jobsFailed.Load(),
-		JobsCanceled:     s.stats.jobsCanceled.Load(),
-		AuditRejected:    s.stats.auditRejected.Load(),
-		Panics:           s.stats.panics.Load(),
+		Requests:         s.stats.requests.Value(),
+		CacheHits:        s.stats.cacheHits.Value(),
+		Coalesced:        s.stats.coalesced.Value(),
+		Admitted:         s.stats.admitted.Value(),
+		RejectedBusy:     s.stats.rejectedBusy.Value(),
+		RejectedDraining: s.stats.rejectedDraining.Value(),
+		EngineRuns:       s.stats.engineRuns.Value(),
+		JobsDone:         s.stats.jobsDone.Value(),
+		JobsFailed:       s.stats.jobsFailed.Value(),
+		JobsCanceled:     s.stats.jobsCanceled.Value(),
+		AuditRejected:    s.stats.auditRejected.Value(),
+		Panics:           s.stats.panics.Value(),
 		CacheStats:       s.cache.Stats(),
 	}
 }

@@ -7,15 +7,28 @@ import (
 	"time"
 
 	"repro/internal/fsm"
+	"repro/internal/obs"
 	"repro/internal/runctl"
 )
 
-// Options tune the Expand run.
+// Options tune the Expand run. Run control (budgets, checkpoint cadence,
+// observability) lives in the embedded runctl.RunConfig, shared with
+// enum.Options:
+//
+//	symbolic.Options{RunConfig: runctl.RunConfig{Budget: b, Metrics: reg}}
+//
+// The budgets are checked at worklist-item boundaries, so a stopped run
+// ends between expansions and its partial Result (and checkpoint) covers
+// whole expansion steps only; the exact MaxVisits cap, by contrast, may
+// stop mid-step. RunConfig.Workers is ignored (Figure 3 is sequential).
 type Options struct {
+	runctl.RunConfig
+
 	// MaxVisits bounds the number of generated successor states as a
 	// safety net against ill-formed protocols; 0 means the default (100000).
-	// Budget.MaxStates, when set, additionally bounds the number of
-	// distinct composite states generated, checked at worklist boundaries.
+	// RunConfig.Budget.MaxStates, when set, additionally bounds the number
+	// of distinct composite states generated, checked at worklist
+	// boundaries.
 	MaxVisits int
 	// RecordLog keeps the full visit log (the Appendix A.2 listing).
 	RecordLog bool
@@ -32,22 +45,45 @@ type Options struct {
 	// ones — quantifying what the paper's pruning buys.
 	NoContainment bool
 
-	// Budget bounds the run's wall clock, distinct-state count and
-	// estimated worklist memory. All three are checked at worklist-item
-	// boundaries, so a stopped run ends between expansions and its partial
-	// Result (and checkpoint) covers whole expansion steps only. The
-	// MaxVisits cap above, by contrast, is exact and may stop mid-step.
-	Budget runctl.Budget
-	// CheckpointOnStop captures a resumable snapshot into
-	// Result.Checkpoint when the run is stopped by cancellation, the
-	// deadline, the state budget or the memory budget.
-	CheckpointOnStop bool
-	// CheckpointEvery, with OnCheckpoint, emits a periodic snapshot every
-	// that many expanded worklist states.
-	CheckpointEvery int
-	// OnCheckpoint receives periodic snapshots; a non-nil return aborts
-	// the run with that error.
+	// OnCheckpoint receives the periodic snapshots requested by
+	// RunConfig.CheckpointEvery; a non-nil return aborts the run with that
+	// error. It stays outside RunConfig because the checkpoint type is
+	// engine-specific.
 	OnCheckpoint func(*Checkpoint) error
+
+	// Budget bounds the run.
+	//
+	// Deprecated: set RunConfig.Budget instead. This alias shadows the
+	// embedded field, is honored when non-zero, and will be removed in the
+	// next release.
+	Budget runctl.Budget
+	// CheckpointOnStop captures a resumable snapshot into Result.Checkpoint
+	// when the run is stopped early.
+	//
+	// Deprecated: set RunConfig.CheckpointOnStop instead. Honored when
+	// true; removed in the next release.
+	CheckpointOnStop bool
+	// CheckpointEvery is the periodic snapshot cadence.
+	//
+	// Deprecated: set RunConfig.CheckpointEvery instead. Honored when
+	// positive; removed in the next release.
+	CheckpointEvery int
+}
+
+// runCtl resolves the effective run configuration: the embedded RunConfig,
+// overridden by any of the deprecated top-level aliases that are set.
+func (o Options) runCtl() runctl.RunConfig {
+	rc := o.RunConfig
+	if o.Budget != (runctl.Budget{}) {
+		rc.Budget = o.Budget
+	}
+	if o.CheckpointOnStop {
+		rc.CheckpointOnStop = true
+	}
+	if o.CheckpointEvery > 0 {
+		rc.CheckpointEvery = o.CheckpointEvery
+	}
+	return rc
 }
 
 const defaultMaxVisits = 100000
@@ -120,6 +156,14 @@ type Result struct {
 	// Superseded counts worklist states discarded because a successor
 	// contained them (the "discard A and start a new run" branch).
 	Superseded int
+	// Contained counts generated states discarded without expansion: by
+	// ⊆_F containment (Definition 9), or by identity dedup in the
+	// NoContainment ablation. Like Log, it is not preserved across
+	// checkpoint/resume (a resumed run counts from the resume point).
+	Contained int
+	// Evicted counts list states removed by containment pruning because a
+	// later state contained them. Not preserved across checkpoint/resume.
+	Evicted int
 	// Log is the visit log when Options.RecordLog was set. It is not
 	// preserved across checkpoint/resume.
 	Log []VisitRecord
@@ -192,6 +236,7 @@ func (e *Engine) ExpandContext(ctx context.Context, opts Options) (*Result, erro
 	x.seenKeys[init.Key()] = struct{}{}
 	if v := e.Check(init, opts.Strict); len(v) > 0 {
 		x.res.Violations = append(x.res.Violations, StateViolation{State: init, Violations: v})
+		x.orun.Event(obs.MetricViolations, 1)
 		if opts.StopOnViolation {
 			return x.res, nil
 		}
@@ -208,6 +253,8 @@ func (e *Engine) ExpandContext(ctx context.Context, opts Options) (*Result, erro
 type expander struct {
 	e         *Engine
 	opts      Options
+	rc        runctl.RunConfig // resolved run control (see Options.runCtl)
+	orun      *obs.Run         // nil when unobserved: the allocation-free fast path
 	maxVisits int
 
 	work     []*CState
@@ -234,8 +281,10 @@ func newExpander(e *Engine, opts Options) *expander {
 	if maxVisits <= 0 {
 		maxVisits = defaultMaxVisits
 	}
+	rc := opts.runCtl()
 	x := &expander{
-		e: e, opts: opts, maxVisits: maxVisits,
+		e: e, opts: opts, rc: rc, maxVisits: maxVisits,
+		orun:     rc.Sink().Run("symbolic", e.p.Name),
 		parents:  map[string]parentInfo{},
 		reported: map[string]bool{},
 		seenKeys: map[string]struct{}{},
@@ -329,13 +378,13 @@ func (x *expander) stopCheck(ctx context.Context) error {
 	if err := runctl.FromContext(ctx); err != nil {
 		return err
 	}
-	if err := x.opts.Budget.CheckDeadline(time.Now()); err != nil {
+	if err := x.rc.Budget.CheckDeadline(time.Now()); err != nil {
 		return err
 	}
-	if err := x.opts.Budget.CheckStates(len(x.parents)); err != nil {
+	if err := x.rc.Budget.CheckStates(len(x.parents)); err != nil {
 		return err
 	}
-	return x.opts.Budget.CheckMem(x.estBytes())
+	return x.rc.Budget.CheckMem(x.estBytes())
 }
 
 // stop finalizes an early stop at a worklist boundary.
@@ -344,22 +393,25 @@ func (x *expander) stop(reason error) {
 	x.res.Truncated = true
 	x.res.Essential = x.hist
 	x.res.EstBytes = x.estBytes()
-	if x.opts.CheckpointOnStop {
+	if x.rc.CheckpointOnStop {
 		x.res.Checkpoint = x.snapshot()
 	}
 }
 
 func (x *expander) maybeCheckpoint() error {
-	if x.opts.OnCheckpoint == nil || x.opts.CheckpointEvery <= 0 || x.sinceCp < x.opts.CheckpointEvery {
+	if x.opts.OnCheckpoint == nil || x.rc.CheckpointEvery <= 0 || x.sinceCp < x.rc.CheckpointEvery {
 		return nil
 	}
 	x.sinceCp = 0
+	x.orun.Event("checkpoints_total", 1)
 	return x.opts.OnCheckpoint(x.snapshot())
 }
 
 // run drives the Figure 3 loop over the expander state.
 func (x *expander) run(ctx context.Context) (*Result, error) {
 	e, opts, res := x.e, x.opts, x.res
+	sp := x.orun.Phase(obs.PhaseExpand)
+	defer sp.End()
 	for len(x.work) > 0 && res.Visits < x.maxVisits {
 		if err := x.stopCheck(ctx); err != nil {
 			x.stop(err)
@@ -384,6 +436,7 @@ func (x *expander) run(ctx context.Context) (*Result, error) {
 				succs, specErr := e.expandEvent(a, oi, op, rules)
 				if specErr != nil {
 					res.SpecErrors = append(res.SpecErrors, specErr)
+					x.orun.Event("spec_errors_total", 1)
 				}
 				for _, su := range succs {
 					res.Visits++
@@ -402,6 +455,7 @@ func (x *expander) run(ctx context.Context) (*Result, error) {
 								Violations: v,
 								Path:       e.witness(x.parents, ap),
 							})
+							x.orun.Event(obs.MetricViolations, 1)
 							if opts.StopOnViolation {
 								res.Essential = append(x.hist, x.work...)
 								res.EstBytes = x.estBytes()
@@ -424,10 +478,12 @@ func (x *expander) run(ctx context.Context) (*Result, error) {
 					case x.inWork(ap) || x.inHist(ap):
 						outcome = OutcomeContained
 					default:
-						if x.prune(&x.work, x.workIx, ap) > 0 {
+						if n := x.prune(&x.work, x.workIx, ap); n > 0 {
+							res.Evicted += n
 							outcome = OutcomeSupersedes
 						}
-						if x.prune(&x.hist, x.histIx, ap) > 0 {
+						if n := x.prune(&x.hist, x.histIx, ap); n > 0 {
+							res.Evicted += n
 							outcome = OutcomeSupersedes
 						}
 						x.pushWork(ap)
@@ -437,6 +493,9 @@ func (x *expander) run(ctx context.Context) (*Result, error) {
 							superseded = true
 							res.Superseded++
 						}
+					}
+					if outcome == OutcomeContained {
+						res.Contained++
 					}
 					if opts.RecordLog {
 						res.Log = append(res.Log, VisitRecord{
@@ -462,6 +521,17 @@ func (x *expander) run(ctx context.Context) (*Result, error) {
 			}
 		}
 		x.sinceCp++
+		// One "level" of the worklist algorithm is one fully processed
+		// item; counts are cumulative (obs.Run turns them into deltas).
+		x.orun.Level(obs.LevelStats{
+			Level:      res.Expansions + res.Superseded - 1,
+			Frontier:   len(x.work),
+			Essential:  len(x.hist),
+			Visits:     res.Visits,
+			Pruned:     res.Contained,
+			Superseded: res.Superseded,
+			EstBytes:   x.estBytes(),
+		})
 	}
 	res.Essential = x.hist
 	res.EstBytes = x.estBytes()

@@ -36,11 +36,13 @@ package repro
 
 import (
 	"context"
+	"io"
 
 	"repro/internal/ccpsl"
 	"repro/internal/core"
 	"repro/internal/fsm"
 	"repro/internal/mutate"
+	"repro/internal/obs"
 	"repro/internal/protocols"
 	"repro/internal/runctl"
 	"repro/internal/symbolic"
@@ -68,6 +70,43 @@ type Budget = runctl.Budget
 // expansion; pass it back via VerifyOptions.Resume.
 type SymbolicCheckpoint = symbolic.Checkpoint
 
+// Observer receives live progress callbacks from a verification run: phase
+// boundaries (OnPhase), one report per expansion level (OnLevel) and
+// discrete events (OnEvent). Set it on VerifyOptions.Observer; nil (the
+// default) disables the callbacks with no overhead. The alias lets callers
+// implement and install observers without importing internal/obs.
+type Observer = obs.Observer
+
+// PhaseEvent is the argument of Observer.OnPhase: one edge of a pipeline
+// phase (parse, expand, reconcile, graph, crosscheck, audit) with
+// monotonic-clock timing on the closing edge.
+type PhaseEvent = obs.PhaseEvent
+
+// LevelStats is the argument of Observer.OnLevel: cumulative frontier,
+// essential-state, visit and pruning counts after one expansion level.
+type LevelStats = obs.LevelStats
+
+// ObserverFuncs adapts plain functions to Observer; nil fields are no-ops.
+type ObserverFuncs = obs.Funcs
+
+// Metrics is a registry of typed counters, gauges and timing histograms.
+// Set one on VerifyOptions.Metrics to collect a run's statistics, then
+// render them with its Snapshot method (deterministic JSON). See
+// docs/observability.md for the metric-name catalog.
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// ProgressObserver returns an Observer that writes one human-readable line
+// per expansion level (and per completed phase) to w — the library form of
+// the binaries' -progress flag.
+func ProgressObserver(w io.Writer) Observer { return obs.Progress(w) }
+
+// MultiObserver fans callbacks out to several observers, dropping nil
+// entries; it returns nil when every entry is nil.
+func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers...) }
+
 // Structured stop reasons. A run stopped by cancellation or a resource
 // budget returns its partial results together with an error matching
 // exactly one of these via errors.Is.
@@ -86,17 +125,21 @@ var (
 // IsStop reports whether err is one of the structured stop reasons.
 func IsStop(err error) bool { return runctl.IsStop(err) }
 
-// Verify runs the symbolic verification pipeline on a protocol.
-func Verify(p *Protocol, opts VerifyOptions) (*Report, error) {
-	return core.Verify(p, opts)
-}
-
-// VerifyContext is Verify under a context: cancellation, deadlines and the
-// VerifyOptions.Budget bounds stop the run at the next clean boundary and
-// return the partial Report together with an error matching one of the
-// stop sentinels above via errors.Is.
+// VerifyContext is the canonical entry point of the verifier: it runs the
+// full symbolic verification pipeline on a protocol — Figure 3 expansion
+// with containment pruning, optional global-diagram construction and
+// optional explicit-state cross-checks (Theorem 1) — under a context.
+// Cancellation, deadlines and the VerifyOptions.Budget bounds stop the run
+// at the next clean boundary and return the partial Report together with
+// an error matching one of the stop sentinels above via errors.Is.
 func VerifyContext(ctx context.Context, p *Protocol, opts VerifyOptions) (*Report, error) {
 	return core.VerifyContext(ctx, p, opts)
+}
+
+// Verify is VerifyContext with context.Background(), for callers that need
+// neither cancellation nor deadlines.
+func Verify(p *Protocol, opts VerifyOptions) (*Report, error) {
+	return VerifyContext(context.Background(), p, opts)
 }
 
 // ProtocolByName returns a built-in protocol ("illinois", "write-once",

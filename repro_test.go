@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -73,5 +74,53 @@ func TestFacadeMutantsDetected(t *testing.T) {
 		if rep.Symbolic.OK() {
 			t.Errorf("mutant %s escaped", m.Protocol.Name)
 		}
+	}
+}
+
+// TestFacadeObservability drives a verification through the exported
+// observer and metrics surface only — no internal/obs import — and checks
+// the one-line-per-level contract of ProgressObserver plus the counter
+// names documented in docs/observability.md.
+func TestFacadeObservability(t *testing.T) {
+	p, err := ProtocolByName("illinois")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	var levels []LevelStats
+	collector := ObserverFuncs{
+		Level: func(st LevelStats) { levels = append(levels, st) },
+	}
+	metrics := NewMetrics()
+	rep, err := Verify(p, VerifyOptions{
+		Observer: MultiObserver(ProgressObserver(&buf), collector, nil),
+		Metrics:  metrics,
+	})
+	if err != nil || !rep.OK() {
+		t.Fatalf("verify: %v", err)
+	}
+	if len(levels) == 0 {
+		t.Fatal("observer saw no expansion levels")
+	}
+	lines := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, "level=") {
+			lines++
+		}
+	}
+	if lines != len(levels) {
+		t.Errorf("progress wrote %d level lines for %d levels:\n%s", lines, len(levels), buf.String())
+	}
+	last := levels[len(levels)-1]
+	if last.Essential != len(rep.Symbolic.Essential) {
+		t.Errorf("final level reports %d essential states, report has %d",
+			last.Essential, len(rep.Symbolic.Essential))
+	}
+	snap := metrics.Snapshot()
+	if got := snap.Counters["expand_levels_total"]; got != int64(len(levels)) {
+		t.Errorf("expand_levels_total = %d, observer saw %d levels", got, len(levels))
+	}
+	if snap.Counters["visits_total"] != int64(rep.Symbolic.Visits) {
+		t.Errorf("visits_total = %d, report visits %d", snap.Counters["visits_total"], rep.Symbolic.Visits)
 	}
 }
