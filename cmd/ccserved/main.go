@@ -11,6 +11,14 @@
 //
 //	ccserved -listen 127.0.0.1:8344
 //	ccserved -unix /run/ccserved.sock -workers 4 -cache-dir /var/cache/ccserved
+//	ccserved -listen 10.0.0.1:8344 -peers 10.0.0.1:8344,10.0.0.2:8344,10.0.0.3:8344
+//
+// With -peers the node joins a fault-tolerant cluster: before computing a
+// cache miss it asks the key's rendezvous-hashed owners for the cached
+// result (GET /v1/cache/{key}, CRC-checked), with hedging, per-peer
+// circuit breakers and health probing. Any peer failure degrades to local
+// compute — a 1-node-alive cluster behaves exactly like a single node.
+// See docs/service.md ("Cluster mode").
 //
 // Endpoints: POST /v1/verify (async job submission; ?wait=1 blocks),
 // GET /v1/jobs/{id} (poll; ?wait=1 blocks), DELETE /v1/jobs/{id} (cancel),
@@ -25,7 +33,9 @@
 // stopped code.
 //
 // Exit codes: 0 never in practice (the server runs until stopped), 1 usage
-// or internal error, 3 stopped by signal or -timeout after a drain.
+// or internal error, 2 bind failure (address in use, unusable socket path,
+// or a foreign file where the socket should go), 3 stopped by signal or
+// -timeout after a drain.
 package main
 
 import (
@@ -35,11 +45,22 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/runctl"
 	"repro/internal/serve"
 )
+
+// exitBind is the distinct exit code for listener-bind failures, so a
+// supervisor or smoke script can tell "the port is taken / the socket path
+// is bad" (retryable elsewhere, or evidence another instance is running)
+// from a plain usage error. The numeric value is the verification tools'
+// ExitViolation slot, which a server — it never finishes with a verdict —
+// can never otherwise produce, keeping the process-level contract
+// unambiguous.
+const exitBind = 2
 
 // cliOpts carries the service configuration; run takes it whole so tests
 // can drive exact configurations.
@@ -48,9 +69,27 @@ type cliOpts struct {
 	unixSocket   string
 	cfg          serve.Config
 	drainTimeout time.Duration
+	// peers, when non-empty, enables cluster mode; cluster carries the
+	// peer-protocol tuning (Self, timeouts, breaker thresholds). The
+	// metrics registry is always the server's own, so one /v1/metrics
+	// shows both sides.
+	peers   []string
+	cluster cluster.Config
 	// ready, when non-nil, receives the bound listener address once the
 	// server is accepting (used by tests to avoid port races).
 	ready chan<- string
+}
+
+// splitPeers parses the -peers flag: comma-separated base URLs or
+// host:port pairs, blanks ignored.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func main() {
@@ -62,12 +101,23 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 60*time.Second, "per-job wall-clock deadline (also caps per-request timeout_ms)")
 		cacheBytes   = flag.Int64("cache-bytes", serve.DefaultCacheBytes, "memory result-cache budget in bytes")
 		cacheDir     = flag.String("cache-dir", "", "durable disk cache tier directory (empty: memory only)")
+		cacheDiskMax = flag.Int64("cache-disk-bytes", 0, "disk cache tier byte budget, enforced by an LRU sweep at startup (0: unbounded)")
 		keepJobs     = flag.Int("keep-jobs", 1024, "terminal job records retained for polling")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs after SIGTERM")
 		timeout      = flag.Duration("timeout", 0, "wall-clock limit for the whole service (0: run until signaled)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		showVersion  = flag.Bool("version", false, "print version information and exit")
+
+		peers           = flag.String("peers", "", "comma-separated peer base URLs enabling cluster mode (may include this node's own address)")
+		self            = flag.String("self", "", "this node's advertised address, filtered from -peers (default: the bound TCP address)")
+		peerFetchTO     = flag.Duration("peer-fetch-timeout", 0, "total wall-clock budget for one peer cache fill across hedges and retries (0: 2s)")
+		peerCallTO      = flag.Duration("peer-call-timeout", 0, "per-attempt peer HTTP deadline, the wedge detector (0: 500ms)")
+		peerHedge       = flag.Duration("peer-hedge-delay", 0, "fixed hedge deadline before asking the next owner (0: adaptive p90)")
+		peerRetries     = flag.Int("peer-retries", 0, "extra peer lookup rounds after the first (0: 1, negative: none)")
+		peerBreakFails  = flag.Int("peer-breaker-failures", 0, "consecutive failures opening a peer's circuit breaker (0: 3)")
+		peerBreakCool   = flag.Duration("peer-breaker-cooldown", 0, "open-breaker cooldown before a half-open trial (0: 5s)")
+		peerProbe       = flag.Duration("peer-probe-interval", 0, "background /healthz probe cadence (0: 2s)")
 	)
 	flag.Parse()
 
@@ -100,33 +150,62 @@ func main() {
 		listen:     *listen,
 		unixSocket: *unixSocket,
 		cfg: serve.Config{
-			Workers:    *workers,
-			QueueDepth: *queue,
-			JobTimeout: *jobTimeout,
-			CacheBytes: *cacheBytes,
-			CacheDir:   *cacheDir,
-			KeepJobs:   *keepJobs,
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			JobTimeout:     *jobTimeout,
+			CacheBytes:     *cacheBytes,
+			CacheDir:       *cacheDir,
+			DiskCacheBytes: *cacheDiskMax,
+			KeepJobs:       *keepJobs,
 		},
 		drainTimeout: *drainTimeout,
+		peers:        splitPeers(*peers),
+		cluster: cluster.Config{
+			Self:            *self,
+			FetchTimeout:    *peerFetchTO,
+			CallTimeout:     *peerCallTO,
+			HedgeDelay:      *peerHedge,
+			Retries:         *peerRetries,
+			BreakerFailures: *peerBreakFails,
+			BreakerCooldown: *peerBreakCool,
+			ProbeInterval:   *peerProbe,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccserved:", err)
-		exit(runctl.ExitUsage)
+		if code == 0 {
+			code = runctl.ExitUsage
+		}
+		exit(code)
 	}
 	exit(code)
 }
 
 // listenOn binds the configured TCP address or unix socket. A stale unix
-// socket file from a previous unclean exit is removed first — the exclusive
-// bind below makes that safe only for sockets, never for foreign files.
+// socket file from a previous unclean exit is removed first — removal is
+// safe only for sockets, never for foreign files, which are refused
+// outright rather than silently shadowed by the bind error. Every failure
+// out of here is a bind failure (exit code 2): the operator's address is
+// taken, their socket path is unusable, or another instance already runs.
 func listenOn(o cliOpts) (net.Listener, error) {
 	if o.unixSocket != "" {
-		if fi, err := os.Lstat(o.unixSocket); err == nil && fi.Mode()&os.ModeSocket != 0 {
+		if fi, err := os.Lstat(o.unixSocket); err == nil {
+			if fi.Mode()&os.ModeSocket == 0 {
+				return nil, fmt.Errorf("bind %s: path exists and is not a socket; refusing to remove a foreign file", o.unixSocket)
+			}
 			os.Remove(o.unixSocket)
 		}
-		return net.Listen("unix", o.unixSocket)
+		ln, err := net.Listen("unix", o.unixSocket)
+		if err != nil {
+			return nil, fmt.Errorf("bind %s: %w (stale instance still running, or the directory is missing or unwritable?)", o.unixSocket, err)
+		}
+		return ln, nil
 	}
-	return net.Listen("tcp", o.listen)
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		return nil, fmt.Errorf("bind %s: %w (is another ccserved already listening there?)", o.listen, err)
+	}
+	return ln, nil
 }
 
 // run starts the service and blocks until ctx is canceled (signal or
@@ -138,7 +217,24 @@ func run(ctx context.Context, o cliOpts) (int, error) {
 	}
 	ln, err := listenOn(o)
 	if err != nil {
-		return 0, err
+		return exitBind, err
+	}
+	if len(o.peers) > 0 {
+		ccfg := o.cluster
+		ccfg.Peers = o.peers
+		ccfg.Metrics = srv.Metrics()
+		if ccfg.Self == "" && o.unixSocket == "" {
+			ccfg.Self = ln.Addr().String()
+		}
+		cl, err := cluster.New(ccfg)
+		if err != nil {
+			ln.Close()
+			return 0, err
+		}
+		srv.SetCluster(cl)
+		cl.Start()
+		defer cl.Close()
+		fmt.Fprintf(os.Stderr, "ccserved: cluster mode, %d peer(s)\n", cl.NumPeers())
 	}
 	srv.Start()
 

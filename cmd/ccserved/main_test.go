@@ -168,11 +168,109 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, err := run(context.Background(), cliOpts{
+	code, err := run(context.Background(), cliOpts{
 		listen: "127.0.0.1:0",
 		cfg:    serve.Config{CacheDir: file},
 	})
 	if err == nil {
 		t.Fatal("run with a plain-file cache dir: want error")
+	}
+	if code == exitBind {
+		t.Errorf("config error reported as bind failure (code %d); the two must stay distinct", code)
+	}
+}
+
+// TestRunBindFailureExitsDistinct pins satellite #1 of the cluster issue:
+// a bind failure — port taken, foreign file at the socket path — exits
+// with the distinct code 2 and a message naming the address, so a smoke
+// script or supervisor can tell it from a bad flag (code 1).
+func TestRunBindFailureExitsDistinct(t *testing.T) {
+	t.Run("port-in-use", func(t *testing.T) {
+		squatter, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer squatter.Close()
+		code, err := run(context.Background(), cliOpts{listen: squatter.Addr().String()})
+		if err == nil {
+			t.Fatal("binding an occupied port: want error")
+		}
+		if code != exitBind {
+			t.Errorf("exit code %d, want %d; err: %v", code, exitBind, err)
+		}
+		if !strings.Contains(err.Error(), squatter.Addr().String()) {
+			t.Errorf("bind error does not name the address: %v", err)
+		}
+	})
+	t.Run("foreign-file-at-socket-path", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "not-a.sock")
+		if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		code, err := run(context.Background(), cliOpts{unixSocket: path})
+		if err == nil {
+			t.Fatal("binding over a foreign file: want error")
+		}
+		if code != exitBind {
+			t.Errorf("exit code %d, want %d; err: %v", code, exitBind, err)
+		}
+		// The refusal must leave the file alone.
+		if data, rerr := os.ReadFile(path); rerr != nil || string(data) != "precious" {
+			t.Errorf("foreign file was touched: data=%q err=%v", data, rerr)
+		}
+	})
+}
+
+// TestRunClusterPeerFill wires two full daemons together with the -peers
+// options: a key verified on A is served by B as a peer cache fill.
+func TestRunClusterPeerFill(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrA, doneA, _ := startRun(t, ctx, cliOpts{
+		listen:       "127.0.0.1:0",
+		cfg:          serve.Config{Workers: 2, QueueDepth: 8},
+		drainTimeout: 5 * time.Second,
+	})
+	addrB, doneB, _ := startRun(t, ctx, cliOpts{
+		listen:       "127.0.0.1:0",
+		cfg:          serve.Config{Workers: 2, QueueDepth: 8},
+		drainTimeout: 5 * time.Second,
+		peers:        []string{addrA},
+	})
+
+	verify := func(addr string) (serve.JobStatus, string) {
+		t.Helper()
+		resp, err := http.Post("http://"+addr+"/v1/verify?wait=1", "application/json",
+			strings.NewReader(`{"protocol": "illinois"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st serve.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st, resp.Header.Get("X-CC-Disposition")
+	}
+
+	first, disp := verify(addrA)
+	if first.State != serve.StateDone || disp != serve.DispositionQueued {
+		t.Fatalf("verify on A: state=%s disposition=%s", first.State, disp)
+	}
+	filled, disp := verify(addrB)
+	if filled.State != serve.StateDone || disp != serve.DispositionPeer {
+		t.Fatalf("verify on B: state=%s disposition=%s, want done/%s", filled.State, disp, serve.DispositionPeer)
+	}
+	if string(filled.Report) != string(first.Report) {
+		t.Error("peer-filled report differs from origin's bytes")
+	}
+
+	cancel()
+	for _, done := range []chan struct{}{doneA, doneB} {
+		select {
+		case <-done:
+		case <-time.After(15 * time.Second):
+			t.Fatal("a daemon did not exit after cancellation")
+		}
 	}
 }

@@ -28,7 +28,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -554,14 +553,16 @@ func (r *runner) run() {
 	}
 }
 
-// backoff computes the jittered exponential delay before the next attempt.
+// backoff computes the jittered exponential delay before the next attempt
+// through the shared runctl.Backoff shape.
 func (r *runner) backoff(attempt int) time.Duration {
-	d := float64(r.policy.BackoffBase) * math.Pow(r.policy.BackoffFactor, float64(attempt-1))
-	if max := float64(r.policy.BackoffMax); d > max {
-		d = max
-	}
-	d *= 1 + r.policy.Jitter*(2*r.rng.Float64()-1)
-	return time.Duration(d)
+	return runctl.Backoff{
+		Base:   r.policy.BackoffBase,
+		Factor: r.policy.BackoffFactor,
+		Max:    r.policy.BackoffMax,
+		Jitter: r.policy.Jitter,
+		Rand:   r.rng,
+	}.Delay(attempt)
 }
 
 // hasSnapshot reports whether the store holds any loadable snapshot.

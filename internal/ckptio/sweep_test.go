@@ -1,0 +1,139 @@
+package ckptio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeAged writes a file and pins its mtime so the test controls the
+// eviction order precisely.
+func writeAged(t *testing.T, dir, name string, size int, age time.Duration) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, make([]byte, size), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	when := time.Now().Add(-age)
+	if err := os.Chtimes(path, when, when); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSweepDirEvictsOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	oldest := writeAged(t, dir, "a.ccres", 100, 3*time.Hour)
+	middle := writeAged(t, dir, "b.ccres", 100, 2*time.Hour)
+	newest := writeAged(t, dir, "c.ccres", 100, 1*time.Hour)
+
+	stats, err := SweepDir(dir, ".ccres", 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scanned != 3 || stats.Removed != 1 || stats.FreedBytes != 100 || stats.KeptBytes != 200 {
+		t.Fatalf("stats = %+v, want scanned 3, removed 1, freed 100, kept 200", stats)
+	}
+	if _, err := os.Stat(oldest); !os.IsNotExist(err) {
+		t.Errorf("oldest file survived the sweep (err %v)", err)
+	}
+	for _, p := range []string{middle, newest} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("%s evicted, should have been kept: %v", p, err)
+		}
+	}
+}
+
+func TestSweepDirUnderBudgetRemovesNothing(t *testing.T) {
+	dir := t.TempDir()
+	writeAged(t, dir, "a.ccres", 64, time.Hour)
+	writeAged(t, dir, "b.ccres", 64, time.Minute)
+	stats, err := SweepDir(dir, ".ccres", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Removed != 0 || stats.KeptBytes != 128 {
+		t.Fatalf("stats = %+v, want nothing removed, 128 kept", stats)
+	}
+}
+
+func TestSweepDirIgnoresForeignEntries(t *testing.T) {
+	dir := t.TempDir()
+	writeAged(t, dir, "victim.ccres", 200, 2*time.Hour)
+	foreign := writeAged(t, dir, "notes.txt", 500, 10*time.Hour)
+	dotfile := writeAged(t, dir, ".hidden.ccres", 500, 10*time.Hour)
+	if err := os.Mkdir(filepath.Join(dir, "sub.ccres"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := SweepDir(dir, ".ccres", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scanned != 1 || stats.Removed != 1 {
+		t.Fatalf("stats = %+v, want exactly the one matching file scanned and removed", stats)
+	}
+	for _, p := range []string{foreign, dotfile} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("sweep touched foreign entry %s: %v", p, err)
+		}
+	}
+}
+
+func TestSweepDirZeroBudgetScansOnly(t *testing.T) {
+	dir := t.TempDir()
+	keep := writeAged(t, dir, "a.ccres", 100, time.Hour)
+	stats, err := SweepDir(dir, ".ccres", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scanned != 1 || stats.Removed != 0 {
+		t.Fatalf("stats = %+v, want scan-only", stats)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Errorf("zero budget must disable eviction: %v", err)
+	}
+}
+
+// TestSweepDirBoundsServeStyleStores: envelope files written through Store
+// (the disk tier's real format) sweep just like plain files.
+func TestSweepDirBoundsServeStyleStores(t *testing.T) {
+	dir := t.TempDir()
+	var total int64
+	for i := 0; i < 8; i++ {
+		s := &Store{Path: filepath.Join(dir, string(rune('a'+i))+".ccres"), Keep: 1}
+		if err := s.Save(make([]byte, 1000)); err != nil {
+			t.Fatal(err)
+		}
+		// Space the mtimes out so eviction order is stable even on
+		// coarse-grained filesystems.
+		when := time.Now().Add(time.Duration(i-8) * time.Hour)
+		if err := os.Chtimes(s.Path, when, when); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(s.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	budget := total / 2
+	stats, err := SweepDir(dir, ".ccres", budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.KeptBytes > budget {
+		t.Fatalf("kept %d bytes, budget %d", stats.KeptBytes, budget)
+	}
+	if stats.Removed == 0 || stats.Removed == stats.Scanned {
+		t.Fatalf("stats = %+v, want a partial eviction", stats)
+	}
+	// The survivors are the newest stores, and they still load.
+	for i := stats.Removed; i < 8; i++ {
+		s := &Store{Path: filepath.Join(dir, string(rune('a'+i))+".ccres"), Keep: 1}
+		if _, _, err := s.Load(); err != nil {
+			t.Errorf("surviving store %c failed to load: %v", 'a'+i, err)
+		}
+	}
+}

@@ -1,0 +1,353 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ckptio"
+)
+
+// Fake peer modes.
+const (
+	modeOK      = iota // serve the enveloped payload
+	modeMissing        // 404
+	modeCorrupt        // serve the envelope with flipped payload bytes
+	modeHang           // accept, then block until the request dies
+	mode500            // internal error
+)
+
+// fakePeer is a controllable ccserved stand-in: it serves the internal
+// cache endpoint and /healthz, with a switchable failure mode.
+type fakePeer struct {
+	ts      *httptest.Server
+	mode    atomic.Int32
+	healthy atomic.Bool
+	// failFirst > 0 makes that many cache requests fail with 500 before
+	// the configured mode applies (transient-failure simulation).
+	failFirst atomic.Int32
+	payload   []byte
+	requests  atomic.Int32
+}
+
+func newFakePeer(t *testing.T, payload []byte) *fakePeer {
+	t.Helper()
+	p := &fakePeer{payload: payload}
+	p.healthy.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if !p.healthy.Load() {
+			http.Error(w, "sick", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET "+CachePathPrefix+"{key}", func(w http.ResponseWriter, r *http.Request) {
+		p.requests.Add(1)
+		if p.failFirst.Load() > 0 {
+			p.failFirst.Add(-1)
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		switch p.mode.Load() {
+		case modeOK:
+			w.Write(ckptio.Encode(p.payload))
+		case modeMissing:
+			http.NotFound(w, r)
+		case modeCorrupt:
+			env := ckptio.Encode(p.payload)
+			env[len(env)-1] ^= 0xff // flip a payload byte; CRC must catch it
+			w.Write(env)
+		case modeHang:
+			<-r.Context().Done()
+		default:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}
+	})
+	p.ts = httptest.NewServer(mux)
+	t.Cleanup(p.ts.Close)
+	return p
+}
+
+// testKey returns a plausible 64-hex content address varying with i.
+func testKey(i int) string {
+	return fmt.Sprintf("%064x", 0xdeadbeef00+i)
+}
+
+// keyOwnedBy searches for a key whose HRW owner is the given peer URL.
+func keyOwnedBy(t *testing.T, owner string, urls []string) string {
+	t.Helper()
+	for i := 0; i < 4096; i++ {
+		k := testKey(i)
+		if Rank(urls, k)[0] == owner {
+			return k
+		}
+	}
+	t.Fatal("no key found owned by " + owner)
+	return ""
+}
+
+func newTestClient(t *testing.T, cfg Config) *Client {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestNewFiltersSelfAndDuplicates(t *testing.T) {
+	c := newTestClient(t, Config{
+		Self: "http://me:1",
+		Peers: []string{
+			"http://me:1/", "http://a:1", "a:1", " http://b:2 ", "", "http://b:2",
+		},
+	})
+	if c.NumPeers() != 2 {
+		t.Fatalf("NumPeers = %d, want 2 (self and duplicates dropped)", c.NumPeers())
+	}
+}
+
+func TestFetchHitServesValidatedBytes(t *testing.T) {
+	payload := []byte(`{"verdict":"clean"}` + "\n")
+	peer := newFakePeer(t, payload)
+	c := newTestClient(t, Config{Peers: []string{peer.ts.URL}})
+
+	got, ok := c.Fetch(context.Background(), testKey(1))
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Fetch: ok %t payload %q, want the peer's bytes", ok, got)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 0 || s.Errors != 0 {
+		t.Errorf("stats = %+v, want exactly one hit", s)
+	}
+}
+
+func TestFetchMissWhenNoPeerHoldsKey(t *testing.T) {
+	peer := newFakePeer(t, nil)
+	peer.mode.Store(modeMissing)
+	c := newTestClient(t, Config{Peers: []string{peer.ts.URL}, Retries: -1})
+
+	if _, ok := c.Fetch(context.Background(), testKey(1)); ok {
+		t.Fatal("Fetch reported a hit from a 404-ing peer")
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Errors != 0 {
+		t.Errorf("stats = %+v, want a clean miss", s)
+	}
+	// A 404 is an answer, not a failure: the peer must stay healthy.
+	if st := s.Peers[0]; st.Health != "healthy" || st.Breaker != "closed" {
+		t.Errorf("peer after 404: %+v, want healthy/closed", st)
+	}
+}
+
+// TestFetchCorruptResponseIsMissNeverWrong is the integrity contract: a
+// peer serving bit-flipped bytes yields a miss and a failure mark — the
+// corrupt payload must never escape Fetch.
+func TestFetchCorruptResponseIsMissNeverWrong(t *testing.T) {
+	peer := newFakePeer(t, []byte(`{"verdict":"clean"}`))
+	peer.mode.Store(modeCorrupt)
+	c := newTestClient(t, Config{Peers: []string{peer.ts.URL}, Retries: -1})
+
+	payload, ok := c.Fetch(context.Background(), testKey(1))
+	if ok || payload != nil {
+		t.Fatalf("Fetch returned ok=%t payload=%q from a corrupt peer", ok, payload)
+	}
+	s := c.Stats()
+	if s.Corrupt == 0 || s.Errors == 0 {
+		t.Errorf("stats = %+v, want corrupt and error counts", s)
+	}
+	if st := s.Peers[0]; st.Health == "healthy" {
+		t.Errorf("peer serving garbage still healthy: %+v", st)
+	}
+}
+
+// TestFetchUnenvelopedResponseRejected: raw JSON without the checksummed
+// envelope carries no CRC and must be refused, even though it would parse.
+func TestFetchUnenvelopedResponseRejected(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+CachePathPrefix+"{key}", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"verdict":"clean"}`)) // looks fine, not verifiable
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := newTestClient(t, Config{Peers: []string{ts.URL}, Retries: -1})
+
+	if _, ok := c.Fetch(context.Background(), testKey(1)); ok {
+		t.Fatal("Fetch accepted an unenveloped (CRC-less) response")
+	}
+	if s := c.Stats(); s.Corrupt == 0 {
+		t.Errorf("stats = %+v, want the response counted corrupt", s)
+	}
+}
+
+// TestFetchHedgesPastWedgedOwner: the key's owner accepts and hangs; the
+// hedge fires at the deadline, the replica answers, and the total latency
+// is far below the per-call timeout the wedged owner would have burned.
+func TestFetchHedgesPastWedgedOwner(t *testing.T) {
+	payload := []byte(`{"verdict":"clean"}` + "\n")
+	a, b := newFakePeer(t, payload), newFakePeer(t, payload)
+	urls := []string{a.ts.URL, b.ts.URL}
+	key := keyOwnedBy(t, a.ts.URL, urls)
+	a.mode.Store(modeHang)
+
+	c := newTestClient(t, Config{
+		Peers:       urls,
+		HedgeDelay:  20 * time.Millisecond,
+		CallTimeout: 2 * time.Second,
+	})
+	began := time.Now()
+	got, ok := c.Fetch(context.Background(), key)
+	elapsed := time.Since(began)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("hedged fetch: ok %t payload %q", ok, got)
+	}
+	if elapsed > time.Second {
+		t.Errorf("hedged fetch took %v; the wedged owner's timeout leaked into the caller", elapsed)
+	}
+	if s := c.Stats(); s.Hedges == 0 {
+		t.Errorf("stats = %+v, want a recorded hedge", s)
+	}
+}
+
+// TestFetchLatencyBoundedByWedgedCluster: every peer wedges; the fetch
+// must miss within CallTimeout + slack, not FetchTimeout, and never hang.
+func TestFetchLatencyBoundedByWedgedCluster(t *testing.T) {
+	a, b := newFakePeer(t, nil), newFakePeer(t, nil)
+	a.mode.Store(modeHang)
+	b.mode.Store(modeHang)
+	c := newTestClient(t, Config{
+		Peers:        []string{a.ts.URL, b.ts.URL},
+		CallTimeout:  150 * time.Millisecond,
+		FetchTimeout: 5 * time.Second,
+		HedgeDelay:   10 * time.Millisecond,
+		Retries:      -1,
+	})
+	began := time.Now()
+	if _, ok := c.Fetch(context.Background(), testKey(3)); ok {
+		t.Fatal("fetch against an all-wedged cluster reported a hit")
+	}
+	if elapsed := time.Since(began); elapsed > time.Second {
+		t.Errorf("all-wedged fetch took %v, want ≈ the 150ms per-call timeout", elapsed)
+	}
+}
+
+// TestFetchRetriesRecoverTransientFailure: the only peer 500s once; the
+// bounded retry round succeeds.
+func TestFetchRetriesRecoverTransientFailure(t *testing.T) {
+	payload := []byte(`{"verdict":"clean"}` + "\n")
+	peer := newFakePeer(t, payload)
+	peer.failFirst.Store(1)
+	c := newTestClient(t, Config{
+		Peers:       []string{peer.ts.URL},
+		Retries:     1,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+	})
+	got, ok := c.Fetch(context.Background(), testKey(4))
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("retry fetch: ok %t payload %q", ok, got)
+	}
+	if peer.requests.Load() != 2 {
+		t.Errorf("peer saw %d requests, want 2 (failure + retried success)", peer.requests.Load())
+	}
+}
+
+// TestBreakerShortCircuitsDeadCluster: once consecutive failures open
+// every breaker, Fetch degrades immediately instead of re-paying dial
+// timeouts on every request.
+func TestBreakerShortCircuitsDeadCluster(t *testing.T) {
+	dead := newFakePeer(t, nil)
+	dead.ts.Close() // connection refused from here on
+	c := newTestClient(t, Config{
+		Peers:           []string{dead.ts.URL},
+		Retries:         -1,
+		BreakerFailures: 2,
+		BreakerCooldown: time.Hour,
+	})
+	for i := 0; i < 2; i++ {
+		c.Fetch(context.Background(), testKey(i))
+	}
+	s := c.Stats()
+	if st := s.Peers[0]; st.Breaker != "open" {
+		t.Fatalf("breaker %s after repeated connection failures, want open", st.Breaker)
+	}
+	began := time.Now()
+	if _, ok := c.Fetch(context.Background(), testKey(99)); ok {
+		t.Fatal("hit from a dead cluster")
+	}
+	if elapsed := time.Since(began); elapsed > 50*time.Millisecond {
+		t.Errorf("open-breaker fetch took %v, want instant degradation", elapsed)
+	}
+	if c.Stats().Degraded == 0 {
+		t.Error("degraded counter not incremented on breaker short-circuit")
+	}
+}
+
+// TestProbeDetectsFailureAndHealsRecovery drives the full failure-detector
+// loop: a sick peer is marked down and its breaker opens from probes
+// alone; recovery is then discovered by a probe and the peer heals.
+func TestProbeDetectsFailureAndHealsRecovery(t *testing.T) {
+	peer := newFakePeer(t, nil)
+	peer.healthy.Store(false)
+	c := newTestClient(t, Config{
+		Peers:           []string{peer.ts.URL},
+		ProbeInterval:   5 * time.Millisecond,
+		BreakerFailures: 2,
+		DownAfter:       2,
+		BreakerCooldown: time.Hour, // only a probe can heal within the test
+	})
+	c.Start()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := c.Stats().Peers[0]
+		if st.Health == "down" && st.Breaker == "open" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("prober never marked the sick peer down: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	peer.healthy.Store(true)
+	for {
+		st := c.Stats().Peers[0]
+		if st.Health == "healthy" && st.Breaker == "closed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("prober never healed the recovered peer: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestValidateKey(t *testing.T) {
+	good := strings.Repeat("a1", 32)
+	if err := ValidateKey(good); err != nil {
+		t.Errorf("ValidateKey(%q) = %v", good, err)
+	}
+	bad := []string{
+		"",
+		"short",
+		strings.Repeat("a", 63),
+		strings.Repeat("a", 65),
+		strings.Repeat("A", 64),          // uppercase is not canonical
+		strings.Repeat("a", 62) + "..",   // traversal bytes
+		strings.Repeat("a", 60) + "/etc", // separator
+		strings.Repeat("a", 63) + "g",    // non-hex
+	}
+	for _, k := range bad {
+		if err := ValidateKey(k); err == nil {
+			t.Errorf("ValidateKey(%q) accepted a bad key", k)
+		}
+	}
+}

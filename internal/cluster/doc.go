@@ -1,0 +1,39 @@
+// Package cluster makes a set of ccserved nodes behave as one
+// fault-tolerant, content-addressed verification cache.
+//
+// The paper's Theorem 1 determinism means a verification result is fully
+// determined by its content address (the SHA-256 cache key of
+// internal/serve), so any node's cached result is every node's cached
+// result. The cluster layer exploits that: before computing a cache miss
+// locally, a node asks the key's owners — chosen by rendezvous (HRW)
+// hashing, so every node independently agrees on the same owners — for
+// the canonical cached report bytes over the internal
+// GET /v1/cache/{key} endpoint.
+//
+// The hard part is surviving the peers, and every remote interaction here
+// is wrapped in robustness machinery:
+//
+//   - Failure detection: each peer runs a health state machine
+//     (healthy → suspect → down) driven by request outcomes and a
+//     background /healthz prober.
+//   - Circuit breaking: consecutive failures open a per-peer breaker;
+//     after a cooldown it half-opens and admits a single trial request
+//     (or a successful probe) before closing again, so a dead peer costs
+//     one timeout per cooldown instead of one per request.
+//   - Hedging: when the first owner is slow past a latency-percentile
+//     deadline (p90 of recent successful fetches, or a fixed
+//     Config.HedgeDelay), the lookup is hedged to the next owner; the
+//     first success wins and the loser is canceled.
+//   - Bounded retries: failed rounds retry with the shared
+//     runctl.Backoff jittered exponential delay, all under one strict
+//     Config.FetchTimeout.
+//   - Integrity: responses travel in internal/ckptio's checksummed
+//     envelope and are CRC-validated on receipt; a corrupt or truncated
+//     peer response is a miss, never a wrong answer.
+//
+// And the prime directive — graceful degradation: Fetch can only ever
+// return a validated payload or a miss. Every failure mode (no peers,
+// all breakers open, timeouts, corruption) degrades to "miss", which the
+// serve layer answers with a local engine run. A cluster with one node
+// alive therefore behaves exactly like a single-node ccserved.
+package cluster

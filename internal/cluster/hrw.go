@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// hrwScore is the rendezvous weight of (node, key): a 64-bit FNV-1a over
+// the node address and the key, NUL-separated. Every node computes the
+// same scores from the same inputs, so the cluster agrees on each key's
+// owner ranking with no coordination.
+func hrwScore(node, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Rank orders node addresses by descending rendezvous weight for key —
+// index 0 is the key's owner, index 1 its first replica, and so on. Ties
+// (only possible with duplicate addresses) break lexicographically so the
+// ranking is total. Removing a node from the input never reorders the
+// surviving nodes relative to each other, which is the HRW property that
+// keeps cache affinity stable across membership changes.
+func Rank(nodes []string, key string) []string {
+	ranked := make([]string, len(nodes))
+	copy(ranked, nodes)
+	sort.SliceStable(ranked, func(a, b int) bool {
+		sa, sb := hrwScore(ranked[a], key), hrwScore(ranked[b], key)
+		if sa != sb {
+			return sa > sb
+		}
+		return ranked[a] < ranked[b]
+	})
+	return ranked
+}
+
+// rankPeers orders the peer set by descending rendezvous weight for key.
+func rankPeers(peers []*peer, key string) []*peer {
+	ranked := make([]*peer, len(peers))
+	copy(ranked, peers)
+	sort.SliceStable(ranked, func(a, b int) bool {
+		sa, sb := hrwScore(ranked[a].url, key), hrwScore(ranked[b].url, key)
+		if sa != sb {
+			return sa > sb
+		}
+		return ranked[a].url < ranked[b].url
+	})
+	return ranked
+}

@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestRankDeterministicAndPermutationInvariant(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	key := "58ed09aabbccdd"
+	want := Rank(nodes, key)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		shuffled := append([]string(nil), nodes...)
+		rng.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		got := Rank(shuffled, key)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("permutation %d changed ranking: got %v want %v", i, got, want)
+			}
+		}
+	}
+}
+
+// TestRankStableUnderNodeRemoval pins the rendezvous property: removing a
+// node only reassigns the keys it owned; every other key keeps its owner.
+func TestRankStableUnderNodeRemoval(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	removed := nodes[2]
+	var survivors []string
+	for _, n := range nodes {
+		if n != removed {
+			survivors = append(survivors, n)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%04d", i)
+		before := Rank(nodes, key)[0]
+		after := Rank(survivors, key)[0]
+		if before != removed && before != after {
+			t.Fatalf("key %s moved from %s to %s though %s was removed", key, before, after, removed)
+		}
+	}
+}
+
+// TestRankSpreadsKeys: rendezvous hashing should give every node a
+// non-trivial share of the keyspace (no node starved, no node hogging).
+func TestRankSpreadsKeys(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[Rank(nodes, fmt.Sprintf("key-%05d", i))[0]]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / keys
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("node %s owns %.1f%% of keys, outside [15%%, 55%%] (counts %v)", n, share*100, counts)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyRing is the sample window behind the adaptive hedge deadline.
+const latencyRing = 64
+
+// latencyMinSamples is how many observations the tracker wants before it
+// trusts its quantile over the static default.
+const latencyMinSamples = 8
+
+// latencyTracker keeps a fixed ring of recent successful peer-fetch
+// latencies and answers quantile queries over it. It is the data source
+// for the adaptive hedge deadline: hedge when the primary is slower than
+// most recent successes were.
+type latencyTracker struct {
+	mu   sync.Mutex
+	ring [latencyRing]time.Duration
+	n    int // samples stored (caps at latencyRing)
+	idx  int // next write position
+}
+
+// observe records one successful fetch latency.
+func (t *latencyTracker) observe(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring[t.idx] = d
+	t.idx = (t.idx + 1) % latencyRing
+	if t.n < latencyRing {
+		t.n++
+	}
+}
+
+// quantile returns the q-quantile (0 < q <= 1) of the window, or ok=false
+// while fewer than latencyMinSamples observations exist.
+func (t *latencyTracker) quantile(q float64) (time.Duration, bool) {
+	t.mu.Lock()
+	n := t.n
+	samples := make([]time.Duration, n)
+	copy(samples, t.ring[:n])
+	t.mu.Unlock()
+	if n < latencyMinSamples {
+		return 0, false
+	}
+	sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+	i := int(q*float64(n)) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return samples[i], true
+}

@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Health is a peer's failure-detector classification.
+type Health int
+
+// Health states. A peer is born Healthy; consecutive failures walk it
+// through Suspect to Down, and any success (request or probe) returns it
+// to Healthy immediately — recovery should be cheap because a healed peer
+// is capacity back.
+const (
+	Healthy Health = iota
+	Suspect
+	Down
+)
+
+// String renders the health state for statsz and logs.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	default:
+		return "down"
+	}
+}
+
+// breakerState is the per-peer circuit breaker position.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (b breakerState) String() string {
+	switch b {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// peer is one remote node: its address, its failure-detector state, its
+// circuit breaker, and its slice of the metrics registry.
+type peer struct {
+	url   string // normalized base URL, e.g. http://10.0.0.2:8344
+	label string // metrics label: url without the scheme
+
+	suspectAfter, downAfter, breakerFailures int
+	cooldown                                 time.Duration
+
+	mu       sync.Mutex
+	health   Health
+	failures int // consecutive
+	breaker  breakerState
+	openedAt time.Time
+	trial    bool // a half-open trial request is in flight
+
+	requests, failureC, hits, opens *obs.Counter
+	healthG, breakerG               *obs.Gauge
+}
+
+// peerLabel strips the scheme from a normalized URL for metric names.
+func peerLabel(url string) string {
+	if i := strings.Index(url, "://"); i >= 0 {
+		return url[i+3:]
+	}
+	return url
+}
+
+// newPeer wires a peer's thresholds and registers its metrics in reg.
+func newPeer(url string, cfg Config, reg *obs.Registry) *peer {
+	label := peerLabel(url)
+	p := &peer{
+		url:             url,
+		label:           label,
+		suspectAfter:    cfg.SuspectAfter,
+		downAfter:       cfg.DownAfter,
+		breakerFailures: cfg.BreakerFailures,
+		cooldown:        cfg.BreakerCooldown,
+		requests:        reg.Counter("peer_requests_total." + label),
+		failureC:        reg.Counter("peer_failures_total." + label),
+		hits:            reg.Counter("peer_hits_total." + label),
+		opens:           reg.Counter("peer_breaker_open_total." + label),
+		healthG:         reg.Gauge("peer_health." + label),
+		breakerG:        reg.Gauge("peer_breaker_state." + label),
+	}
+	p.healthG.Set(int64(Healthy))
+	p.breakerG.Set(int64(breakerClosed))
+	return p
+}
+
+// allow reports whether the breaker admits a request to this peer right
+// now. An open breaker past its cooldown flips to half-open and admits
+// exactly one trial; the trial's outcome (success / failure) decides
+// whether the breaker closes or re-opens.
+func (p *peer) allow(now time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch p.breaker {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(p.openedAt) < p.cooldown {
+			return false
+		}
+		p.breaker = breakerHalfOpen
+		p.breakerG.Set(int64(breakerHalfOpen))
+		p.trial = true
+		return true
+	default: // half-open
+		if p.trial {
+			return false
+		}
+		p.trial = true
+		return true
+	}
+}
+
+// success records a successful interaction: the failure streak resets,
+// the peer is Healthy, and the breaker closes.
+func (p *peer) success() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failures = 0
+	p.trial = false
+	if p.health != Healthy {
+		p.health = Healthy
+		p.healthG.Set(int64(Healthy))
+	}
+	if p.breaker != breakerClosed {
+		p.breaker = breakerClosed
+		p.breakerG.Set(int64(breakerClosed))
+	}
+}
+
+// failure records a failed interaction: the consecutive-failure count
+// drives the health machine (healthy → suspect → down), and enough
+// failures — or a failed half-open trial — open the breaker.
+func (p *peer) failure(now time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failures++
+	p.failureC.Add(1)
+	p.trial = false
+
+	health := Healthy
+	switch {
+	case p.failures >= p.downAfter:
+		health = Down
+	case p.failures >= p.suspectAfter:
+		health = Suspect
+	}
+	if health != p.health {
+		p.health = health
+		p.healthG.Set(int64(health))
+	}
+
+	reopen := p.breaker == breakerHalfOpen
+	trip := p.breaker == breakerClosed && p.failures >= p.breakerFailures
+	if reopen || trip {
+		p.breaker = breakerOpen
+		p.openedAt = now
+		p.opens.Add(1)
+		p.breakerG.Set(int64(breakerOpen))
+	}
+}
+
+// PeerStatus is a peer's observable state, for statsz.
+type PeerStatus struct {
+	Addr                string `json:"addr"`
+	Health              string `json:"health"`
+	Breaker             string `json:"breaker"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+}
+
+// status snapshots the peer for statsz.
+func (p *peer) status() PeerStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PeerStatus{
+		Addr:                p.label,
+		Health:              p.health.String(),
+		Breaker:             p.breaker.String(),
+		ConsecutiveFailures: p.failures,
+	}
+}

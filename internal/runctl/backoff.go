@@ -1,0 +1,60 @@
+package runctl
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Backoff computes jittered exponential retry delays. It is the one
+// backoff shape shared by every retry loop in the repository — the
+// campaign runner's attempt ladder and the cluster layer's peer
+// retries — so tuning and testing live in one place.
+//
+// Delay(1) is Base, each later attempt multiplies by Factor up to Max,
+// and Jitter spreads the result by a ± fraction so synchronized retries
+// from many clients do not stampede in lockstep.
+type Backoff struct {
+	// Base is the first attempt's delay. Base <= 0 disables backoff:
+	// Delay always returns 0.
+	Base time.Duration
+	// Factor is the per-attempt multiplier (values < 1 behave as 1).
+	Factor float64
+	// Max caps the pre-jitter delay (<= 0: uncapped).
+	Max time.Duration
+	// Jitter is the ± fraction applied to each delay, in [0, 1); values
+	// outside that range disable jitter.
+	Jitter float64
+	// Rand supplies the jitter randomness. nil uses the process-global
+	// source; pass a seeded *rand.Rand for deterministic schedules.
+	// A non-nil Rand is not synchronized — callers that share one across
+	// goroutines must serialize Delay themselves.
+	Rand *rand.Rand
+}
+
+// Delay returns the jittered delay before retry number attempt
+// (1-based: attempt 1 is the delay after the first failure).
+func (b Backoff) Delay(attempt int) time.Duration {
+	if b.Base <= 0 {
+		return 0
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	factor := b.Factor
+	if factor < 1 {
+		factor = 1
+	}
+	d := float64(b.Base) * math.Pow(factor, float64(attempt-1))
+	if max := float64(b.Max); b.Max > 0 && d > max {
+		d = max
+	}
+	if b.Jitter > 0 && b.Jitter < 1 {
+		u := rand.Float64
+		if b.Rand != nil {
+			u = b.Rand.Float64
+		}
+		d *= 1 + b.Jitter*(2*u()-1)
+	}
+	return time.Duration(d)
+}

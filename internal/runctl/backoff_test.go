@@ -1,0 +1,61 @@
+package runctl
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBackoffExponentialShape(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Factor: 2, Max: 50 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond, // attempt 1
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		50 * time.Millisecond, // capped
+		50 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Delay(i + 1); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffZeroBaseDisables(t *testing.T) {
+	b := Backoff{Factor: 2, Max: time.Second, Jitter: 0.2}
+	for attempt := 0; attempt < 5; attempt++ {
+		if got := b.Delay(attempt); got != 0 {
+			t.Errorf("Delay(%d) with zero base = %v, want 0", attempt, got)
+		}
+	}
+}
+
+func TestBackoffJitterBoundsAndDeterminism(t *testing.T) {
+	mk := func() Backoff {
+		return Backoff{
+			Base: 100 * time.Millisecond, Factor: 2, Max: time.Second,
+			Jitter: 0.2, Rand: rand.New(rand.NewSource(42)),
+		}
+	}
+	a, b := mk(), mk()
+	for attempt := 1; attempt <= 8; attempt++ {
+		da, db := a.Delay(attempt), b.Delay(attempt)
+		if da != db {
+			t.Fatalf("same seed diverged at attempt %d: %v vs %v", attempt, da, db)
+		}
+		base := Backoff{Base: 100 * time.Millisecond, Factor: 2, Max: time.Second}.Delay(attempt)
+		lo := time.Duration(float64(base) * 0.8)
+		hi := time.Duration(float64(base) * 1.2)
+		if da < lo || da > hi {
+			t.Errorf("attempt %d: jittered delay %v outside [%v, %v]", attempt, da, lo, hi)
+		}
+	}
+}
+
+func TestBackoffSubUnityFactorClamped(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Factor: 0.5}
+	if got := b.Delay(4); got != 10*time.Millisecond {
+		t.Errorf("Delay(4) with factor 0.5 = %v, want base (clamped to 1)", got)
+	}
+}

@@ -30,6 +30,7 @@ type Cache struct {
 	items map[string]*list.Element
 
 	memHits, diskHits, misses, evictions, diskErrors int64
+	diskSwept, diskSweptBytes                        int64 // startup retention pass
 }
 
 // cacheEntry is one LRU node.
@@ -38,14 +39,27 @@ type cacheEntry struct {
 	payload []byte
 }
 
+// diskSuffix is the disk tier's result-file suffix; the startup sweep
+// only ever touches files carrying it.
+const diskSuffix = ".ccres"
+
 // NewCache builds a cache with the given memory budget (<=0:
 // DefaultCacheBytes) and optional disk tier directory. The directory is
 // created if missing and preflighted with ckptio.PreflightDir, so an
 // unwritable cache directory fails service startup instead of every job's
-// store-back.
-func NewCache(maxBytes int64, dir string) (*Cache, error) {
+// store-back. diskMaxBytes > 0 bounds the disk tier: a startup retention
+// sweep (ckptio.SweepDir) evicts the oldest-written result files until the
+// tier fits, so long-lived nodes reclaim space every restart instead of
+// growing without limit.
+func NewCache(maxBytes int64, dir string, diskMaxBytes int64) (*Cache, error) {
 	if maxBytes <= 0 {
 		maxBytes = DefaultCacheBytes
+	}
+	c := &Cache{
+		maxBytes: maxBytes,
+		dir:      dir,
+		ll:       list.New(),
+		items:    map[string]*list.Element{},
 	}
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -54,19 +68,22 @@ func NewCache(maxBytes int64, dir string) (*Cache, error) {
 		if err := ckptio.PreflightDir(dir); err != nil {
 			return nil, err
 		}
+		if diskMaxBytes > 0 {
+			swept, err := ckptio.SweepDir(dir, diskSuffix, diskMaxBytes)
+			if err != nil {
+				return nil, err
+			}
+			c.diskSwept = int64(swept.Removed)
+			c.diskSweptBytes = swept.FreedBytes
+		}
 	}
-	return &Cache{
-		maxBytes: maxBytes,
-		dir:      dir,
-		ll:       list.New(),
-		items:    map[string]*list.Element{},
-	}, nil
+	return c, nil
 }
 
 // diskPath maps a key to its disk-tier file. Keys are lowercase hex, so
 // they are safe path components as-is.
 func (c *Cache) diskPath(key string) string {
-	return filepath.Join(c.dir, key+".ccres")
+	return filepath.Join(c.dir, key+diskSuffix)
 }
 
 // Get returns the cached payload for key. disk reports that the hit came
@@ -152,6 +169,10 @@ type CacheStats struct {
 	Evictions  int64 `json:"cache_evictions"`
 	DiskErrors int64 `json:"cache_disk_errors"`
 	DiskTier   bool  `json:"cache_disk_tier"`
+	// DiskSwept / DiskSweptBytes report the startup retention pass over
+	// the disk tier (0 when the tier is unbounded or disabled).
+	DiskSwept      int64 `json:"cache_disk_swept"`
+	DiskSweptBytes int64 `json:"cache_disk_swept_bytes"`
 }
 
 // Stats snapshots the cache counters.
@@ -165,8 +186,10 @@ func (c *Cache) Stats() CacheStats {
 		MemHits:    c.memHits,
 		DiskHits:   c.diskHits,
 		Misses:     c.misses,
-		Evictions:  c.evictions,
-		DiskErrors: c.diskErrors,
-		DiskTier:   c.dir != "",
+		Evictions:      c.evictions,
+		DiskErrors:     c.diskErrors,
+		DiskTier:       c.dir != "",
+		DiskSwept:      c.diskSwept,
+		DiskSweptBytes: c.diskSweptBytes,
 	}
 }

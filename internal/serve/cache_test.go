@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/ccpsl"
 	"repro/internal/ckptio"
@@ -86,7 +87,7 @@ func TestResolveSpecErrors(t *testing.T) {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	c, err := NewCache(100, "")
+	c, err := NewCache(100, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestCacheLRUEviction(t *testing.T) {
 
 func TestCacheDiskTier(t *testing.T) {
 	dir := t.TempDir()
-	c1, err := NewCache(0, dir)
+	c1, err := NewCache(0, dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestCacheDiskTier(t *testing.T) {
 
 	// A fresh cache over the same directory — a service restart — serves
 	// the entry from disk, byte-identically, and promotes it to memory.
-	c2, err := NewCache(0, dir)
+	c2, err := NewCache(0, dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,12 +151,60 @@ func TestCacheDiskTier(t *testing.T) {
 	}
 }
 
+// TestCacheDiskSweepBoundsTier: a restart with DiskCacheBytes set evicts
+// the oldest result files until the tier fits, keeps the newest, and
+// reports the sweep in the stats.
+func TestCacheDiskSweepBoundsTier(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := NewCache(0, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1000)
+	keys := []string{"aa", "bb", "cc", "dd"}
+	var total int64
+	for i, k := range keys {
+		writer.Put(k, payload)
+		// Pin write order into mtimes so the LRU sweep order is exact even
+		// on coarse filesystem clocks.
+		when := time.Now().Add(time.Duration(i-len(keys)) * time.Hour)
+		if err := os.Chtimes(writer.diskPath(k), when, when); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(writer.diskPath(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+
+	// Budget for half the entries: the two oldest must go.
+	swept, err := NewCache(0, dir, total/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := swept.Stats()
+	if st.DiskSwept != 2 || st.DiskSweptBytes == 0 {
+		t.Fatalf("sweep stats = %+v, want 2 files swept", st)
+	}
+	for _, k := range keys[:2] {
+		if _, hit, _ := swept.Get(k); hit {
+			t.Errorf("evicted key %s still readable", k)
+		}
+	}
+	for _, k := range keys[2:] {
+		if _, hit, disk := swept.Get(k); !hit || !disk {
+			t.Errorf("surviving key %s: hit %t disk %t", k, hit, disk)
+		}
+	}
+}
+
 // TestCacheDiskCorruptionIsMiss: a truncated or bit-flipped disk entry must
 // read as a miss (ckptio's checksum envelope rejects it), never as a
 // result.
 func TestCacheDiskCorruptionIsMiss(t *testing.T) {
 	dir := t.TempDir()
-	c, err := NewCache(0, dir)
+	c, err := NewCache(0, dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +219,7 @@ func TestCacheDiskCorruptionIsMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	fresh, err := NewCache(0, dir)
+	fresh, err := NewCache(0, dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +239,7 @@ func TestNewCachePreflight(t *testing.T) {
 	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewCache(0, file); err == nil {
+	if _, err := NewCache(0, file, 0); err == nil {
 		t.Fatal("NewCache over a plain file: want error")
 	}
 	// The preflight itself (reached when MkdirAll succeeds but the path is

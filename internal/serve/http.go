@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/ckptio"
+	"repro/internal/cluster"
 	"repro/internal/protocols"
 )
 
@@ -57,6 +59,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
 	return mux
 }
 
@@ -220,4 +223,29 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 // histograms, and the engine counters of every verification run).
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
+
+// handleCacheGet is GET /v1/cache/{key}, the cluster-internal peer
+// cache-fill endpoint: serve the cached report bytes for a content-address
+// key, wrapped in the CRC32 ckptio envelope so the caller can verify
+// integrity end to end. 404 means "not cached here" — never an error; the
+// asking node just computes locally. The key is validated strictly before
+// use because the disk cache tier maps keys to file names: anything but a
+// lowercase SHA-256 hex string is rejected, closing path traversal by
+// construction. Cache reads keep working during drain — handing out
+// already-computed results costs nothing and helps the survivors.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if err := cluster.ValidateKey(key); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	payload, hit, _ := s.cache.Get(key)
+	if !hit {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: key not cached"))
+		return
+	}
+	s.stats.peerServed.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(ckptio.Encode(payload))
 }

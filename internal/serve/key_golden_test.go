@@ -1,0 +1,59 @@
+package serve
+
+import "testing"
+
+// TestCacheKeyGolden pins the exact SHA-256 content address of the
+// canonical illinois request under the two common engine configurations.
+// These literals are the cluster's coordination contract: every node must
+// derive the identical key for the identical request, or peer cache fill
+// silently degrades to always-miss. If this test fails you have changed
+// the key derivation — the canonical ccpsl rendering, the options
+// rendering, or their framing. That is sometimes the right thing to do,
+// but it MUST come with a keySchema bump (see key.go), so stale disk-tier
+// and peer entries from older builds can never be served as current
+// results; then re-pin these literals.
+func TestCacheKeyGolden(t *testing.T) {
+	if keySchema != 1 {
+		t.Fatalf("keySchema = %d; these golden keys pin schema 1 — re-derive and re-pin them for the new schema", keySchema)
+	}
+	golden := []struct {
+		name string
+		opts JobOptions
+		want string
+	}{
+		{
+			name: "symbolic-default",
+			opts: JobOptions{Engine: EngineSymbolic},
+			want: "58ed0905f5d03d7e784ba17b8d88d469c070e8e83563969b6baf547364272a5d",
+		},
+		{
+			name: "enum-strict-n4",
+			opts: JobOptions{Engine: EngineEnumStrict, N: 4},
+			want: "e7055b700bf1e6516ecf2bca27cfc8de741e6f1b81103be4b2d3e678bb452c5a",
+		},
+	}
+	_, canonical, err := ResolveSpec("illinois", "")
+	if err != nil {
+		t.Fatalf("ResolveSpec(illinois): %v", err)
+	}
+	for _, g := range golden {
+		t.Run(g.name, func(t *testing.T) {
+			opts := g.opts
+			if err := opts.normalize(); err != nil {
+				t.Fatalf("normalize: %v", err)
+			}
+			if got := CacheKey(canonical, opts); got != g.want {
+				t.Errorf("CacheKey(illinois, %+v)\n  got  %s\n  want %s\nkey derivation changed without a keySchema bump", opts, got, g.want)
+			}
+		})
+	}
+	// The defaulted request ("engine omitted") must land on the same entry
+	// as the explicit symbolic request — that equivalence is also contract.
+	defaulted := JobOptions{}
+	if err := defaulted.normalize(); err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	if got := CacheKey(canonical, defaulted); got != golden[0].want {
+		t.Errorf("defaulted options key %s diverged from explicit symbolic key %s", got, golden[0].want)
+	}
+}

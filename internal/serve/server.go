@@ -2,12 +2,14 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/fsm"
 	"repro/internal/obs"
 	"repro/internal/runctl"
@@ -30,6 +32,10 @@ type Config struct {
 	CacheBytes int64
 	// CacheDir enables the durable disk cache tier ("" disables it).
 	CacheDir string
+	// DiskCacheBytes bounds the disk tier by total bytes: startup runs an
+	// LRU retention sweep (ckptio.SweepDir) evicting the oldest result
+	// files until the tier fits. <=0 leaves the tier unbounded.
+	DiskCacheBytes int64
 	// KeepJobs bounds retained terminal job records for polling (<=0:
 	// 1024); the oldest are forgotten first.
 	KeepJobs int
@@ -121,6 +127,7 @@ func (j *Job) Cancel() { j.cancel() }
 // Submission dispositions.
 const (
 	DispositionHit       = "hit"       // served from cache, no job ran
+	DispositionPeer      = "peer"      // filled from a cluster peer's cache, no job ran
 	DispositionCoalesced = "coalesced" // attached to an in-flight identical job
 	DispositionQueued    = "queued"    // admitted as a fresh job
 )
@@ -150,6 +157,8 @@ type serverStats struct {
 	jobsCanceled     *obs.Counter // jobs_canceled_total
 	auditRejected    *obs.Counter // audit_rejected_total
 	panics           *obs.Counter // panics_total
+	peerRejected     *obs.Counter // peer_fill_rejected_total
+	peerServed       *obs.Counter // peer_cache_served_total
 }
 
 // newServerStats registers the service counters in reg.
@@ -167,6 +176,8 @@ func newServerStats(reg *obs.Registry) serverStats {
 		jobsCanceled:     reg.Counter("jobs_canceled_total"),
 		auditRejected:    reg.Counter("audit_rejected_total"),
 		panics:           reg.Counter("panics_total"),
+		peerRejected:     reg.Counter("peer_fill_rejected_total"),
+		peerServed:       reg.Counter("peer_cache_served_total"),
 	}
 }
 
@@ -179,6 +190,11 @@ type Server struct {
 	metrics *obs.Registry
 	stats   serverStats
 	start   time.Time
+
+	// cluster, when set, is the peer cache-fill client consulted between
+	// a local cache miss and a local engine run. Attached via SetCluster
+	// before Start; nil keeps single-node behavior.
+	cluster *cluster.Client
 
 	// jobsCtx parents every job context; jobsCancel is the drain
 	// deadline's force-stop.
@@ -203,7 +219,7 @@ type Server struct {
 // New builds a Server (cache preflighted, workers not yet started).
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	cache, err := NewCache(cfg.CacheBytes, cfg.CacheDir)
+	cache, err := NewCache(cfg.CacheBytes, cfg.CacheDir, cfg.DiskCacheBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -232,6 +248,17 @@ func New(cfg Config) (*Server, error) {
 // Metrics exposes the server's observability registry (the one /statsz and
 // GET /v1/metrics read).
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// SetCluster attaches the peer cache-fill client. Call it after New and
+// before Start / serving traffic; the client should share this server's
+// Metrics registry so the peer counters surface in GET /v1/metrics. The
+// cluster layer is strictly an accelerator: every peer outcome other than
+// a validated hit falls through to the local worker pool, so a node whose
+// whole peer set is dead behaves exactly like a single-node server.
+func (s *Server) SetCluster(c *cluster.Client) { s.cluster = c }
+
+// Cluster returns the attached peer client (nil for a single node).
+func (s *Server) Cluster() *cluster.Client { return s.cluster }
 
 // Start launches the worker pool.
 func (s *Server) Start() {
@@ -289,7 +316,11 @@ func (s *Server) Submit(p *fsm.Protocol, canonical string, opts JobOptions, time
 	if !noCache {
 		if payload, hit, _ := s.cache.Get(key); hit {
 			s.stats.cacheHits.Add(1)
-			return s.recordHit(key, payload)
+			return s.recordHit(key, payload, DispositionHit)
+		}
+		if payload, ok := s.peerFill(key); ok {
+			s.cache.Put(key, payload)
+			return s.recordHit(key, payload, DispositionPeer)
 		}
 	}
 
@@ -330,9 +361,10 @@ func (s *Server) Submit(p *fsm.Protocol, canonical string, opts JobOptions, time
 	return j, DispositionQueued, nil
 }
 
-// recordHit registers a pre-completed job record for a cache hit, so the
-// response carries a pollable job ID like every other disposition.
-func (s *Server) recordHit(key string, payload []byte) (*Job, string, error) {
+// recordHit registers a pre-completed job record for a local or peer
+// cache hit, so the response carries a pollable job ID like every other
+// disposition.
+func (s *Server) recordHit(key string, payload []byte, disposition string) (*Job, string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
@@ -348,7 +380,44 @@ func (s *Server) recordHit(key string, payload []byte) (*Job, string, error) {
 	close(j.done)
 	s.jobs[j.ID] = j
 	s.retireLocked(j.ID)
-	return j, DispositionHit, nil
+	return j, disposition, nil
+}
+
+// peerFill consults the cluster for a missing key: ask the key's owners
+// (hedged, breaker-gated, CRC-checked — see internal/cluster), then
+// validate that the returned bytes really are a current-schema report for
+// exactly this key. Any failure is a miss: the caller computes locally.
+// An identical in-flight local job wins over a remote ask — coalescing is
+// free, a fetch is not.
+func (s *Server) peerFill(key string) ([]byte, bool) {
+	if s.cluster == nil || s.hasInflight(key) {
+		return nil, false
+	}
+	payload, ok := s.cluster.Fetch(s.jobsCtx, key)
+	if !ok {
+		return nil, false
+	}
+	// Belt over the CRC's braces: the envelope proved the bytes arrived
+	// intact, this proves they are the right result — a confused or
+	// malicious peer answering with a different key's (valid) report must
+	// be rejected, never served or cached.
+	var probe struct {
+		Schema   int    `json:"schema"`
+		CacheKey string `json:"cache_key"`
+	}
+	if json.Unmarshal(payload, &probe) != nil || probe.Schema != ReportSchema || probe.CacheKey != key {
+		s.stats.peerRejected.Add(1)
+		return nil, false
+	}
+	return payload, true
+}
+
+// hasInflight reports whether an identical job is queued or running.
+func (s *Server) hasInflight(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.inflight[key]
+	return ok
 }
 
 // JobByID looks up a job record.
@@ -478,6 +547,15 @@ type Stats struct {
 	JobsCanceled     int64   `json:"jobs_canceled"`
 	AuditRejected    int64   `json:"audit_rejected"`
 	Panics           int64   `json:"panics"`
+	// PeerRejected counts peer-fill payloads that arrived intact (CRC ok)
+	// but failed report validation (wrong key or schema) and were discarded.
+	PeerRejected int64 `json:"peer_rejected"`
+	// PeerServed counts cache entries this node handed to asking peers via
+	// GET /v1/cache/{key}.
+	PeerServed int64 `json:"peer_served"`
+	// Cluster is the attached peer client's snapshot; absent on a
+	// single-node server.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 	CacheStats
 }
 
@@ -488,6 +566,11 @@ func (s *Server) Stats() Stats {
 	inflight := len(s.inflight)
 	draining := s.draining
 	s.mu.Unlock()
+	var cstats *cluster.Stats
+	if s.cluster != nil {
+		snap := s.cluster.Stats()
+		cstats = &snap
+	}
 	return Stats{
 		Schema:           StatszSchema,
 		UptimeSeconds:    time.Since(s.start).Seconds(),
@@ -508,6 +591,9 @@ func (s *Server) Stats() Stats {
 		JobsCanceled:     s.stats.jobsCanceled.Value(),
 		AuditRejected:    s.stats.auditRejected.Value(),
 		Panics:           s.stats.panics.Value(),
+		PeerRejected:     s.stats.peerRejected.Value(),
+		PeerServed:       s.stats.peerServed.Value(),
+		Cluster:          cstats,
 		CacheStats:       s.cache.Stats(),
 	}
 }

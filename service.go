@@ -1,0 +1,56 @@
+package repro
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+// Service is the embeddable verification service behind the ccserved
+// daemon: a content-addressed result cache (Theorem 1 makes verdicts
+// deterministic, hence perfectly cacheable), request coalescing, and a
+// bounded worker pool with admission control. Create with NewService,
+// start the pool with Start, mount Handler on any HTTP server, and stop
+// with Drain. See docs/service.md for the HTTP and schema contracts.
+type Service = serve.Server
+
+// ServiceConfig tunes a Service; the zero value is fully usable.
+type ServiceConfig = serve.Config
+
+// ServiceStats is the /statsz document of a Service.
+type ServiceStats = serve.Stats
+
+// ServiceJobOptions are the engine-facing options of one service request;
+// they participate in the result's content address.
+type ServiceJobOptions = serve.JobOptions
+
+// NewService builds a verification service (workers not yet started).
+func NewService(cfg ServiceConfig) (*Service, error) { return serve.New(cfg) }
+
+// ClusterConfig tunes a peer cache-fill client: the static peer list,
+// hedging deadline, retry shape, failure-detection thresholds and circuit
+// breaker. The zero value plus Peers is fully usable; every knob has a
+// production-shaped default.
+type ClusterConfig = cluster.Config
+
+// ClusterClient fetches cached verification results from the peers of a
+// ccserved cluster, with rendezvous-hashed owner selection, hedged
+// lookups, per-peer health tracking and circuit breaking. Every failure
+// mode degrades to a cache miss — never a wrong answer — so the embedding
+// node falls back to local compute. Attach one to a Service with
+// SetCluster (sharing the service's Metrics registry surfaces the peer
+// counters in GET /v1/metrics), and Close it on shutdown.
+type ClusterClient = cluster.Client
+
+// ClusterStats is a ClusterClient's snapshot: per-peer health and breaker
+// states plus the fill/hedge/corruption counters.
+type ClusterStats = cluster.Stats
+
+// NewClusterClient builds a peer cache-fill client; call Start to launch
+// the background health prober.
+func NewClusterClient(cfg ClusterConfig) (*ClusterClient, error) { return cluster.New(cfg) }
+
+// RankClusterOwners orders a cluster's node addresses by rendezvous-hash
+// preference for one cache key — the agreement function every node
+// evaluates independently, with no coordination, to decide which peers to
+// ask first. Exposed for operators placing or debugging key ownership.
+func RankClusterOwners(nodes []string, key string) []string { return cluster.Rank(nodes, key) }
