@@ -9,7 +9,8 @@
 //
 // The default -bench selection covers the performance-tracked paths: the
 // Figure 2 exhaustive enumeration, the parallel frontier, the Figure 3
-// symbolic expansion and the synthetic scaling family.
+// symbolic expansion (sequential and the speculation pipeline), the
+// synthetic scaling family and the out-of-core spill run.
 //
 // Exit codes: 0 success, 1 benchmark failure or I/O error.
 package main
@@ -43,7 +44,7 @@ type BenchResult struct {
 
 func main() {
 	var (
-		bench = flag.String("bench", "BenchmarkFig2Exhaustive|BenchmarkParallelEnumeration|BenchmarkFig3SymbolicExpansion|BenchmarkScalingSynthetic",
+		bench = flag.String("bench", "BenchmarkFig2Exhaustive|BenchmarkParallelEnumeration|BenchmarkFig3SymbolicExpansion|BenchmarkScalingSynthetic|BenchmarkParallelSymbolicExpansion|BenchmarkSpillEnumeration",
 			"benchmark selection regex passed to go test -bench")
 		benchtime   = flag.String("benchtime", "1x", "go test -benchtime value")
 		count       = flag.Int("count", 1, "go test -count value")

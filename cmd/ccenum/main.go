@@ -12,7 +12,15 @@
 //
 //	ccenum -protocol illinois -n 4 [-mode strict|counting|both] [-strict]
 //	       [-workers k] [-timeout 30s] [-checkpoint run.ckpt] [-checkpoint-keep 3]
+//	       [-mem-budget bytes [-spill-dir dir]]
 //	ccenum -resume run.ckpt [-workers k] [-timeout 30s] [-checkpoint run.ckpt]
+//
+// With -mem-budget alone the run stops cleanly (exit 3, resumable) when the
+// estimated resident footprint crosses the budget; adding -spill-dir turns
+// the same budget into an out-of-core run: cold visited/tuple shards spill
+// to checksummed files under the directory and stream back for duplicate
+// detection at level boundaries, so the enumeration completes in bounded
+// memory with bit-identical results.
 //
 // Checkpoints go through the durable snapshot store (internal/ckptio):
 // atomic checksummed writes, rotation keeping the last -checkpoint-keep
@@ -44,6 +52,8 @@ type cliOpts struct {
 	strict      bool
 	max         int
 	workers     int
+	memBudget   int64  // resident-bytes budget (0: none)
+	spillDir    string // out-of-core spill directory (needs memBudget)
 	checkpoint  string // path to save a checkpoint to when the run stops
 	resume      string // path to load a checkpoint from
 	keep        int    // good snapshot generations retained at -checkpoint
@@ -59,6 +69,8 @@ func main() {
 		strict      = flag.Bool("strict", false, "enable the clean-state/memory extension check")
 		max         = flag.Int("max", 0, "state cap (0: default)")
 		workers     = flag.Int("workers", 1, "parallel BFS workers (1: sequential, 0: GOMAXPROCS)")
+		memBudget   = flag.Int64("mem-budget", 0, "resident memory budget in bytes (0: none)")
+		spillDir    = flag.String("spill-dir", "", "spill cold state shards to this directory instead of stopping at -mem-budget")
 		timeout     = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0: none)")
 		checkpoint  = flag.String("checkpoint", "", "write a resumable checkpoint here when the run is stopped")
 		keep        = flag.Int("checkpoint-keep", ckptio.DefaultKeep, "good checkpoint snapshots to retain (rotation)")
@@ -98,6 +110,7 @@ func main() {
 
 	code, err := run(ctx, *protoName, *n, cliOpts{
 		mode: *mode, strict: *strict, max: *max, workers: *workers,
+		memBudget: *memBudget, spillDir: *spillDir,
 		checkpoint: *checkpoint, resume: *resume, keep: *keep,
 		progress: *progress, metricsJSON: *metricsJSON,
 	})
@@ -111,11 +124,19 @@ func main() {
 // run executes the requested enumerations and returns the process exit code
 // (0 clean, 2 violations, 3 stopped early).
 func run(ctx context.Context, protoName string, n int, o cliOpts) (int, error) {
+	if o.spillDir != "" && o.memBudget <= 0 {
+		return 0, fmt.Errorf("-spill-dir requires -mem-budget: spilling is triggered by the memory budget")
+	}
 	opts := enum.Options{
 		Strict:           o.strict,
 		MaxStates:        o.max,
 		CheckpointOnStop: o.checkpoint != "",
 	}
+	opts.RunConfig.Budget.MaxBytes = o.memBudget
+	opts.RunConfig.SpillDir = o.spillDir
+	// Spilling lives in the parallel engine; -spill-dir with the default
+	// -workers 1 runs it with a single worker (bit-identical results).
+	parallel := o.workers != 1 || o.spillDir != ""
 	if o.progress {
 		opts.RunConfig.Observer = obs.Progress(os.Stderr)
 	}
@@ -155,10 +176,10 @@ func run(ctx context.Context, protoName string, n int, o cliOpts) (int, error) {
 		}
 		n = cp.N
 		var res *enum.Result
-		if o.workers == 1 {
-			res, err = enum.ResumeContext(ctx, p, cp, opts)
-		} else {
+		if parallel {
 			res, err = enum.ResumeParallelContext(ctx, p, cp, opts, o.workers)
+		} else {
+			res, err = enum.ResumeContext(ctx, p, cp, opts)
 		}
 		if err != nil {
 			return 0, err
@@ -194,9 +215,9 @@ func run(ctx context.Context, protoName string, n int, o cliOpts) (int, error) {
 		for _, r := range runners {
 			var res *enum.Result
 			switch {
-			case o.workers == 1 && r.mode == enum.ModeStrict:
+			case !parallel && r.mode == enum.ModeStrict:
 				res, err = enum.ExhaustiveContext(ctx, p, n, opts)
-			case o.workers == 1:
+			case !parallel:
 				res, err = enum.CountingContext(ctx, p, n, opts)
 			case r.mode == enum.ModeStrict:
 				res, err = enum.ExhaustiveParallelContext(ctx, p, n, opts, o.workers)

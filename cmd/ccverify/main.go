@@ -9,6 +9,7 @@
 //	ccverify -protocol illinois -resume run.ckpt
 //	ccverify -run symbolic -progress illinois
 //	ccverify -run enum-strict -n 4 -metrics-json run-metrics.json illinois
+//	ccverify -symbolic-workers 8 synthetic-24
 //
 // The protocol may also be named as the positional argument, as in the last
 // two forms. -run selects the engine: symbolic (the default: the full
@@ -21,7 +22,10 @@
 // the expansion log and the global transition diagram in Graphviz DOT form.
 // Runs stop cleanly on SIGINT/SIGTERM or when -timeout expires, reporting a
 // structured stop reason; -checkpoint preserves the interrupted symbolic
-// expansion and -resume continues it.
+// expansion and -resume continues it. -symbolic-workers k (k > 1) runs the
+// expansion with the parallel speculation pipeline — results are
+// bit-identical to the sequential engine, and checkpoints are portable
+// between the two drivers.
 //
 // Observability: -progress prints one line per expansion level (and per
 // completed phase) to stderr, and -metrics-json FILE writes the run's full
@@ -58,6 +62,7 @@ import (
 type cliOpts struct {
 	engine      string // -run: symbolic, enum-strict or enum-counting
 	n           int    // cache count for the enum engines
+	symWorkers  int    // parallel symbolic speculation workers (≤ 1: sequential)
 	strict      bool
 	showLog     bool
 	dotFile     string
@@ -100,6 +105,7 @@ func main() {
 		specFile    = flag.String("spec", "", "path to a ccpsl protocol specification")
 		engine      = flag.String("run", "symbolic", "engine: symbolic (full pipeline), enum-strict or enum-counting")
 		nCaches     = flag.Int("n", 4, "cache count for the enum engines")
+		symWorkers  = flag.Int("symbolic-workers", 1, "parallel speculation workers for the symbolic expansion (1: sequential)")
 		strict      = flag.Bool("strict", false, "enable the clean-state/memory consistency extension check")
 		showLog     = flag.Bool("log", false, "print the expansion visit log (Appendix A.2 style)")
 		dotFile     = flag.String("dot", "", "write the global transition diagram to this DOT file")
@@ -159,7 +165,7 @@ func main() {
 	defer stop()
 
 	code, err := run(ctx, *protoName, *specFile, cliOpts{
-		engine: *engine, n: *nCaches,
+		engine: *engine, n: *nCaches, symWorkers: *symWorkers,
 		strict: *strict, showLog: *showLog, dotFile: *dotFile, localDot: *localDot,
 		crossCheck: *crossCheck, jsonFile: *jsonFile,
 		checkpoint: *checkpoint, resume: *resume, keep: *keep,
@@ -272,6 +278,7 @@ func runSymbolic(ctx context.Context, p *fsm.Protocol, o cliOpts, observer obs.O
 		RecordLog:        o.showLog,
 		BuildGraph:       true,
 		CheckpointOnStop: o.checkpoint != "",
+		SymbolicWorkers:  o.symWorkers,
 		Observer:         observer,
 		Metrics:          reg,
 	}

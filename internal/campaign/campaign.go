@@ -270,7 +270,9 @@ type rung struct {
 // there is nothing to shrink.
 func ladder(j JobSpec, p Policy) []rung {
 	if j.Engine == EngineSymbolic {
-		return []rung{{desc: "symbolic", engine: EngineSymbolic}}
+		// The parallel speculation pipeline is bit-identical to the
+		// sequential driver, so the worker width needs no fallback rung.
+		return []rung{{desc: "symbolic", engine: EngineSymbolic, workers: p.Workers}}
 	}
 	var out []rung
 	if p.Workers > 1 {
@@ -281,7 +283,7 @@ func ladder(j JobSpec, p Policy) []rung {
 		out = append(out, rung{desc: fmt.Sprintf("shrink-n%d", n), engine: j.Engine, n: n, workers: 1})
 	}
 	if !p.NoSymbolicFallback {
-		out = append(out, rung{desc: "symbolic-fallback", engine: EngineSymbolic})
+		out = append(out, rung{desc: "symbolic-fallback", engine: EngineSymbolic, workers: p.Workers})
 	}
 	return out
 }
@@ -591,7 +593,7 @@ func (r *runner) attemptRung(rg rung) (done, resumed bool, err error) {
 		budget.Deadline = time.Now().Add(r.policy.AttemptTimeout)
 	}
 	if rg.engine == EngineSymbolic {
-		return r.attemptSymbolic(budget)
+		return r.attemptSymbolic(rg, budget)
 	}
 	return r.attemptEnum(rg, budget)
 }
@@ -740,8 +742,9 @@ func (r *runner) attemptEnum(rg rung, budget runctl.Budget) (bool, bool, error) 
 }
 
 // attemptSymbolic runs one symbolic expansion attempt with the same
-// durability and chaos plumbing as attemptEnum.
-func (r *runner) attemptSymbolic(budget runctl.Budget) (bool, bool, error) {
+// durability and chaos plumbing as attemptEnum. rg.workers > 1 selects
+// the parallel speculation pipeline (bit-identical results).
+func (r *runner) attemptSymbolic(rg rung, budget runctl.Budget) (bool, bool, error) {
 	eng, err := symbolic.NewEngine(r.proto)
 	if err != nil {
 		return false, false, fmt.Errorf("%w: %v", errSpec, err)
@@ -784,10 +787,16 @@ func (r *runner) attemptSymbolic(budget runctl.Budget) (bool, bool, error) {
 		}
 	}
 
+	opts.RunConfig.Workers = rg.workers
 	var res *symbolic.Result
-	if cp != nil {
+	switch {
+	case cp != nil && rg.workers > 1:
+		res, err = eng.ResumeParallelContext(r.ctx, cp, opts, rg.workers)
+	case cp != nil:
 		res, err = eng.ResumeContext(r.ctx, cp, opts)
-	} else {
+	case rg.workers > 1:
+		res, err = eng.ExpandParallelContext(r.ctx, opts, rg.workers)
+	default:
 		res, err = eng.ExpandContext(r.ctx, opts)
 	}
 	resumed := cp != nil

@@ -38,6 +38,10 @@ type Options struct {
 	CrossCheckN []int
 	// MaxVisits bounds the symbolic expansion (0 = default).
 	MaxVisits int
+	// SymbolicWorkers > 1 runs the symbolic expansion with the parallel
+	// speculation pipeline across that many workers; 0 or 1 keeps the
+	// sequential driver. Results are bit-identical either way.
+	SymbolicWorkers int
 
 	// Budget bounds the whole pipeline: the wall-clock deadline, state
 	// count and estimated memory are enforced uniformly by the symbolic
@@ -138,9 +142,15 @@ func VerifyContext(ctx context.Context, p *fsm.Protocol, opts Options) (*Report,
 		StopOnViolation: opts.StopOnViolation,
 		Strict:          opts.Strict,
 	}
-	if opts.Resume != nil {
+	symOpts.RunConfig.Workers = opts.SymbolicWorkers
+	switch {
+	case opts.Resume != nil && opts.SymbolicWorkers > 1:
+		rep.Symbolic, err = eng.ResumeParallelContext(ctx, opts.Resume, symOpts, opts.SymbolicWorkers)
+	case opts.Resume != nil:
 		rep.Symbolic, err = eng.ResumeContext(ctx, opts.Resume, symOpts)
-	} else {
+	case opts.SymbolicWorkers > 1:
+		rep.Symbolic, err = eng.ExpandParallelContext(ctx, symOpts, opts.SymbolicWorkers)
+	default:
 		rep.Symbolic, err = eng.ExpandContext(ctx, symOpts)
 	}
 	if err != nil {

@@ -20,14 +20,20 @@ import (
 //     back to the version-1 canonical strings on save (snapshots stay
 //     human-debuggable JSON) but the accepted key grammar is validated on
 //     resume, so version-1 files are rejected rather than reinterpreted.
-const CheckpointVersion = 2
+//   - 3: rank-ordered state lists (compact visited set): Visited[i] is the
+//     state admitted at rank i and Parents[i] its provenance, with the
+//     parent referenced by rank instead of by key string. Version-2 files
+//     stored Visited sorted and Parents as a key-to-key map, so they are
+//     rejected rather than reinterpreted.
+const CheckpointVersion = 3
 
 // Checkpoint is a resumable snapshot of an enumeration run, taken at a
 // worklist/level boundary: every state is either fully expanded (in
 // Visited with its provenance in Parents) or waiting on the Frontier, so a
 // resumed run reaches exactly the counts an uninterrupted run would. The
-// JSON encoding is stable and deterministic (sorted key lists) so
-// checkpoints can be diffed and tested byte-for-byte.
+// JSON encoding is stable and deterministic (Visited in admission-rank
+// order, Tuples sorted) so checkpoints can be diffed and tested
+// byte-for-byte.
 type Checkpoint struct {
 	Version  int    `json:"version"`
 	Protocol string `json:"protocol"`
@@ -38,10 +44,16 @@ type Checkpoint struct {
 	Strict bool   `json:"strict"`
 	Visits int    `json:"visits"`
 
-	Visited  []string                `json:"visited"`
-	Tuples   []string                `json:"tuples"`
-	Parents  map[string]ParentState  `json:"parents"`
-	Frontier []ConfigState           `json:"frontier"`
+	// Visited[i] is the canonical key of the state admitted at rank i;
+	// Parents[i] is its provenance. A resumed run re-inserts the list in
+	// order, reproducing the interrupted run's ranks exactly (including
+	// the ranks of states sitting in spill files when the snapshot was
+	// taken — the snapshot folds them back in, so a resumed run starts
+	// fully resident).
+	Visited  []string      `json:"visited"`
+	Tuples   []string      `json:"tuples"`
+	Parents  []ParentState `json:"parents"`
+	Frontier []ConfigState `json:"frontier"`
 
 	Reachable  []ConfigState    `json:"reachable,omitempty"`
 	Violations []ViolationState `json:"violations,omitempty"`
@@ -56,12 +68,14 @@ type ConfigState struct {
 	Latest   int64    `json:"latest"`
 }
 
-// ParentState is one provenance record: how the keyed state was first
-// reached.
+// ParentState is one provenance record: how the state at its rank was
+// first reached. Parent is the admission rank of the predecessor state
+// (-1 for the initial state, whose Cache and Op are meaningless and
+// omitted).
 type ParentState struct {
-	Key   string `json:"key,omitempty"`
-	Cache int    `json:"cache,omitempty"`
-	Op    string `json:"op,omitempty"`
+	Parent int    `json:"parent"`
+	Cache  int    `json:"cache,omitempty"`
+	Op     string `json:"op,omitempty"`
 }
 
 // ViolationState is one recorded violation with its witness path.
@@ -114,8 +128,11 @@ func (cs ConfigState) config() (*fsm.Config, error) {
 }
 
 // snapshot captures the run at a clean boundary; frontier lists the
-// admitted-but-unexpanded states.
-func (b *bfs) snapshot(frontier []*fsm.Config) *Checkpoint {
+// admitted-but-unexpanded states. An out-of-core run's spilled entries
+// are folded back in (rank order makes the merge trivial: every rank
+// indexes its slot), so the snapshot is self-contained and resuming it
+// needs no spill files.
+func (b *bfs) snapshot(frontier []*fsm.Config) (*Checkpoint, error) {
 	cp := &Checkpoint{
 		Version:  CheckpointVersion,
 		Protocol: b.p.Name,
@@ -123,21 +140,34 @@ func (b *bfs) snapshot(frontier []*fsm.Config) *Checkpoint {
 		Mode:     b.mode,
 		Strict:   b.opts.Strict,
 		Visits:   b.res.Visits,
-		Visited:  make([]string, 0, len(b.visited)),
-		Tuples:   make([]string, 0, len(b.tuples)),
-		Parents:  make(map[string]ParentState, len(b.parents)),
+		Visited:  make([]string, b.visited.size()),
+		Tuples:   make([]string, 0, b.tuples.size()),
+		Parents:  make([]ParentState, len(b.parents)),
 		Frontier: make([]ConfigState, len(frontier)),
 	}
-	for k := range b.visited {
-		cp.Visited = append(cp.Visited, b.kc.render(k))
-	}
-	sort.Strings(cp.Visited)
-	for k := range b.tuples {
-		cp.Tuples = append(cp.Tuples, b.kc.renderTuple(k))
+	fillVisited := func(k Key, r uint32) { cp.Visited[r] = b.kc.render(k) }
+	b.visited.forEach(fillVisited)
+	addTuple := func(k Key, _ uint32) { cp.Tuples = append(cp.Tuples, b.kc.renderTuple(k)) }
+	b.tuples.forEach(addTuple)
+	if b.spill != nil {
+		if err := b.forEachSpilled(b.spill.visitedFiles, fillVisited); err != nil {
+			return nil, err
+		}
+		if err := b.forEachSpilled(b.spill.tupleFiles, addTuple); err != nil {
+			return nil, err
+		}
 	}
 	sort.Strings(cp.Tuples)
-	for k, pi := range b.parents {
-		cp.Parents[b.kc.render(k)] = ParentState{Key: b.kc.render(pi.key), Cache: pi.cache, Op: string(pi.op)}
+	for i, rec := range b.parents {
+		if rec.parent == noParent {
+			cp.Parents[i] = ParentState{Parent: -1}
+			continue
+		}
+		cp.Parents[i] = ParentState{
+			Parent: int(rec.parent),
+			Cache:  int(rec.cache),
+			Op:     string(b.p.Ops[rec.op]),
+		}
 	}
 	for i, c := range frontier {
 		cp.Frontier[i] = configState(c)
@@ -158,7 +188,7 @@ func (b *bfs) snapshot(frontier []*fsm.Config) *Checkpoint {
 	for _, e := range b.res.SpecErrors {
 		cp.SpecErrors = append(cp.SpecErrors, e.Error())
 	}
-	return cp
+	return cp, nil
 }
 
 // Encode renders the checkpoint as indented, deterministic JSON.
@@ -270,6 +300,12 @@ func resumeBFS(p *fsm.Protocol, cp *Checkpoint, opts Options) (*bfs, []*fsm.Conf
 		return c, nil
 	}
 
+	if cp.N > 1<<16-1 {
+		return nil, nil, fmt.Errorf("enum: checkpoint cache count %d exceeds the provenance-record limit %d", cp.N, 1<<16-1)
+	}
+	if len(cp.Parents) != len(cp.Visited) {
+		return nil, nil, fmt.Errorf("enum: checkpoint has %d visited states but %d provenance records", len(cp.Visited), len(cp.Parents))
+	}
 	opts.Strict = cp.Strict
 	rc := opts.runCtl()
 	maxStates := rc.Budget.MaxStates
@@ -279,43 +315,58 @@ func resumeBFS(p *fsm.Protocol, cp *Checkpoint, opts Options) (*bfs, []*fsm.Conf
 	if maxStates <= 0 {
 		maxStates = defaultMaxStates
 	}
+	opIx, err := buildOpIndex(p)
+	if err != nil {
+		return nil, nil, err
+	}
 	b := &bfs{
 		p: p, n: cp.N, opts: opts, rc: rc, kc: newKeyCodec(p, cp.N, cp.Mode), mode: cp.Mode,
 		orun:      rc.Sink().Run("enum-"+cp.Mode, p.Name),
 		symmetric: cp.Mode == ModeCounting,
 		maxStates: maxStates,
-		visited:   make(map[Key]bool, len(cp.Visited)),
-		parents:   make(map[Key]parent, len(cp.Parents)),
-		tuples:    make(map[Key]bool, len(cp.Tuples)),
+		opIx:      opIx,
+		parents:   make([]parentRec, 0, len(cp.Parents)),
 		res:       &Result{Protocol: p, N: cp.N, Visits: cp.Visits},
 	}
-	for _, s := range cp.Visited {
+	b.visited, b.tuples = newStores(b.kc, cp.N)
+	// Re-inserting Visited in order reproduces the interrupted run's
+	// admission ranks, which the provenance records reference. Every
+	// record is validated (parent rank below its own, known op, cache in
+	// range) so a corrupted file fails here instead of corrupting a run.
+	for i, s := range cp.Visited {
 		k, err := b.kc.parse(s)
 		if err != nil {
 			return nil, nil, err
 		}
-		b.visited[k] = true
-		b.bytes += stateBytes(cp.N)
+		if b.visited.has(k) {
+			return nil, nil, fmt.Errorf("enum: checkpoint visited list repeats key %q", s)
+		}
+		b.visited.insert(k)
+		ps := cp.Parents[i]
+		if ps.Parent == -1 {
+			b.parents = append(b.parents, parentRec{parent: noParent})
+			continue
+		}
+		if ps.Parent < 0 || ps.Parent >= i {
+			return nil, nil, fmt.Errorf("enum: checkpoint provenance %d has parent rank %d (want -1..%d)", i, ps.Parent, i-1)
+		}
+		if ps.Cache < 0 || ps.Cache >= cp.N {
+			return nil, nil, fmt.Errorf("enum: checkpoint provenance %d has cache %d (want 0..%d)", i, ps.Cache, cp.N-1)
+		}
+		opi, ok := b.opIx[fsm.Op(ps.Op)]
+		if !ok {
+			return nil, nil, fmt.Errorf("enum: checkpoint provenance %d references unknown operation %q", i, ps.Op)
+		}
+		b.parents = append(b.parents, parentRec{parent: uint32(ps.Parent), cache: uint16(ps.Cache), op: opi})
 	}
 	for _, s := range cp.Tuples {
 		k, err := b.kc.parseTuple(s)
 		if err != nil {
 			return nil, nil, err
 		}
-		b.tuples[k] = true
-	}
-	for s, ps := range cp.Parents {
-		k, err := b.kc.parse(s)
-		if err != nil {
-			return nil, nil, err
+		if !b.tuples.has(k) {
+			b.tuples.insert(k)
 		}
-		pk := Key{}
-		if ps.Key != "" {
-			if pk, err = b.kc.parse(ps.Key); err != nil {
-				return nil, nil, err
-			}
-		}
-		b.parents[k] = parent{key: pk, cache: ps.Cache, op: fsm.Op(ps.Op)}
 	}
 	frontier := make([]*fsm.Config, len(cp.Frontier))
 	for i, cs := range cp.Frontier {
@@ -323,11 +374,13 @@ func resumeBFS(p *fsm.Protocol, cp *Checkpoint, opts Options) (*bfs, []*fsm.Conf
 		if err != nil {
 			return nil, nil, err
 		}
-		if !b.visited[b.kc.key(c)] {
+		if !b.visited.has(b.kc.key(c)) {
 			return nil, nil, fmt.Errorf("enum: checkpoint frontier state %q not in visited set", b.kc.render(b.kc.key(c)))
 		}
 		frontier[i] = c
 	}
+	b.frontierLen = len(frontier)
+	b.bytes = b.estBytes()
 	for _, cs := range cp.Reachable {
 		c, err := restoreConfig(cs, "reachable")
 		if err != nil {

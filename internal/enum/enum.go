@@ -252,12 +252,6 @@ func CountingContext(ctx context.Context, p *fsm.Protocol, n int, opts Options) 
 	return run(ctx, p, n, opts, ModeCounting)
 }
 
-type parent struct {
-	key   Key
-	cache int
-	op    fsm.Op
-}
-
 // bfs is the shared state of one enumeration run, used identically by the
 // sequential queue loop and the level-synchronous parallel loop (and
 // rebuilt from a Checkpoint on resume), so budget enforcement and
@@ -273,10 +267,34 @@ type bfs struct {
 	symmetric bool
 	maxStates int
 
-	visited map[Key]bool
-	parents map[Key]parent
-	tuples  map[Key]bool
-	bytes   int64 // estimated worklist+visited footprint
+	// visited and tuples are the compact dedup sets (see store.go); a
+	// state's rank in visited is its admission order. parents is the
+	// rank-indexed provenance: parents[r] records how the state admitted
+	// at rank r was first reached. opIx maps operations to their
+	// Protocol.Ops index for the uint8 op field.
+	visited visitedStore
+	tuples  visitedStore
+	parents []parentRec
+	opIx    map[fsm.Op]uint8
+
+	// frontierLen is the current worklist length, maintained by the run
+	// loops for the footprint estimate.
+	frontierLen int
+	bytes       int64 // estimated worklist+visited footprint (estBytes)
+
+	// memo caches the last parent-rank lookup: successors of one
+	// expansion step share a parent, so commit resolves it once.
+	memoKey  Key
+	memoRank uint32
+	memoOK   bool
+
+	// Out-of-core state (parallel engine only, see spill.go). frontRanks
+	// pins the current frontier's ranks in memory across spills;
+	// nextRanks collects the next level's during reconcile.
+	spill      *spillState
+	frontRanks map[Key]uint32
+	nextRanks  map[Key]uint32
+
 	// sinceCp counts expanded states since the last periodic checkpoint.
 	sinceCp int
 	// dups counts successors discarded as identity duplicates by the
@@ -287,13 +305,21 @@ type bfs struct {
 	res *Result
 }
 
-// stateBytes estimates the resident cost of one admitted state: its
-// fixed-width Key in the visited, parents and tuples maps (48 bytes each
-// plus bucket overhead), the parent record, and the frontier configuration
-// (a States slice of string headers and a Versions slice). The constant is
-// pinned against measured heap growth by TestStateBytesEstimate.
-func stateBytes(n int) int64 {
-	return int64(24*n + 560)
+// cfgBytes estimates the resident cost of one frontier configuration: the
+// fsm.Config struct, its States slice of string headers and its Versions
+// slice. The constant is pinned against measured heap growth by
+// TestStateBytesEstimate, which also covers the store estimates it is
+// summed with in estBytes.
+func cfgBytes(n int) int64 {
+	return int64(24*n + 128)
+}
+
+// estBytes estimates the run's resident footprint: the visited and tuple
+// sets, the provenance records and the frontier configurations.
+func (b *bfs) estBytes() int64 {
+	return b.visited.bytes() + b.tuples.bytes() +
+		int64(cap(b.parents))*parentRecBytes +
+		int64(b.frontierLen)*cfgBytes(b.n)
 }
 
 // newBFS validates the inputs and seeds the run with the initial
@@ -317,21 +343,30 @@ func newBFS(p *fsm.Protocol, n int, opts Options, mode string) (b *bfs, init *fs
 	if maxStates <= 0 {
 		maxStates = defaultMaxStates
 	}
+	if n > 1<<16-1 {
+		return nil, nil, false, fmt.Errorf("enum: cache count %d exceeds the provenance-record limit %d", n, 1<<16-1)
+	}
+	opIx, err := buildOpIndex(p)
+	if err != nil {
+		return nil, nil, false, err
+	}
 	b = &bfs{
 		p: p, n: n, opts: opts, rc: rc, kc: newKeyCodec(p, n, mode), mode: mode,
 		orun:      rc.Sink().Run("enum-"+mode, p.Name),
 		symmetric: mode == ModeCounting,
 		maxStates: maxStates,
+		opIx:      opIx,
 		res:       &Result{Protocol: p, N: n},
 	}
+	b.visited, b.tuples = newStores(b.kc, n)
 
 	init = fsm.NewConfig(p, n)
 	Canonicalize(init)
-	ik := b.kc.key(init)
-	b.visited = map[Key]bool{ik: true}
-	b.parents = map[Key]parent{ik: {}}
-	b.tuples = map[Key]bool{b.kc.tupleKey(init): true}
-	b.bytes = stateBytes(n)
+	b.visited.insert(b.kc.key(init))
+	b.parents = append(b.parents, parentRec{parent: noParent})
+	b.tuples.insert(b.kc.tupleKey(init))
+	b.frontierLen = 1
+	b.bytes = b.estBytes()
 	if opts.KeepReachable {
 		b.res.Reachable = append(b.res.Reachable, init.Clone())
 	}
@@ -356,6 +391,7 @@ func (b *bfs) stopCheck(ctx context.Context) error {
 	if err := b.rc.Budget.CheckDeadline(time.Now()); err != nil {
 		return err
 	}
+	b.bytes = b.estBytes()
 	return b.rc.Budget.CheckMem(b.bytes)
 }
 
@@ -367,7 +403,12 @@ func (b *bfs) stop(reason error, frontier []*fsm.Config) {
 	b.res.Truncated = true
 	b.finish()
 	if b.rc.CheckpointOnStop {
-		b.res.Checkpoint = b.snapshot(frontier)
+		cp, err := b.snapshot(frontier)
+		if err != nil {
+			b.res.SpecErrors = append(b.res.SpecErrors, fmt.Errorf("enum: capturing stop checkpoint: %w", err))
+			return
+		}
+		b.res.Checkpoint = cp
 	}
 }
 
@@ -378,12 +419,17 @@ func (b *bfs) maybeCheckpoint(frontier []*fsm.Config) error {
 	}
 	b.sinceCp = 0
 	b.orun.Event("checkpoints_total", 1)
-	return b.opts.OnCheckpoint(b.snapshot(frontier))
+	cp, err := b.snapshot(frontier)
+	if err != nil {
+		return err
+	}
+	return b.opts.OnCheckpoint(cp)
 }
 
 func (b *bfs) finish() {
-	b.res.Unique = len(b.visited)
-	b.res.TupleStates = len(b.tuples)
+	b.res.Unique = b.visited.size()
+	b.res.TupleStates = b.tuples.size()
+	b.bytes = b.estBytes()
 	b.res.EstBytes = b.bytes
 }
 
@@ -393,7 +439,7 @@ func (b *bfs) finish() {
 // state budget). Duplicates return their configuration to the pool.
 func (b *bfs) admit(it succItem, next *[]*fsm.Config) bool {
 	b.res.Visits++
-	if b.visited[it.key] {
+	if b.visited.has(it.key) {
 		b.dups++
 		releaseConfig(it.cfg)
 		return false
@@ -401,20 +447,56 @@ func (b *bfs) admit(it succItem, next *[]*fsm.Config) bool {
 	return b.commit(it, fsm.CheckConfig(b.p, it.cfg, b.opts.Strict), next)
 }
 
+// parentRank resolves the admission rank of a parent key: the memoized
+// last lookup (successors of one step share their parent), then the
+// pinned frontier ranks of an out-of-core run (the parent may have been
+// spilled), then the resident store.
+func (b *bfs) parentRank(k Key) uint32 {
+	if k.isZero() {
+		return noParent
+	}
+	if b.memoOK && k == b.memoKey {
+		return b.memoRank
+	}
+	r, ok := uint32(0), false
+	if b.frontRanks != nil {
+		r, ok = b.frontRanks[k]
+	}
+	if !ok {
+		if r, ok = b.visited.rank(k); !ok {
+			// Parents are always either resident or pinned in frontRanks;
+			// reaching here means the run state is corrupt.
+			panic("enum: internal error: parent state has no recorded rank")
+		}
+	}
+	b.memoKey, b.memoRank, b.memoOK = k, r, true
+	return r
+}
+
 // commit installs one deduplicated successor: provenance, tuple census,
-// memory accounting, violation recording and the exact state cap. It is
-// shared by the sequential admit and the parallel reconcile (which
-// precomputes viol inside the workers), so the two engines cannot drift.
+// violation recording and the exact state cap. It is shared by the
+// sequential admit and the parallel reconcile (which precomputes viol
+// inside the workers), so the two engines cannot drift.
 func (b *bfs) commit(it succItem, viol []fsm.Violation, next *[]*fsm.Config) bool {
-	b.visited[it.key] = true
-	b.parents[it.key] = parent{key: it.parent, cache: it.cache, op: it.op}
-	b.tuples[b.kc.tupleKey(it.cfg)] = true
-	b.bytes += stateBytes(b.n)
+	rank := b.visited.insert(it.key)
+	b.parents = append(b.parents, parentRec{
+		parent: b.parentRank(it.parent),
+		cache:  uint16(it.cache),
+		op:     b.opIx[it.op],
+	})
+	if b.nextRanks != nil {
+		b.nextRanks[it.key] = rank
+	}
+	if !it.tupleDup {
+		if tk := b.kc.tupleKey(it.cfg); !b.tuples.has(tk) {
+			b.tuples.insert(tk)
+		}
+	}
 	if len(viol) > 0 {
 		b.res.Violations = append(b.res.Violations, Violation{
 			Config:     it.cfg.Clone(),
 			Violations: viol,
-			Path:       witness(b.kc, b.parents, it.key),
+			Path:       b.witness(it.key, rank),
 		})
 		b.orun.Event(obs.MetricViolations, 1)
 		if b.opts.StopOnViolation {
@@ -425,13 +507,14 @@ func (b *bfs) commit(it succItem, viol []fsm.Violation, next *[]*fsm.Config) boo
 	if b.opts.KeepReachable {
 		b.res.Reachable = append(b.res.Reachable, it.cfg.Clone())
 	}
-	if len(b.visited) >= b.maxStates {
+	if b.visited.size() >= b.maxStates {
 		b.res.StopReason = runctl.ErrStateBudget
 		b.res.Truncated = true
 		b.finish()
 		return true
 	}
 	*next = append(*next, it.cfg)
+	b.frontierLen++
 	return false
 }
 
@@ -469,6 +552,7 @@ func (b *bfs) runSeq(ctx context.Context, queue []*fsm.Config) (*Result, error) 
 	level, remaining, visits0 := 0, len(queue), b.res.Visits
 	var out workerOut
 	for len(queue) > 0 {
+		b.frontierLen = len(queue)
 		if err := b.stopCheck(ctx); err != nil {
 			b.stop(err, queue)
 			return b.res, nil
@@ -500,7 +584,7 @@ func (b *bfs) runSeq(ctx context.Context, queue []*fsm.Config) (*Result, error) 
 			b.orun.Level(obs.LevelStats{
 				Level:     level,
 				Frontier:  len(queue),
-				Essential: len(b.visited),
+				Essential: b.visited.size(),
 				Visits:    b.res.Visits - visits0,
 				Pruned:    b.dups,
 				EstBytes:  b.bytes,
@@ -526,25 +610,50 @@ func shadowedBySibling(c *fsm.Config, i int) bool {
 	return false
 }
 
-// witness reconstructs the path from the initial configuration to k out of
-// the provenance map, rendering each hop's key in the legacy canonical
-// string format (PathStep.To equals fsm.Config.Key of the state reached,
-// in strict mode).
-func witness(kc *keyCodec, parents map[Key]parent, k Key) []PathStep {
-	var rev []PathStep
-	for {
-		pi, ok := parents[k]
-		if !ok || pi.key.isZero() {
-			break
-		}
-		rev = append(rev, PathStep{Cache: pi.cache, Op: pi.op, To: kc.render(k)})
-		k = pi.key
-		if len(rev) > 1000000 {
+// witness reconstructs the path from the initial configuration to the
+// state admitted at rank r with key k, walking the rank-indexed
+// provenance records and rendering each hop's key in the legacy
+// canonical string format (PathStep.To equals fsm.Config.Key of the
+// state reached, in strict mode). Ancestor keys are recovered from
+// their ranks with one pass over the store (plus the spill files of an
+// out-of-core run) — violations are rare, so the scan is off the hot
+// path.
+func (b *bfs) witness(k Key, r uint32) []PathStep {
+	var chain []uint32 // ranks from the violation up, excluding rank 0
+	for cur := r; b.parents[cur].parent != noParent; cur = b.parents[cur].parent {
+		chain = append(chain, cur)
+		if len(chain) > 1000000 {
 			break
 		}
 	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
+	keys := map[uint32]Key{r: k}
+	if len(chain) > 1 {
+		wanted := make(map[uint32]bool, len(chain))
+		for _, cr := range chain {
+			if cr != r {
+				wanted[cr] = true
+			}
+		}
+		collect := func(kk Key, rr uint32) {
+			if wanted[rr] {
+				keys[rr] = kk
+			}
+		}
+		b.visited.forEach(collect)
+		if b.spill != nil {
+			if err := b.forEachSpilled(b.spill.visitedFiles, collect); err != nil {
+				b.res.SpecErrors = append(b.res.SpecErrors, fmt.Errorf("enum: resolving witness path: %w", err))
+			}
+		}
 	}
-	return rev
+	steps := make([]PathStep, len(chain))
+	for i, cr := range chain {
+		rec := b.parents[cr]
+		steps[len(chain)-1-i] = PathStep{
+			Cache: int(rec.cache),
+			Op:    b.p.Ops[rec.op],
+			To:    b.kc.render(keys[cr]),
+		}
+	}
+	return steps
 }

@@ -48,14 +48,23 @@ func FuzzDecodeCheckpoint(f *testing.F) {
 	seeds = append(seeds, captureCheckpoint(f, ModeStrict))
 	seeds = append(seeds, captureCheckpoint(f, ModeCounting))
 	seeds = append(seeds,
-		[]byte(`{`),                        // truncated JSON
-		[]byte(`not json at all`),          // not JSON
-		[]byte(`{"version":1}`),            // stale version
-		[]byte(`{"version":99}`),           // future version
-		[]byte(`{"version":2,"protocol":"Illinois","n":3,"mode":"strict","visited":["garbage key grammar"],"frontier":[{"states":["Invalid"],"versions":[0],"mem":0,"latest":0}]}`),
-		[]byte(`{"version":2,"protocol":"Illinois","n":-1,"mode":"strict"}`),
-		[]byte(`{"version":2,"protocol":"Illinois","n":3,"mode":"no-such-mode"}`),
-		[]byte(`{"version":2,"protocol":"Illinois","n":3,"mode":"strict","frontier":[{"states":["Invalid","Shared"],"versions":[0],"mem":0,"latest":0}]}`),
+		[]byte(`{`),               // truncated JSON
+		[]byte(`not json at all`), // not JSON
+		[]byte(`{"version":1}`),   // stale version
+		[]byte(`{"version":2}`),   // stale version (pre rank-ordered lists)
+		[]byte(`{"version":99}`),  // future version
+		[]byte(`{"version":3,"protocol":"Illinois","n":3,"mode":"strict","visited":["garbage key grammar"],"parents":[{"parent":-1}],"frontier":[{"states":["Invalid"],"versions":[0],"mem":0,"latest":0}]}`),
+		[]byte(`{"version":3,"protocol":"Illinois","n":-1,"mode":"strict"}`),
+		[]byte(`{"version":3,"protocol":"Illinois","n":3,"mode":"no-such-mode"}`),
+		[]byte(`{"version":3,"protocol":"Illinois","n":3,"mode":"strict","frontier":[{"states":["Invalid","Shared"],"versions":[0],"mem":0,"latest":0}]}`),
+		// Rank-structure corruption: parents/visited misalignment, a
+		// repeated visited key, a forward parent rank, an unknown op and
+		// an out-of-range cache index must all be rejected on resume.
+		[]byte(`{"version":3,"protocol":"Illinois","n":3,"mode":"strict","visited":["I,I,I|m:0"],"parents":[]}`),
+		[]byte(`{"version":3,"protocol":"Illinois","n":3,"mode":"strict","visited":["I,I,I|m:0","I,I,I|m:0"],"parents":[{"parent":-1},{"parent":0,"cache":0,"op":"read"}]}`),
+		[]byte(`{"version":3,"protocol":"Illinois","n":3,"mode":"strict","visited":["I,I,I|m:0"],"parents":[{"parent":5,"cache":0,"op":"read"}]}`),
+		[]byte(`{"version":3,"protocol":"Illinois","n":3,"mode":"strict","visited":["I,I,I|m:0"],"parents":[{"parent":0,"cache":0,"op":"no-such-op"}]}`),
+		[]byte(`{"version":3,"protocol":"Illinois","n":3,"mode":"strict","visited":["I,I,I|m:0"],"parents":[{"parent":0,"cache":9,"op":"read"}]}`),
 	)
 	// A structurally valid checkpoint with one field scrambled, to steer
 	// the fuzzer toward deep decode paths.

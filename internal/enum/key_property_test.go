@@ -135,7 +135,7 @@ func TestOldCheckpointVersionRejected(t *testing.T) {
 
 	if _, err := ResumeContext(context.Background(), p, &cp, Options{}); err == nil {
 		t.Fatal("resume accepted a version-1 checkpoint")
-	} else if !strings.Contains(err.Error(), "version 1") || !strings.Contains(err.Error(), "version 2") {
+	} else if !strings.Contains(err.Error(), "version 1") || !strings.Contains(err.Error(), "version 3") {
 		t.Fatalf("resume error must name both versions, got: %v", err)
 	}
 
@@ -145,7 +145,7 @@ func TestOldCheckpointVersionRejected(t *testing.T) {
 	}
 	if _, err := DecodeCheckpoint(data); err == nil {
 		t.Fatal("decoder accepted a version-1 checkpoint")
-	} else if !strings.Contains(err.Error(), "version 1") || !strings.Contains(err.Error(), "version 2") {
+	} else if !strings.Contains(err.Error(), "version 1") || !strings.Contains(err.Error(), "version 3") {
 		t.Fatalf("decode error must name both versions, got: %v", err)
 	}
 }

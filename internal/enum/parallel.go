@@ -80,12 +80,39 @@ type succItem struct {
 	parent Key
 	cache  int
 	op     fsm.Op
+	// tupleDup marks a successor whose state tuple is already known to a
+	// spilled tuple census (set by spillFilter), so commit must not count
+	// it again.
+	tupleDup bool
 }
 
-// workerOut is a reusable successor buffer for the sequential engine.
+// workerOut is a reusable successor buffer, pooled across levels and
+// runs so steady-state expansion does not re-grow it.
 type workerOut struct {
 	items    []succItem
 	specErrs []error
+}
+
+var workerOutPool = sync.Pool{New: func() any { return new(workerOut) }}
+
+func getWorkerOut() *workerOut { return workerOutPool.Get().(*workerOut) }
+
+func putWorkerOut(out *workerOut) {
+	out.items = out.items[:0]
+	out.specErrs = out.specErrs[:0]
+	workerOutPool.Put(out)
+}
+
+// frontierPool recycles level slices: each BFS level retires its
+// frontier slice and the pool hands it to a later level's next buffer.
+var frontierPool = sync.Pool{New: func() any { return new([]*fsm.Config) }}
+
+func getFrontierSlice() []*fsm.Config {
+	return (*frontierPool.Get().(*[]*fsm.Config))[:0]
+}
+
+func putFrontierSlice(s []*fsm.Config) {
+	frontierPool.Put(&s)
 }
 
 // expandOne generates the successors of one frontier configuration into
@@ -253,22 +280,25 @@ func runParallel(ctx context.Context, p *fsm.Protocol, n int, opts Options, mode
 // worker's contribution to Visits) and any specification errors, both in
 // deterministic order.
 func (b *bfs) expandWorker(w int, frontier []*fsm.Config, ps *pendSet) (int, []error) {
-	var out workerOut
+	out := getWorkerOut()
 	item := uint64(0)
 	for _, cur := range frontier {
 		out.items = out.items[:0]
-		expandOne(b.kc, b.symmetric, cur, &out)
+		expandOne(b.kc, b.symmetric, cur, out)
 		for _, it := range out.items {
 			rank := uint64(w)<<rankShift | item
 			item++
-			if b.visited[it.key] {
+			if b.visited.has(it.key) {
 				releaseConfig(it.cfg)
 				continue
 			}
 			ps.admit(it, rank, b.opts.Strict, b.p)
 		}
 	}
-	return int(item), out.specErrs
+	specErrs := out.specErrs
+	out.specErrs = nil // retained by the caller; don't recycle the backing array
+	putWorkerOut(out)
+	return int(item), specErrs
 }
 
 // runPar drives the level-synchronous parallel BFS over the shared bfs
@@ -277,10 +307,17 @@ func (b *bfs) expandWorker(w int, frontier []*fsm.Config, ps *pendSet) (int, []e
 func (b *bfs) runPar(ctx context.Context, frontier []*fsm.Config, workers int) (*Result, error) {
 	sp := b.orun.Phase(obs.PhaseExpand)
 	defer sp.End()
+	if err := b.initSpill(frontier); err != nil {
+		return nil, err
+	}
 	// Bases for run-relative level stats (Visits and the visited set may
 	// carry over from a resumed checkpoint).
-	visits0, admitted0 := b.res.Visits, len(b.visited)
+	visits0, admitted0 := b.res.Visits, b.visited.size()
 	for level := 0; len(frontier) > 0; level++ {
+		b.frontierLen = len(frontier)
+		if err := b.maybeSpill(); err != nil {
+			return nil, err
+		}
 		if err := b.stopCheck(ctx); err != nil {
 			b.stop(err, frontier)
 			return b.res, nil
@@ -372,10 +409,23 @@ func (b *bfs) runPar(ctx context.Context, frontier []*fsm.Config, workers int) (
 		// counts exactly the successors the sequential merge would have
 		// processed by then: all of workers < w plus i+1 of worker w.
 		rsp := b.orun.Phase(obs.PhaseReconcile)
-		next := make([]*fsm.Config, 0, 16)
+		entries := ps.entries()
+		if b.spill != nil {
+			// Delayed duplicate detection: drop pending successors whose
+			// key (or tuple) already lives in a spill file, and collect
+			// the surviving frontier's ranks for the next level's
+			// provenance lookups.
+			var err error
+			if entries, err = b.spillFilter(entries); err != nil {
+				rsp.End()
+				return nil, err
+			}
+			b.nextRanks = make(map[Key]uint32, len(entries))
+		}
+		next := getFrontierSlice()
 		appended := 0 // workers whose spec errors are already in res
 		stopped := false
-		for _, e := range ps.entries() {
+		for _, e := range entries {
 			ew := int(e.rank >> rankShift)
 			for ; appended <= ew; appended++ {
 				b.res.SpecErrors = append(b.res.SpecErrors, errs[appended]...)
@@ -404,14 +454,20 @@ func (b *bfs) runPar(ctx context.Context, frontier []*fsm.Config, workers int) (
 			releaseConfig(cur)
 		}
 		b.sinceCp += len(frontier)
+		putFrontierSlice(frontier)
 		frontier = next
+		b.frontierLen = len(frontier)
+		b.bytes = b.estBytes()
+		if b.spill != nil {
+			b.frontRanks, b.nextRanks = b.nextRanks, nil
+		}
 		visits := b.res.Visits - visits0
 		b.orun.Level(obs.LevelStats{
 			Level:     level,
 			Frontier:  len(frontier),
-			Essential: len(b.visited),
+			Essential: b.visited.size(),
 			Visits:    visits,
-			Pruned:    visits - (len(b.visited) - admitted0),
+			Pruned:    visits - (b.visited.size() - admitted0),
 			EstBytes:  b.bytes,
 		})
 	}

@@ -35,6 +35,15 @@ type RunConfig struct {
 	// entry points (0 here means GOMAXPROCS, matching their contract).
 	Workers int
 
+	// SpillDir, when set together with Budget.MaxBytes, lets engines with
+	// out-of-core support (the parallel enumeration) spill cold visited-set
+	// shards to CRC-checked files under this directory once the estimated
+	// resident bytes approach the budget, instead of stopping with
+	// ErrMemBudget. Spilled entries are streamed back for deduplication at
+	// level boundaries, so results stay bit-identical to an in-memory run.
+	// Engines without spill support ignore it.
+	SpillDir string
+
 	// Observer receives phase/level/event callbacks during the run; nil
 	// disables them with a single nil check (allocation-free fast path).
 	Observer obs.Observer

@@ -23,6 +23,7 @@ func TestCacheKeyDiscriminates(t *testing.T) {
 		"n":         CacheKey("spec", JobOptions{Engine: EngineEnumStrict, N: 5}),
 		"strict":    CacheKey("spec", JobOptions{Engine: EngineSymbolic, Strict: true}),
 		"maxstates": CacheKey("spec", JobOptions{Engine: EngineSymbolic, MaxStates: 7}),
+		"workers":   CacheKey("spec", JobOptions{Engine: EngineSymbolic, Workers: 8}),
 	}
 	seen := map[string]string{}
 	for dim, k := range keys {

@@ -24,6 +24,10 @@ const (
 // knob.
 const maxEnumN = 12
 
+// maxWorkers caps the parallel width a request may ask for; goroutines are
+// cheap but not free, and the engines gain nothing beyond the host's cores.
+const maxWorkers = 16
+
 // JobOptions are the engine-facing options that shape a verification
 // result and therefore participate in the cache key. Per-request execution
 // knobs that cannot change a completed verdict (deadline, cache bypass) are
@@ -41,6 +45,13 @@ type JobOptions struct {
 	// returning a partial verdict, so it is part of the key only for
 	// completeness of the options rendering.
 	MaxStates int `json:"max_states,omitempty"`
+	// Workers selects the parallel engine width: > 1 runs the level-
+	// synchronous parallel BFS (enum) or the speculation pipeline
+	// (symbolic) with that many goroutines; 0 or 1 is sequential. The
+	// parallel engines are bit-identical to the sequential ones, but the
+	// knob still enters the cache key so a cached verdict always names the
+	// exact configuration that produced it.
+	Workers int `json:"workers,omitempty"`
 }
 
 // normalize fills defaults and validates the options in place.
@@ -67,6 +78,14 @@ func (o *JobOptions) normalize() error {
 	if o.MaxStates < 0 {
 		return fmt.Errorf("serve: negative max_states %d", o.MaxStates)
 	}
+	if o.Workers == 0 {
+		// Sequential is the default; canonicalize so "workers omitted" and
+		// "workers: 1" share a cache entry.
+		o.Workers = 1
+	}
+	if o.Workers < 1 || o.Workers > maxWorkers {
+		return fmt.Errorf("serve: workers=%d out of range [1, %d]", o.Workers, maxWorkers)
+	}
 	return nil
 }
 
@@ -74,7 +93,7 @@ func (o *JobOptions) normalize() error {
 // canonical spec rendering, the options rendering or the report schema
 // changes meaning, so stale disk-tier entries from older builds can never
 // be served as current results.
-const keySchema = 1
+const keySchema = 2 // v2: the workers knob joined the options rendering
 
 // CacheKey derives the content address of a verification result: the
 // SHA-256 over a versioned rendering of the engine options followed by the
@@ -82,8 +101,8 @@ const keySchema = 1
 // collision-resistant enough that the key alone identifies the result.
 func CacheKey(canonicalSpec string, o JobOptions) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "ccserve-key-v%d\x00engine=%s\x00n=%d\x00strict=%t\x00maxstates=%d\x00",
-		keySchema, o.Engine, o.N, o.Strict, o.MaxStates)
+	fmt.Fprintf(h, "ccserve-key-v%d\x00engine=%s\x00n=%d\x00strict=%t\x00maxstates=%d\x00workers=%d\x00",
+		keySchema, o.Engine, o.N, o.Strict, o.MaxStates, o.Workers)
 	io.WriteString(h, canonicalSpec)
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -13,8 +13,8 @@ import "testing"
 // and peer entries from older builds can never be served as current
 // results; then re-pin these literals.
 func TestCacheKeyGolden(t *testing.T) {
-	if keySchema != 1 {
-		t.Fatalf("keySchema = %d; these golden keys pin schema 1 — re-derive and re-pin them for the new schema", keySchema)
+	if keySchema != 2 {
+		t.Fatalf("keySchema = %d; these golden keys pin schema 2 — re-derive and re-pin them for the new schema", keySchema)
 	}
 	golden := []struct {
 		name string
@@ -24,12 +24,17 @@ func TestCacheKeyGolden(t *testing.T) {
 		{
 			name: "symbolic-default",
 			opts: JobOptions{Engine: EngineSymbolic},
-			want: "58ed0905f5d03d7e784ba17b8d88d469c070e8e83563969b6baf547364272a5d",
+			want: "6ec58d20f1f6c1efbb5a233f961240ceba323896bc3e3f649b159a5999eec3b6",
 		},
 		{
 			name: "enum-strict-n4",
 			opts: JobOptions{Engine: EngineEnumStrict, N: 4},
-			want: "e7055b700bf1e6516ecf2bca27cfc8de741e6f1b81103be4b2d3e678bb452c5a",
+			want: "bd6811e8ceb42f1d0b475910a6043c8ef46563bb11223596ea4b86f7e6141c16",
+		},
+		{
+			name: "symbolic-workers8",
+			opts: JobOptions{Engine: EngineSymbolic, Workers: 8},
+			want: "8393c490806f6c631f187ffea5de7458d917e596d312e6bde74f8a529c7a7795",
 		},
 	}
 	_, canonical, err := ResolveSpec("illinois", "")

@@ -30,6 +30,11 @@ type Report struct {
 	N              int    `json:"n,omitempty"`
 	Strict         bool   `json:"strict,omitempty"`
 	MaxStates      int    `json:"max_states,omitempty"`
+	// Workers is the parallel engine width the result was produced with
+	// (omitted when 1, the sequential default); the parallel engines are
+	// bit-identical to the sequential ones, so it documents cost, not
+	// verdict.
+	Workers int `json:"workers,omitempty"`
 	// CacheKey is the content address of this result.
 	CacheKey string `json:"cache_key"`
 	// Verdict is "clean" or "violations".
@@ -90,6 +95,9 @@ func runVerification(ctx context.Context, p *fsm.Protocol, key string, opts JobO
 	rep.N = opts.N
 	rep.Strict = opts.Strict
 	rep.MaxStates = opts.MaxStates
+	if opts.Workers > 1 {
+		rep.Workers = opts.Workers
+	}
 	rep.CacheKey = key
 	rep.Verdict = VerdictClean
 	cacheable = true
@@ -115,11 +123,17 @@ func runSymbolic(ctx context.Context, p *fsm.Protocol, opts JobOptions, reg *obs
 	if err != nil {
 		return nil, err
 	}
-	res, err := eng.ExpandContext(ctx, symbolic.Options{
-		RunConfig: runctl.RunConfig{Metrics: reg},
+	sopts := symbolic.Options{
+		RunConfig: runctl.RunConfig{Metrics: reg, Workers: opts.Workers},
 		Strict:    opts.Strict,
 		MaxVisits: opts.MaxStates,
-	})
+	}
+	var res *symbolic.Result
+	if opts.Workers > 1 {
+		res, err = eng.ExpandParallelContext(ctx, sopts, opts.Workers)
+	} else {
+		res, err = eng.ExpandContext(ctx, sopts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -155,13 +169,20 @@ func runEnum(ctx context.Context, p *fsm.Protocol, opts JobOptions, reg *obs.Reg
 		Strict:    opts.Strict,
 		MaxStates: opts.MaxStates,
 	}
+	eopts.RunConfig.Workers = opts.Workers
 	var res *enum.Result
 	var err error
 	mode := enum.ModeStrict
-	if opts.Engine == EngineEnumCounting {
+	switch {
+	case opts.Engine == EngineEnumCounting && opts.Workers > 1:
+		mode = enum.ModeCounting
+		res, err = enum.CountingParallelContext(ctx, p, opts.N, eopts, opts.Workers)
+	case opts.Engine == EngineEnumCounting:
 		mode = enum.ModeCounting
 		res, err = enum.CountingContext(ctx, p, opts.N, eopts)
-	} else {
+	case opts.Workers > 1:
+		res, err = enum.ExhaustiveParallelContext(ctx, p, opts.N, eopts, opts.Workers)
+	default:
 		res, err = enum.ExhaustiveContext(ctx, p, opts.N, eopts)
 	}
 	if err != nil {

@@ -283,6 +283,16 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 // interrupted-then-resumed run produce identical Essential lists and
 // counters.
 func (e *Engine) ResumeContext(ctx context.Context, cp *Checkpoint, opts Options) (*Result, error) {
+	x, err := e.resumeExpander(cp, opts)
+	if err != nil {
+		return nil, err
+	}
+	return x.run(ctx)
+}
+
+// resumeExpander rebuilds the expander state from a checkpoint, shared
+// by the sequential and parallel resume entry points.
+func (e *Engine) resumeExpander(cp *Checkpoint, opts Options) (*expander, error) {
 	if cp.Version != CheckpointVersion {
 		return nil, fmt.Errorf("symbolic: unsupported checkpoint version %d (this build reads version %d; checkpoints from older builds cannot be resumed — re-run the expansion)", cp.Version, CheckpointVersion)
 	}
@@ -365,5 +375,5 @@ func (e *Engine) ResumeContext(ctx context.Context, cp *Checkpoint, opts Options
 	for _, s := range cp.SpecErrors {
 		x.res.SpecErrors = append(x.res.SpecErrors, fmt.Errorf("%s", s))
 	}
-	return x.run(ctx)
+	return x, nil
 }

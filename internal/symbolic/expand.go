@@ -20,7 +20,9 @@ import (
 // The budgets are checked at worklist-item boundaries, so a stopped run
 // ends between expansions and its partial Result (and checkpoint) covers
 // whole expansion steps only; the exact MaxVisits cap, by contrast, may
-// stop mid-step. RunConfig.Workers is ignored (Figure 3 is sequential).
+// stop mid-step. RunConfig.Workers is the default worker count of the
+// parallel entry points (ExpandParallel and friends); the sequential
+// Expand ignores it.
 type Options struct {
 	runctl.RunConfig
 
@@ -188,6 +190,10 @@ type Result struct {
 	// EstBytes is the run's final estimated resident footprint, the value
 	// the memory budget was enforced against (see cstateBytes).
 	EstBytes int64
+	// WorkerErrors records panics recovered in parallel speculation
+	// workers. The affected states were re-expanded inline, so the
+	// results are unaffected; the entries exist for diagnosis.
+	WorkerErrors []*WorkerError
 }
 
 // OK reports whether the protocol verified cleanly: no erroneous states and
@@ -230,18 +236,10 @@ func (e *Engine) Expand(opts Options) *Result {
 
 // ExpandContext runs Figure 3 under a context with budget enforcement.
 func (e *Engine) ExpandContext(ctx context.Context, opts Options) (*Result, error) {
-	x := newExpander(e, opts)
-	init := e.Initial()
-	x.parents[init.Key()] = parentInfo{}
-	x.seenKeys[init.Key()] = struct{}{}
-	if v := e.Check(init, opts.Strict); len(v) > 0 {
-		x.res.Violations = append(x.res.Violations, StateViolation{State: init, Violations: v})
-		x.orun.Event(obs.MetricViolations, 1)
-		if opts.StopOnViolation {
-			return x.res, nil
-		}
+	x := e.startExpander(opts)
+	if x.done {
+		return x.res, nil
 	}
-	x.pushWork(init)
 	return x.run(ctx)
 }
 
@@ -407,141 +405,193 @@ func (x *expander) maybeCheckpoint() error {
 	return x.opts.OnCheckpoint(x.snapshot())
 }
 
-// run drives the Figure 3 loop over the expander state.
-func (x *expander) run(ctx context.Context) (*Result, error) {
+// eventResult is the memoized outcome of one expandEvent call, tagged
+// with its (class, op-index) position so processItem can verify the memo
+// cursor stays aligned with its own iteration order. viol[j] carries the
+// precomputed violation check of succs[j] — Check, like expandEvent, is
+// a pure function of the successor state, and hoisting it into the
+// speculation phase roughly doubles the parallelizable fraction of an
+// expansion (see the profile notes in parallel.go).
+type eventResult struct {
+	oi, k int
+	succs []Succ
+	viol  [][]fsm.Violation
+	err   error
+}
+
+// processItem performs the Figure 3 processing of one popped worklist
+// state: expand every applicable (class, operation) event, check each
+// successor, and merge it into the working and history lists under
+// containment pruning. memo, when non-nil, carries the precomputed
+// expandEvent results for a in iteration order (see Engine.expandItem);
+// the parallel driver fills it speculatively, the sequential driver
+// passes nil and computes inline. expandEvent is a pure function of its
+// arguments, so consuming the memo is observationally identical to
+// computing inline — which is what keeps the two drivers bit-identical.
+// It reports true when the run must return immediately (StopOnViolation),
+// with the result already finalized.
+func (x *expander) processItem(a *CState, memo []eventResult) bool {
 	e, opts, res := x.e, x.opts, x.res
+	superseded := false
+	cur := 0
+
+expandA:
+	for oi := 0; oi < a.NumClasses() && !superseded; oi++ {
+		if !a.reps[oi].CanBePositive() {
+			continue
+		}
+		for k, op := range e.p.Ops {
+			rules := e.eventTabs[oi][k]
+			if len(rules) == 0 {
+				continue
+			}
+			var succs []Succ
+			var specErr error
+			var viols [][]fsm.Violation
+			if cur < len(memo) && memo[cur].oi == oi && memo[cur].k == k {
+				succs, specErr, viols = memo[cur].succs, memo[cur].err, memo[cur].viol
+				cur++
+			} else {
+				succs, specErr = e.expandEvent(a, oi, op, rules)
+			}
+			if specErr != nil {
+				res.SpecErrors = append(res.SpecErrors, specErr)
+				x.orun.Event("spec_errors_total", 1)
+			}
+			for j, su := range succs {
+				res.Visits++
+				ap := su.State
+				if _, seen := x.parents[ap.Key()]; !seen {
+					x.parents[ap.Key()] = parentInfo{parent: a, label: su.Label}
+				}
+
+				// Erroneous-state detection happens before pruning so
+				// containment can never hide a violation.
+				if !x.reported[ap.Key()] {
+					var v []fsm.Violation
+					if viols != nil {
+						v = viols[j]
+					} else {
+						v = e.Check(ap, opts.Strict)
+					}
+					if len(v) > 0 {
+						x.reported[ap.Key()] = true
+						res.Violations = append(res.Violations, StateViolation{
+							State:      ap,
+							Violations: v,
+							Path:       e.witness(x.parents, ap),
+						})
+						x.orun.Event(obs.MetricViolations, 1)
+						if opts.StopOnViolation {
+							res.Essential = append(x.hist, x.work...)
+							res.EstBytes = x.estBytes()
+							return true
+						}
+					}
+				}
+
+				outcome := OutcomeNew
+				switch {
+				case opts.NoContainment:
+					if _, dup := x.seenKeys[ap.Key()]; dup {
+						outcome = OutcomeContained
+					} else {
+						x.seenKeys[ap.Key()] = struct{}{}
+						x.pushWork(ap)
+					}
+				case Contains(a, ap):
+					outcome = OutcomeContained
+				case x.inWork(ap) || x.inHist(ap):
+					outcome = OutcomeContained
+				default:
+					if n := x.prune(&x.work, x.workIx, ap); n > 0 {
+						res.Evicted += n
+						outcome = OutcomeSupersedes
+					}
+					if n := x.prune(&x.hist, x.histIx, ap); n > 0 {
+						res.Evicted += n
+						outcome = OutcomeSupersedes
+					}
+					x.pushWork(ap)
+					if Contains(ap, a) {
+						// "discard A and terminate all FOR loops
+						// starting a new run."
+						superseded = true
+						res.Superseded++
+					}
+				}
+				if outcome == OutcomeContained {
+					res.Contained++
+				}
+				if opts.RecordLog {
+					res.Log = append(res.Log, VisitRecord{
+						From: a, Label: su.Label, Rule: su.Rule.Name,
+						To: ap, Outcome: outcome,
+					})
+				}
+				if res.Visits >= x.maxVisits {
+					break expandA
+				}
+				if superseded {
+					break expandA
+				}
+			}
+		}
+	}
+	if !superseded {
+		res.Expansions++
+		if opts.NoContainment {
+			x.pushHist(a)
+		} else if !x.inHist(a) && !x.inWork(a) {
+			x.pushHist(a)
+		}
+	}
+	x.sinceCp++
+	// One "level" of the worklist algorithm is one fully processed
+	// item; counts are cumulative (obs.Run turns them into deltas).
+	x.orun.Level(obs.LevelStats{
+		Level:      res.Expansions + res.Superseded - 1,
+		Frontier:   len(x.work),
+		Essential:  len(x.hist),
+		Visits:     res.Visits,
+		Pruned:     res.Contained,
+		Superseded: res.Superseded,
+		EstBytes:   x.estBytes(),
+	})
+	return false
+}
+
+// finishRun finalizes the result after the main loop drained (or the
+// exact MaxVisits cap tripped mid-step).
+func (x *expander) finishRun() {
+	x.res.Essential = x.hist
+	x.res.EstBytes = x.estBytes()
+	if len(x.work) > 0 {
+		// The exact MaxVisits cap tripped mid-expansion; no checkpoint for
+		// mid-step stops.
+		x.res.Truncated = true
+		x.res.StopReason = runctl.ErrStateBudget
+	}
+}
+
+// run drives the Figure 3 loop over the expander state, sequentially.
+func (x *expander) run(ctx context.Context) (*Result, error) {
 	sp := x.orun.Phase(obs.PhaseExpand)
 	defer sp.End()
-	for len(x.work) > 0 && res.Visits < x.maxVisits {
+	for len(x.work) > 0 && x.res.Visits < x.maxVisits {
 		if err := x.stopCheck(ctx); err != nil {
 			x.stop(err)
-			return res, nil
+			return x.res, nil
 		}
 		if err := x.maybeCheckpoint(); err != nil {
 			return nil, err
 		}
-		a := x.popWork()
-		superseded := false
-
-	expandA:
-		for oi := 0; oi < a.NumClasses() && !superseded; oi++ {
-			if !a.reps[oi].CanBePositive() {
-				continue
-			}
-			for k, op := range e.p.Ops {
-				rules := e.eventTabs[oi][k]
-				if len(rules) == 0 {
-					continue
-				}
-				succs, specErr := e.expandEvent(a, oi, op, rules)
-				if specErr != nil {
-					res.SpecErrors = append(res.SpecErrors, specErr)
-					x.orun.Event("spec_errors_total", 1)
-				}
-				for _, su := range succs {
-					res.Visits++
-					ap := su.State
-					if _, seen := x.parents[ap.Key()]; !seen {
-						x.parents[ap.Key()] = parentInfo{parent: a, label: su.Label}
-					}
-
-					// Erroneous-state detection happens before pruning so
-					// containment can never hide a violation.
-					if !x.reported[ap.Key()] {
-						if v := e.Check(ap, opts.Strict); len(v) > 0 {
-							x.reported[ap.Key()] = true
-							res.Violations = append(res.Violations, StateViolation{
-								State:      ap,
-								Violations: v,
-								Path:       e.witness(x.parents, ap),
-							})
-							x.orun.Event(obs.MetricViolations, 1)
-							if opts.StopOnViolation {
-								res.Essential = append(x.hist, x.work...)
-								res.EstBytes = x.estBytes()
-								return res, nil
-							}
-						}
-					}
-
-					outcome := OutcomeNew
-					switch {
-					case opts.NoContainment:
-						if _, dup := x.seenKeys[ap.Key()]; dup {
-							outcome = OutcomeContained
-						} else {
-							x.seenKeys[ap.Key()] = struct{}{}
-							x.pushWork(ap)
-						}
-					case Contains(a, ap):
-						outcome = OutcomeContained
-					case x.inWork(ap) || x.inHist(ap):
-						outcome = OutcomeContained
-					default:
-						if n := x.prune(&x.work, x.workIx, ap); n > 0 {
-							res.Evicted += n
-							outcome = OutcomeSupersedes
-						}
-						if n := x.prune(&x.hist, x.histIx, ap); n > 0 {
-							res.Evicted += n
-							outcome = OutcomeSupersedes
-						}
-						x.pushWork(ap)
-						if Contains(ap, a) {
-							// "discard A and terminate all FOR loops
-							// starting a new run."
-							superseded = true
-							res.Superseded++
-						}
-					}
-					if outcome == OutcomeContained {
-						res.Contained++
-					}
-					if opts.RecordLog {
-						res.Log = append(res.Log, VisitRecord{
-							From: a, Label: su.Label, Rule: su.Rule.Name,
-							To: ap, Outcome: outcome,
-						})
-					}
-					if res.Visits >= x.maxVisits {
-						break expandA
-					}
-					if superseded {
-						break expandA
-					}
-				}
-			}
+		if x.processItem(x.popWork(), nil) {
+			return x.res, nil
 		}
-		if !superseded {
-			res.Expansions++
-			if opts.NoContainment {
-				x.pushHist(a)
-			} else if !x.inHist(a) && !x.inWork(a) {
-				x.pushHist(a)
-			}
-		}
-		x.sinceCp++
-		// One "level" of the worklist algorithm is one fully processed
-		// item; counts are cumulative (obs.Run turns them into deltas).
-		x.orun.Level(obs.LevelStats{
-			Level:      res.Expansions + res.Superseded - 1,
-			Frontier:   len(x.work),
-			Essential:  len(x.hist),
-			Visits:     res.Visits,
-			Pruned:     res.Contained,
-			Superseded: res.Superseded,
-			EstBytes:   x.estBytes(),
-		})
 	}
-	res.Essential = x.hist
-	res.EstBytes = x.estBytes()
-	if len(x.work) > 0 {
-		// The exact MaxVisits cap tripped mid-expansion; no checkpoint for
-		// mid-step stops.
-		res.Truncated = true
-		res.StopReason = runctl.ErrStateBudget
-	}
-	return res, nil
+	x.finishRun()
+	return x.res, nil
 }
 
 // containedInAny is the reference linear scan, used by the index for
