@@ -16,15 +16,25 @@
 // With -peers the node joins a fault-tolerant cluster: before computing a
 // cache miss it asks the key's rendezvous-hashed owners for the cached
 // result (GET /v1/cache/{key}, CRC-checked), with hedging, per-peer
-// circuit breakers and health probing. Any peer failure degrades to local
-// compute — a 1-node-alive cluster behaves exactly like a single node.
-// See docs/service.md ("Cluster mode").
+// circuit breakers and health probing; and when its own pool saturates it
+// forwards whole jobs to the least-loaded healthy owner (POST
+// /v1/cluster/compute). Any peer failure degrades to local compute — a
+// 1-node-alive cluster behaves exactly like a single node. See
+// docs/service.md ("Cluster mode").
+//
+// Per-tenant admission control (-tenant-rate, -tenant-queue-share) keys
+// off the X-CC-Tenant header: token buckets bound each tenant's request
+// rate and a queue-share cap keeps one tenant from starving the rest;
+// refusals are 429s carrying Retry-After. Batch work is shed before
+// interactive work under load. See docs/service.md ("Tenancy &
+// admission").
 //
 // Endpoints: POST /v1/verify (async job submission; ?wait=1 blocks),
-// GET /v1/jobs/{id} (poll; ?wait=1 blocks), DELETE /v1/jobs/{id} (cancel),
-// GET /v1/protocols, GET /v1/metrics (the observability-registry snapshot:
-// service counters, per-protocol verify_latency_seconds.* histograms and
-// engine counters), GET /healthz, GET /statsz. See docs/service.md and
+// POST /v1/verify/batch (many jobs or a protocol×mutation sweep, NDJSON
+// streamed), GET /v1/jobs/{id} (poll; ?wait=1 blocks), DELETE
+// /v1/jobs/{id} (cancel), GET /v1/protocols, GET /v1/metrics (the
+// observability-registry snapshot; ?scope=cluster merges every reachable
+// peer's), GET /healthz, GET /statsz. See docs/service.md and
 // docs/observability.md.
 //
 // On SIGINT/SIGTERM (or -timeout) the server drains: intake closes
@@ -109,15 +119,24 @@ func main() {
 		memProfile   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		showVersion  = flag.Bool("version", false, "print version information and exit")
 
-		peers           = flag.String("peers", "", "comma-separated peer base URLs enabling cluster mode (may include this node's own address)")
-		self            = flag.String("self", "", "this node's advertised address, filtered from -peers (default: the bound TCP address)")
-		peerFetchTO     = flag.Duration("peer-fetch-timeout", 0, "total wall-clock budget for one peer cache fill across hedges and retries (0: 2s)")
-		peerCallTO      = flag.Duration("peer-call-timeout", 0, "per-attempt peer HTTP deadline, the wedge detector (0: 500ms)")
-		peerHedge       = flag.Duration("peer-hedge-delay", 0, "fixed hedge deadline before asking the next owner (0: adaptive p90)")
-		peerRetries     = flag.Int("peer-retries", 0, "extra peer lookup rounds after the first (0: 1, negative: none)")
-		peerBreakFails  = flag.Int("peer-breaker-failures", 0, "consecutive failures opening a peer's circuit breaker (0: 3)")
-		peerBreakCool   = flag.Duration("peer-breaker-cooldown", 0, "open-breaker cooldown before a half-open trial (0: 5s)")
-		peerProbe       = flag.Duration("peer-probe-interval", 0, "background /healthz probe cadence (0: 2s)")
+		tenantRate    = flag.Float64("tenant-rate", 0, "per-tenant token-bucket rate in requests/second (0: unlimited)")
+		tenantBurst   = flag.Int("tenant-burst", 0, "per-tenant token-bucket burst capacity (0: max(1, 2*rate))")
+		tenantShare   = flag.Float64("tenant-queue-share", 0, "fraction of the queue one tenant may occupy (0: 0.75, >=1: unlimited)")
+		batchShed     = flag.Float64("batch-shed-fraction", 0, "queue occupancy above which batch work is shed (0: 0.5, >=1: never)")
+		batchParallel = flag.Int("batch-parallel", 0, "concurrent jobs per batch request (0: 2*workers, min 4)")
+		batchHedge    = flag.Duration("batch-hedge", 0, "fixed straggler re-dispatch deadline for forwarded batch jobs (0: adaptive)")
+		batchRetries  = flag.Int("batch-retries", 0, "retries per failed batch job (0: 2, negative: none)")
+
+		peers          = flag.String("peers", "", "comma-separated peer base URLs enabling cluster mode (may include this node's own address)")
+		self           = flag.String("self", "", "this node's advertised address, filtered from -peers (default: the bound TCP address)")
+		peerFetchTO    = flag.Duration("peer-fetch-timeout", 0, "total wall-clock budget for one peer cache fill across hedges and retries (0: 2s)")
+		peerCallTO     = flag.Duration("peer-call-timeout", 0, "per-attempt peer HTTP deadline, the wedge detector (0: 500ms)")
+		peerHedge      = flag.Duration("peer-hedge-delay", 0, "fixed hedge deadline before asking the next owner (0: adaptive p90)")
+		peerRetries    = flag.Int("peer-retries", 0, "extra peer lookup rounds after the first (0: 1, negative: none)")
+		peerBreakFails = flag.Int("peer-breaker-failures", 0, "consecutive failures opening a peer's circuit breaker (0: 3)")
+		peerBreakCool  = flag.Duration("peer-breaker-cooldown", 0, "open-breaker cooldown before a half-open trial (0: 5s)")
+		peerProbe      = flag.Duration("peer-probe-interval", 0, "background /healthz probe cadence (0: 2s)")
+		peerComputeTO  = flag.Duration("peer-compute-timeout", 0, "total wall-clock budget for one forwarded compute across owners (0: 120s)")
 	)
 	flag.Parse()
 
@@ -157,6 +176,14 @@ func main() {
 			CacheDir:       *cacheDir,
 			DiskCacheBytes: *cacheDiskMax,
 			KeepJobs:       *keepJobs,
+
+			TenantRate:        *tenantRate,
+			TenantBurst:       *tenantBurst,
+			TenantQueueShare:  *tenantShare,
+			BatchShedFraction: *batchShed,
+			BatchParallel:     *batchParallel,
+			BatchHedge:        *batchHedge,
+			BatchRetries:      *batchRetries,
 		},
 		drainTimeout: *drainTimeout,
 		peers:        splitPeers(*peers),
@@ -169,6 +196,7 @@ func main() {
 			BreakerFailures: *peerBreakFails,
 			BreakerCooldown: *peerBreakCool,
 			ProbeInterval:   *peerProbe,
+			ComputeTimeout:  *peerComputeTO,
 		},
 	})
 	if err != nil {

@@ -81,6 +81,7 @@ func SweepDir(dir, suffix string, maxBytes int64) (SweepStats, error) {
 		}
 		if err := os.Remove(f.path); err != nil {
 			if os.IsNotExist(err) {
+				// Someone else removed it; count it as gone.
 				stats.KeptBytes -= f.size
 				continue
 			}
@@ -89,6 +90,47 @@ func SweepDir(dir, suffix string, maxBytes int64) (SweepStats, error) {
 		stats.Removed++
 		stats.FreedBytes += f.size
 		stats.KeptBytes -= f.size
+	}
+	return stats, nil
+}
+
+// SweepPrefix removes every regular file in dir whose name starts with
+// prefix, returning what it found and freed. It is the startup cleanup for
+// directories that hold strictly run-scoped scratch files — ccenum's
+// out-of-core spill directory, where spill-visited-*.bin / spill-tuples-*.bin
+// left behind by a budgeted run that failed or was killed are garbage by
+// construction (enumeration checkpoints are self-contained, so no resume
+// ever reads an earlier run's spill files). Subdirectories, dotfiles and
+// non-regular files are never touched; a file vanishing mid-sweep is
+// skipped. A removal error aborts the sweep with the stats accumulated so
+// far, mirroring SweepDir.
+func SweepPrefix(dir, prefix string) (SweepStats, error) {
+	var stats SweepStats
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return stats, nil // nothing to sweep
+		}
+		return stats, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.Type().IsRegular() || strings.HasPrefix(name, ".") || !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue // vanished mid-sweep
+		}
+		stats.Scanned++
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return stats, err
+		}
+		stats.Removed++
+		stats.FreedBytes += fi.Size()
 	}
 	return stats, nil
 }

@@ -1,0 +1,52 @@
+package ckptio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSweepPrefixRemovesOnlyMatchingFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, n int) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), make([]byte, n), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("spill-visited-0000.bin", 100)
+	write("spill-tuples-0000.bin", 50)
+	write("result.ccres", 10)  // different prefix: must survive
+	write(".spill-hidden", 10) // dotfile: never touched
+	if err := os.Mkdir(filepath.Join(dir, "spill-subdir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := SweepPrefix(dir, "spill-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scanned != 2 || stats.Removed != 2 || stats.FreedBytes != 150 {
+		t.Fatalf("stats = %+v, want 2 scanned, 2 removed, 150 bytes freed", stats)
+	}
+	for _, name := range []string{"spill-visited-0000.bin", "spill-tuples-0000.bin"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Errorf("%s survived the sweep", name)
+		}
+	}
+	for _, name := range []string{"result.ccres", ".spill-hidden", "spill-subdir"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("%s should have survived: %v", name, err)
+		}
+	}
+}
+
+func TestSweepPrefixMissingDirIsEmptyNotError(t *testing.T) {
+	stats, err := SweepPrefix(filepath.Join(t.TempDir(), "nope"), "spill-")
+	if err != nil {
+		t.Fatalf("missing directory must sweep to nothing, got %v", err)
+	}
+	if stats != (SweepStats{}) {
+		t.Fatalf("stats = %+v, want zero", stats)
+	}
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// newTestPeer builds a bare peer with default thresholds for direct
+// breaker-state tests (no HTTP involved).
+func newTestPeer() *peer {
+	return newPeer("http://x:1", Config{}.withDefaults(), obs.NewRegistry())
+}
+
+// trip opens the peer's breaker via consecutive failures.
+func trip(p *peer, now time.Time) {
+	for i := 0; i < p.breakerFailures; i++ {
+		p.failure(now)
+	}
+}
+
+func TestBreakerHalfOpenAdmitsExactlyOneConcurrentTrial(t *testing.T) {
+	p := newTestPeer()
+	now := time.Now()
+	trip(p, now)
+	if p.allow(now) {
+		t.Fatal("open breaker admitted a request before its cooldown")
+	}
+
+	// Cooldown elapses; a stampede of concurrent callers races for the
+	// half-open trial slot. Exactly one may win — the whole point of
+	// half-open is risking a single request against a possibly-still-sick
+	// peer, and a race that admits two defeats it. Run under -race this
+	// also proves allow's state transitions are clean.
+	cooled := now.Add(p.cooldown + time.Millisecond)
+	const callers = 64
+	var admitted atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if p.allow(cooled) {
+				admitted.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("half-open admitted %d concurrent trials, want exactly 1", got)
+	}
+	if p.allow(cooled) {
+		t.Fatal("second trial admitted while the first is still in flight")
+	}
+}
+
+func TestBreakerHalfOpenTrialOutcomes(t *testing.T) {
+	now := time.Now()
+
+	// A failed trial re-opens the breaker for a fresh full cooldown.
+	p := newTestPeer()
+	trip(p, now)
+	cooled := now.Add(p.cooldown + time.Millisecond)
+	if !p.allow(cooled) {
+		t.Fatal("cooled breaker refused its half-open trial")
+	}
+	p.failure(cooled)
+	if p.allow(cooled.Add(p.cooldown / 2)) {
+		t.Fatal("re-opened breaker admitted before a fresh cooldown elapsed")
+	}
+	recooled := cooled.Add(p.cooldown + time.Millisecond)
+	if !p.allow(recooled) {
+		t.Fatal("re-cooled breaker refused its next trial")
+	}
+
+	// A successful trial closes the breaker and admits freely again.
+	p.success()
+	if !p.allow(recooled) || !p.allow(recooled) {
+		t.Fatal("closed breaker must admit every request")
+	}
+	if st := p.status(); st.Breaker != "closed" || st.Health != "healthy" {
+		t.Fatalf("after successful trial: breaker %s health %s, want closed/healthy", st.Breaker, st.Health)
+	}
+}
+
+func TestBreakerReleasedTrialSlotReopensAfterFailureElsewhere(t *testing.T) {
+	// Once the trial's outcome lands (here: failure), the slot is released
+	// and the state machine continues; a stuck "trial forever in flight"
+	// would wedge the peer out of the rotation permanently.
+	p := newTestPeer()
+	now := time.Now()
+	trip(p, now)
+	cooled := now.Add(p.cooldown + time.Millisecond)
+	if !p.allow(cooled) {
+		t.Fatal("cooled breaker refused its trial")
+	}
+	if st := p.status(); st.Breaker != "half-open" {
+		t.Fatalf("breaker %s, want half-open during trial", st.Breaker)
+	}
+	p.failure(cooled)
+	if st := p.status(); st.Breaker != "open" {
+		t.Fatalf("breaker %s after failed trial, want open", st.Breaker)
+	}
+}

@@ -50,6 +50,12 @@ type Config struct {
 	// CallTimeout is the per-HTTP-attempt deadline — the wedge detector:
 	// a peer that accepts and hangs costs at most this (default 500ms).
 	CallTimeout time.Duration
+	// ComputeTimeout is the wall-clock budget for one whole Compute —
+	// forwarding a verification job to a peer and waiting for the verdict
+	// (default 120s). Compute runs real engine work on the peer, so the
+	// 500ms wedge detector cannot apply; a wedged compute peer costs at
+	// most this, and the batch layer's straggler hedge usually far less.
+	ComputeTimeout time.Duration
 	// HedgeDelay, when > 0, is the fixed deadline after which a lookup is
 	// hedged to the next owner. 0 (the default) hedges adaptively at the
 	// p90 of recent successful fetch latencies.
@@ -97,6 +103,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CallTimeout <= 0 {
 		c.CallTimeout = 500 * time.Millisecond
+	}
+	if c.ComputeTimeout <= 0 {
+		c.ComputeTimeout = 120 * time.Second
 	}
 	switch {
 	case c.Retries == 0:
@@ -160,10 +169,12 @@ type clusterStats struct {
 // start the background prober with Start, stop it with Close.
 type Client struct {
 	cfg   Config
+	self  string // normalized Self address; "" when the node has no identity
 	peers []*peer
 	httpc *http.Client
 	reg   *obs.Registry
 	stats clusterStats
+	comp  computeStats
 	lat   *latencyTracker
 
 	rngMu sync.Mutex
@@ -202,9 +213,11 @@ func New(cfg Config) (*Client, error) {
 	}
 	return &Client{
 		cfg:   cfg,
+		self:  self,
 		peers: peers,
 		httpc: &http.Client{Transport: transport},
 		reg:   reg,
+		comp:  newComputeStats(reg),
 		stats: clusterStats{
 			hits:     reg.Counter("peer_fill_hits_total"),
 			misses:   reg.Counter("peer_fill_misses_total"),
@@ -501,17 +514,28 @@ type Stats struct {
 	Corrupt  int64        `json:"peer_fill_corrupt"`
 	Hedges   int64        `json:"peer_fill_hedges"`
 	Degraded int64        `json:"peer_fill_degraded"`
+	// Forwarded-compute counters: attempts made, validated verdicts
+	// received, clean admission rejections (peer busy or draining), and
+	// hard failures (transport, status, corrupt envelope).
+	ComputeAttempts int64 `json:"compute_forward_attempts"`
+	ComputeHits     int64 `json:"compute_forward_hits"`
+	ComputeRejected int64 `json:"compute_forward_rejected"`
+	ComputeErrors   int64 `json:"compute_forward_errors"`
 }
 
 // Stats snapshots the peer states and aggregate counters.
 func (c *Client) Stats() Stats {
 	s := Stats{
-		Hits:     c.stats.hits.Value(),
-		Misses:   c.stats.misses.Value(),
-		Errors:   c.stats.errors.Value(),
-		Corrupt:  c.stats.corrupt.Value(),
-		Hedges:   c.stats.hedges.Value(),
-		Degraded: c.stats.degraded.Value(),
+		Hits:            c.stats.hits.Value(),
+		Misses:          c.stats.misses.Value(),
+		Errors:          c.stats.errors.Value(),
+		Corrupt:         c.stats.corrupt.Value(),
+		Hedges:          c.stats.hedges.Value(),
+		Degraded:        c.stats.degraded.Value(),
+		ComputeAttempts: c.comp.attempts.Value(),
+		ComputeHits:     c.comp.hits.Value(),
+		ComputeRejected: c.comp.rejected.Value(),
+		ComputeErrors:   c.comp.errors.Value(),
 	}
 	for _, p := range c.peers {
 		s.Peers = append(s.Peers, p.status())

@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ckptio"
+	"repro/internal/obs"
+)
+
+// Compute-forwarding fake modes.
+const (
+	cmodeOK      = iota // envelope the payload
+	cmodeReject         // 429: clean admission rejection
+	cmodeCorrupt        // envelope with a flipped byte
+	cmodeHang           // accept, then block until the request dies
+)
+
+// fakeComputeNode is a ccserved stand-in serving the cluster compute
+// endpoint, /healthz and /v1/metrics.
+type fakeComputeNode struct {
+	ts      *httptest.Server
+	payload []byte
+	mode    atomic.Int32
+	reqs    atomic.Int32
+	// forwarded records whether every compute request carried the
+	// forwarded marker (starts true, cleared on the first bare request).
+	forwarded atomic.Bool
+	lastBody  atomic.Value // []byte
+	metrics   *obs.Registry
+}
+
+func newFakeComputeNode(t *testing.T, payload []byte) *fakeComputeNode {
+	t.Helper()
+	n := &fakeComputeNode{payload: payload, metrics: obs.NewRegistry()}
+	n.forwarded.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		b, _ := n.metrics.Snapshot().MarshalIndent()
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+	mux.HandleFunc("POST "+ComputePath, func(w http.ResponseWriter, r *http.Request) {
+		n.reqs.Add(1)
+		if r.Header.Get(ForwardedHeader) == "" {
+			n.forwarded.Store(false)
+		}
+		body, _ := io.ReadAll(r.Body)
+		n.lastBody.Store(body)
+		switch n.mode.Load() {
+		case cmodeOK:
+			w.Write(ckptio.Encode(n.payload))
+		case cmodeReject:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "busy", http.StatusTooManyRequests)
+		case cmodeCorrupt:
+			env := ckptio.Encode(n.payload)
+			env[len(env)-1] ^= 0xff
+			w.Write(env)
+		default:
+			<-r.Context().Done()
+		}
+	})
+	n.ts = httptest.NewServer(mux)
+	t.Cleanup(n.ts.Close)
+	return n
+}
+
+func TestSelfIsOwnerMatchesRank(t *testing.T) {
+	self := "http://self:1"
+	nodes := []string{self, "http://a:1", "http://b:1"}
+	c := newTestClient(t, Config{Self: self, Peers: nodes})
+	// 4096 keys, not fewer: testKey varies the trailing hex digits and
+	// FNV-1a keeps a single winner across runs of adjacent keys, so a small
+	// sample can land entirely on one node without HRW being broken.
+	owned, foreign := 0, 0
+	for i := 0; i < 4096; i++ {
+		k := testKey(i)
+		want := Rank(nodes, k)[0] == self
+		if got := c.SelfIsOwner(k); got != want {
+			t.Fatalf("SelfIsOwner(%s) = %t, Rank says %t", k, got, want)
+		}
+		if want {
+			owned++
+		} else {
+			foreign++
+		}
+	}
+	if owned == 0 || foreign == 0 {
+		t.Fatalf("degenerate split owned=%d foreign=%d; HRW should spread keys", owned, foreign)
+	}
+}
+
+func TestSelfIsOwnerWithoutIdentityOwnsEverything(t *testing.T) {
+	c := newTestClient(t, Config{Peers: []string{"http://a:1", "http://b:1"}})
+	for i := 0; i < 32; i++ {
+		if !c.SelfIsOwner(testKey(i)) {
+			t.Fatal("a node with no Self address must own every key (compute locally)")
+		}
+	}
+}
+
+func TestComputeForwardsValidatedEnvelope(t *testing.T) {
+	payload := []byte(`{"verdict":"clean"}` + "\n")
+	node := newFakeComputeNode(t, payload)
+	c := newTestClient(t, Config{Peers: []string{node.ts.URL}})
+
+	body := []byte(`{"spec":"..."}`)
+	got, ok := c.Compute(context.Background(), testKey(1), body)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Compute: ok %t payload %q, want the node's bytes", ok, got)
+	}
+	if !node.forwarded.Load() {
+		t.Error("compute request arrived without the forwarded marker")
+	}
+	if b, _ := node.lastBody.Load().([]byte); !bytes.Equal(b, body) {
+		t.Errorf("node saw body %q, want it shipped verbatim", b)
+	}
+	if s := c.Stats(); s.ComputeHits != 1 || s.ComputeErrors != 0 {
+		t.Errorf("stats = %+v, want exactly one compute hit", s)
+	}
+}
+
+func TestComputeCleanRejectionTriesNextOwnerAndStaysHealthy(t *testing.T) {
+	payload := []byte(`{"verdict":"clean"}` + "\n")
+	busy := newFakeComputeNode(t, payload)
+	idle := newFakeComputeNode(t, payload)
+	busy.mode.Store(cmodeReject)
+	c := newTestClient(t, Config{Peers: []string{busy.ts.URL, idle.ts.URL}})
+
+	// A key owned by the busy node, so it is asked first and its 429 must
+	// fall through to the second owner.
+	key := keyOwnedBy(t, busy.ts.URL, []string{busy.ts.URL, idle.ts.URL})
+	got, ok := c.Compute(context.Background(), key, []byte(`{}`))
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Compute: ok %t, want the idle owner's payload after the busy one's rejection", ok)
+	}
+	s := c.Stats()
+	if s.ComputeRejected != 1 || s.ComputeHits != 1 {
+		t.Errorf("stats = %+v, want one rejection then one hit", s)
+	}
+	// A node shedding load is alive: rejection must not feed the failure
+	// detector or the breaker.
+	for _, ps := range s.Peers {
+		if ps.Health != "healthy" || ps.Breaker != "closed" {
+			t.Errorf("peer %s: health %s breaker %s, want healthy/closed", ps.Addr, ps.Health, ps.Breaker)
+		}
+	}
+}
+
+func TestComputeCorruptEnvelopeIsFailureNeverWrong(t *testing.T) {
+	node := newFakeComputeNode(t, []byte(`{"verdict":"clean"}`+"\n"))
+	node.mode.Store(cmodeCorrupt)
+	c := newTestClient(t, Config{Peers: []string{node.ts.URL}})
+
+	if _, ok := c.Compute(context.Background(), testKey(1), []byte(`{}`)); ok {
+		t.Fatal("Compute returned ok for a corrupt envelope")
+	}
+	if s := c.Stats(); s.ComputeErrors == 0 {
+		t.Errorf("stats = %+v, want the corruption counted as an error", s)
+	}
+}
+
+func TestComputeWedgedOwnerBoundedByTimeout(t *testing.T) {
+	node := newFakeComputeNode(t, nil)
+	node.mode.Store(cmodeHang)
+	c := newTestClient(t, Config{
+		Peers:          []string{node.ts.URL},
+		ComputeTimeout: 150 * time.Millisecond,
+	})
+	began := time.Now()
+	if _, ok := c.Compute(context.Background(), testKey(1), []byte(`{}`)); ok {
+		t.Fatal("Compute returned ok from a wedged owner")
+	}
+	if el := time.Since(began); el > 2*time.Second {
+		t.Fatalf("Compute took %v against a wedged owner; ComputeTimeout must bound it", el)
+	}
+}
+
+func TestComputeDegradesWhenAllOwnersDead(t *testing.T) {
+	node := newFakeComputeNode(t, nil)
+	url := node.ts.URL
+	node.ts.Close()
+	c := newTestClient(t, Config{Peers: []string{url}})
+	if _, ok := c.Compute(context.Background(), testKey(1), []byte(`{}`)); ok {
+		t.Fatal("Compute returned ok with every owner dead")
+	}
+}
+
+func TestScrapePeerMetricsPartialCoverage(t *testing.T) {
+	alive := newFakeComputeNode(t, nil)
+	alive.metrics.Counter("x_total").Add(7)
+	dead := newFakeComputeNode(t, nil)
+	deadURL := dead.ts.URL
+	dead.ts.Close()
+
+	c := newTestClient(t, Config{Peers: []string{alive.ts.URL, deadURL}})
+	got := c.ScrapePeerMetrics(context.Background())
+	if len(got) != 2 {
+		t.Fatalf("scraped %d peers, want 2", len(got))
+	}
+	okCount, errCount := 0, 0
+	for _, pm := range got {
+		if pm.Err != "" {
+			errCount++
+			continue
+		}
+		okCount++
+		if pm.Snapshot.Counters["x_total"] != 7 {
+			t.Errorf("peer %s: x_total = %d, want 7", pm.Addr, pm.Snapshot.Counters["x_total"])
+		}
+	}
+	if okCount != 1 || errCount != 1 {
+		t.Fatalf("ok=%d err=%d, want one reachable and one failed scrape", okCount, errCount)
+	}
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -69,8 +70,13 @@ type peer struct {
 	openedAt time.Time
 	trial    bool // a half-open trial request is in flight
 
+	// inflight counts this node's outstanding forwarded-compute calls to
+	// the peer; the compute router picks the least-loaded healthy owner by
+	// it. Atomic because it is read on the selection path without the lock.
+	inflight atomic.Int64
+
 	requests, failureC, hits, opens *obs.Counter
-	healthG, breakerG               *obs.Gauge
+	healthG, breakerG, inflightG    *obs.Gauge
 }
 
 // peerLabel strips the scheme from a normalized URL for metric names.
@@ -97,6 +103,7 @@ func newPeer(url string, cfg Config, reg *obs.Registry) *peer {
 		opens:           reg.Counter("peer_breaker_open_total." + label),
 		healthG:         reg.Gauge("peer_health." + label),
 		breakerG:        reg.Gauge("peer_breaker_state." + label),
+		inflightG:       reg.Gauge("peer_compute_inflight." + label),
 	}
 	p.healthG.Set(int64(Healthy))
 	p.breakerG.Set(int64(breakerClosed))
@@ -185,6 +192,9 @@ type PeerStatus struct {
 	Health              string `json:"health"`
 	Breaker             string `json:"breaker"`
 	ConsecutiveFailures int    `json:"consecutive_failures"`
+	// ComputeInflight is this node's outstanding forwarded-compute calls
+	// to the peer (the least-loaded routing signal).
+	ComputeInflight int64 `json:"compute_inflight,omitempty"`
 }
 
 // status snapshots the peer for statsz.
@@ -196,5 +206,6 @@ func (p *peer) status() PeerStatus {
 		Health:              p.health.String(),
 		Breaker:             p.breaker.String(),
 		ConsecutiveFailures: p.failures,
+		ComputeInflight:     p.inflight.Load(),
 	}
 }

@@ -56,6 +56,20 @@ func (b *bfs) initSpill(frontier []*fsm.Config) error {
 	if err := ckptio.PreflightDir(b.rc.SpillDir); err != nil {
 		return fmt.Errorf("enum: spill directory: %w", err)
 	}
+	// A budgeted run that failed or was killed leaves its spill files
+	// behind; they are garbage by construction (checkpoints are
+	// self-contained, so a resume never reads an earlier run's files) and
+	// would otherwise accumulate forever in a long-lived spill directory.
+	// Sweep them before the first write, mirroring the disk cache tier's
+	// startup retention pass. A spill directory belongs to one run at a
+	// time — concurrent runs must use distinct directories, as the
+	// sequential file numbering would collide regardless of this sweep.
+	if swept, err := ckptio.SweepPrefix(b.rc.SpillDir, "spill-"); err != nil {
+		return fmt.Errorf("enum: sweeping stale spill files: %w", err)
+	} else if swept.Removed > 0 {
+		b.orun.Event("spill_stale_swept_total", int64(swept.Removed))
+		b.orun.Event("spill_stale_swept_bytes_total", swept.FreedBytes)
+	}
 	b.spill = &spillState{
 		dir:       b.rc.SpillDir,
 		threshold: b.rc.Budget.MaxBytes - b.rc.Budget.MaxBytes/4,

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSnapshotMergeAccumulates(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("requests_total").Add(3)
+	a.Counter("only_a_total").Add(1)
+	a.Gauge("queued").Set(2)
+	a.Histogram("lat_seconds", 1, 10).Observe(0.5)
+
+	b := NewRegistry()
+	b.Counter("requests_total").Add(4)
+	b.Counter("only_b_total").Add(9)
+	b.Gauge("queued").Set(5)
+	b.Histogram("lat_seconds", 1, 10).Observe(20)
+
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+
+	if s.Counters["requests_total"] != 7 || s.Counters["only_a_total"] != 1 || s.Counters["only_b_total"] != 9 {
+		t.Fatalf("counters = %v, want sums by name", s.Counters)
+	}
+	if s.Gauges["queued"] != 7 {
+		t.Fatalf("gauges = %v, want 7", s.Gauges)
+	}
+	h := s.Histograms["lat_seconds"]
+	if h.Count != 2 || h.Sum != 20.5 {
+		t.Fatalf("histogram count=%d sum=%v, want 2 and 20.5", h.Count, h.Sum)
+	}
+	// Bounds [1, 10] → buckets [<=1, <=10, +Inf]: one observation at 0.5,
+	// one at 20.
+	if want := []int64{1, 0, 1}; !reflect.DeepEqual(h.Buckets, want) {
+		t.Fatalf("buckets = %v, want %v", h.Buckets, want)
+	}
+}
+
+func TestSnapshotMergeMismatchedBoundsKeepsTotalsExact(t *testing.T) {
+	a := NewRegistry()
+	a.Histogram("h", 1, 2).Observe(0.5)
+	b := NewRegistry()
+	b.Histogram("h", 5, 50).Observe(7)
+
+	s := a.Snapshot()
+	src := b.Snapshot()
+	s.Merge(src)
+
+	h := s.Histograms["h"]
+	if h.Count != 2 || h.Sum != 7.5 {
+		t.Fatalf("count=%d sum=%v, want totals exact despite bound mismatch", h.Count, h.Sum)
+	}
+	// The bucket spread cannot be merged across different bounds; the
+	// destination's spread stays as-is (approximate distribution, exact
+	// totals).
+	if want := []int64{1, 0, 0}; !reflect.DeepEqual(h.Buckets, want) {
+		t.Fatalf("buckets = %v, want destination spread untouched", h.Buckets)
+	}
+}
+
+func TestSnapshotMergeDoesNotAliasSource(t *testing.T) {
+	b := NewRegistry()
+	b.Histogram("h", 1).Observe(0.5)
+	src := b.Snapshot()
+
+	var s Snapshot
+	s.Merge(src)
+	s.Histograms["h"].Buckets[0] = 99
+	if src.Histograms["h"].Buckets[0] == 99 {
+		t.Fatal("merge aliased the source snapshot's bucket slice")
+	}
+}

@@ -274,6 +274,63 @@ func (s *Snapshot) ZeroTimings() {
 	}
 }
 
+// Merge folds src into s: counters and gauges accumulate by name, and
+// histograms with identical bucket bounds accumulate bucket-wise (count and
+// sum always accumulate, even when the bounds disagree — the merged
+// distribution is then approximate but the totals stay exact). The cluster
+// metrics rollup uses it to present one fleet-wide snapshot assembled from
+// per-node scrapes; a node that cannot be scraped simply contributes
+// nothing, so the merge degrades gracefully under partial failure.
+func (s *Snapshot) Merge(src Snapshot) {
+	if s.Counters == nil {
+		s.Counters = map[string]int64{}
+	}
+	if s.Gauges == nil {
+		s.Gauges = map[string]int64{}
+	}
+	if s.Histograms == nil {
+		s.Histograms = map[string]HistogramSnapshot{}
+	}
+	for name, v := range src.Counters {
+		s.Counters[name] += v
+	}
+	for name, v := range src.Gauges {
+		s.Gauges[name] += v
+	}
+	for name, sh := range src.Histograms {
+		dh, ok := s.Histograms[name]
+		if !ok {
+			// Copy so later merges never alias src's slices.
+			nh := HistogramSnapshot{Count: sh.Count, Sum: sh.Sum}
+			nh.Bounds = append([]float64(nil), sh.Bounds...)
+			nh.Buckets = append([]int64(nil), sh.Buckets...)
+			s.Histograms[name] = nh
+			continue
+		}
+		dh.Count += sh.Count
+		dh.Sum += sh.Sum
+		if len(dh.Buckets) == len(sh.Buckets) && equalBounds(dh.Bounds, sh.Bounds) {
+			for i := range dh.Buckets {
+				dh.Buckets[i] += sh.Buckets[i]
+			}
+		}
+		s.Histograms[name] = dh
+	}
+}
+
+// equalBounds reports whether two bucket-bound slices match exactly.
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // MarshalIndent renders the snapshot as deterministic, indented JSON with
 // a trailing newline.
 func (s Snapshot) MarshalIndent() ([]byte, error) {

@@ -180,12 +180,12 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Entries:    c.ll.Len(),
-		Bytes:      c.bytes,
-		MaxBytes:   c.maxBytes,
-		MemHits:    c.memHits,
-		DiskHits:   c.diskHits,
-		Misses:     c.misses,
+		Entries:        c.ll.Len(),
+		Bytes:          c.bytes,
+		MaxBytes:       c.maxBytes,
+		MemHits:        c.memHits,
+		DiskHits:       c.diskHits,
+		Misses:         c.misses,
 		Evictions:      c.evictions,
 		DiskErrors:     c.diskErrors,
 		DiskTier:       c.dir != "",

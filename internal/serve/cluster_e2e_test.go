@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -11,7 +14,9 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/fsm"
 	"repro/internal/obs"
+	"repro/internal/runctl"
 )
 
 // chaosNode is one in-process ccserved node: a Server fronted by an
@@ -31,13 +36,14 @@ type chaosNode struct {
 }
 
 // handler wraps the server's mux with the chaos middleware. Chaos is
-// scoped to the peer cache-fill path: a wedged or corrupting node keeps
-// answering client traffic, which is exactly the nasty partial-failure
-// shape the cluster layer must survive.
+// scoped to the cluster-internal paths (peer cache fill and compute
+// forwarding): a wedged or corrupting node keeps answering client traffic,
+// which is exactly the nasty partial-failure shape the cluster layer must
+// survive.
 func (n *chaosNode) handler() http.Handler {
 	inner := n.srv.Handler()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if strings.HasPrefix(r.URL.Path, cluster.CachePathPrefix) {
+		if strings.HasPrefix(r.URL.Path, cluster.CachePathPrefix) || r.URL.Path == cluster.ComputePath {
 			if n.wedged.Load() {
 				select {
 				case <-r.Context().Done(): // caller's CallTimeout fired
@@ -106,12 +112,21 @@ func (n *chaosNode) counters() map[string]int64 { return n.reg.Snapshot().Counte
 // time, not production time.
 func startChaosCluster(t *testing.T, size int) []*chaosNode {
 	t.Helper()
+	return startChaosClusterCfg(t, size, func(int) Config { return Config{Workers: 2} })
+}
+
+// startChaosClusterCfg is startChaosCluster with per-node server Config
+// (Metrics is always overridden with the node's shared registry).
+func startChaosClusterCfg(t *testing.T, size int, cfgFor func(i int) Config) []*chaosNode {
+	t.Helper()
 	nodes := make([]*chaosNode, size)
 	urls := make([]string, size)
 	for i := range nodes {
 		reg := obs.NewRegistry()
+		cfg := cfgFor(i)
+		cfg.Metrics = reg
 		n := &chaosNode{
-			srv:     newServer(t, Config{Metrics: reg, Workers: 2}),
+			srv:     newServer(t, cfg),
 			reg:     reg,
 			release: make(chan struct{}),
 		}
@@ -131,6 +146,7 @@ func startChaosCluster(t *testing.T, size int) []*chaosNode {
 			BackoffMax:      20 * time.Millisecond,
 			BreakerCooldown: 250 * time.Millisecond,
 			ProbeInterval:   100 * time.Millisecond,
+			ComputeTimeout:  2 * time.Second,
 			Seed:            int64(i + 1),
 		})
 		if err != nil {
@@ -398,4 +414,235 @@ func TestClusterChaosUnderTraffic(t *testing.T) {
 		}
 		record(st)
 	}
+}
+
+// submit POSTs a verify request to this node without waiting and returns
+// the status, HTTP code, and the Retry-After and disposition headers.
+func (n *chaosNode) submit(t *testing.T, body string) (JobStatus, int, http.Header) {
+	t.Helper()
+	resp, err := http.Post(n.hs.URL+"/v1/verify", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding submit response (http %d): %v", resp.StatusCode, err)
+	}
+	return st, resp.StatusCode, resp.Header
+}
+
+// waitRunning polls a job on this node until it is running.
+func (n *chaosNode) waitRunning(t *testing.T, id string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(n.hs.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateRunning {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never started running", id)
+}
+
+// TestClusterSaturationForwardsCompute is the tentpole's overload path: a
+// node whose pool and queue are full hands the job to a peer with headroom
+// and answers the peer's (validated) result, instead of rejecting. With no
+// reachable peer the same submission degrades to the single-node 429 +
+// Retry-After.
+func TestClusterSaturationForwardsCompute(t *testing.T) {
+	nodes := startChaosClusterCfg(t, 2, func(i int) Config {
+		if i == 1 {
+			return Config{Workers: 1, QueueDepth: 1}
+		}
+		return Config{Workers: 2}
+	})
+	a, b := nodes[0], nodes[1]
+
+	// Wedge B's own pool (not its HTTP surface): its worker blocks until
+	// the gate opens, so B is saturated but alive — the exact state where
+	// forwarding must kick in.
+	gate := make(chan struct{})
+	defer close(gate)
+	b.srv.runJob = func(ctx context.Context, _ *fsm.Protocol, key string, _ JobOptions) (*Report, bool, error) {
+		select {
+		case <-gate:
+			return &Report{CacheKey: key, Verdict: VerdictClean}, true, nil
+		case <-ctx.Done():
+			return nil, false, runctl.FromContext(ctx)
+		}
+	}
+
+	first, code, _ := b.submit(t, `{"protocol": "illinois", "engine": "enum-strict", "n": 2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("first: http %d", code)
+	}
+	b.waitRunning(t, first.ID)
+	if _, code, _ := b.submit(t, `{"protocol": "illinois", "engine": "enum-strict", "n": 3}`); code != http.StatusAccepted {
+		t.Fatalf("second: http %d", code)
+	}
+
+	// Queue full: the distinct third job is forwarded to A, which computes
+	// it for real; B answers done immediately with A's validated report.
+	st, code, hdr := b.submit(t, `{"protocol": "dragon"}`)
+	if code != http.StatusOK || st.State != StateDone {
+		t.Fatalf("saturated submit: http %d state %s error %q, want forwarded completion", code, st.State, st.Error)
+	}
+	if disp := hdr.Get("X-CC-Disposition"); disp != DispositionForwarded {
+		t.Fatalf("disposition = %q, want %q", disp, DispositionForwarded)
+	}
+	if len(st.Report) == 0 || !strings.Contains(string(st.Report), `"verdict":"clean"`) {
+		t.Fatalf("forwarded report: %s", st.Report)
+	}
+	if got := b.counters()["forwarded_total"]; got != 1 {
+		t.Errorf("B forwarded_total = %d, want 1", got)
+	}
+	if got := a.counters()["peer_compute_served_total"]; got != 1 {
+		t.Errorf("A peer_compute_served_total = %d, want 1", got)
+	}
+
+	// A cached what it computed; its own answer is byte-identical.
+	fromA, _ := a.verify(t, `{"protocol": "dragon"}`)
+	if string(fromA.Report) != string(st.Report) {
+		t.Error("A's own report differs from what it served the saturated peer")
+	}
+
+	// With the only peer dead, saturation degrades to the single-node
+	// rejection: 429 carrying Retry-After.
+	a.kill()
+	_, code, hdr = b.submit(t, `{"protocol": "synapse"}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit with dead peer: http %d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("degraded rejection missing Retry-After")
+	}
+}
+
+// TestClusterBatchChaos is the acceptance drill: a full protocols×mutants
+// sweep (53 jobs) streamed from one node of a three-node cluster while one
+// peer is killed and the other wedges mid-batch. Every job must finish with
+// a verdict byte-identical to an isolated single-node baseline, the summary
+// must report zero failures with honest dispositions, and the chaos must
+// not leak goroutines.
+func TestClusterBatchChaos(t *testing.T) {
+	// Baseline: the same sweep on an isolated single node, keyed by content
+	// address. Theorem-1 determinism makes byte equality the strongest
+	// possible "no wrong verdicts" check.
+	baseTC := startUnixServer(t, newServer(t, Config{Workers: 4}))
+	baseLines, baseSummary, code := baseTC.batchStream(t, fullSweepBody, "")
+	if code != http.StatusOK || baseSummary.Failed != 0 {
+		t.Fatalf("baseline sweep: http %d summary %+v", code, baseSummary)
+	}
+	baseline := make(map[string]string, len(baseLines))
+	for _, l := range baseLines {
+		baseline[l.CacheKey] = string(l.Report)
+	}
+
+	nodes := startChaosClusterCfg(t, 3, func(int) Config {
+		// A short fixed hedge keeps straggler re-dispatch (against the
+		// wedged peer) inside test time.
+		return Config{Workers: 2, BatchHedge: 250 * time.Millisecond}
+	})
+	a, b, c := nodes[0], nodes[1], nodes[2]
+	g0 := runtime.NumGoroutine()
+
+	resp, err := http.Post(b.hs.URL+"/v1/verify/batch", "application/json", strings.NewReader(fullSweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: http %d", resp.StatusCode)
+	}
+	var (
+		lines   []BatchLine
+		summary BatchSummary
+		total   = baseSummary.Total
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var probe struct {
+			Summary bool `json:"summary"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", raw, err)
+		}
+		if probe.Summary {
+			if err := json.Unmarshal(raw, &summary); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var line BatchLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, line)
+		switch len(lines) {
+		case total / 3:
+			a.kill() // SIGKILL equivalent: the process vanishes mid-batch
+		case 2 * total / 3:
+			c.wedged.Store(true) // and the other peer stops answering
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading batch stream: %v", err)
+	}
+
+	if summary.Total != total || summary.Failed != 0 || summary.Done != total {
+		t.Fatalf("summary = %+v, want %d done and zero failed despite the chaos", summary, total)
+	}
+	if total < 50 {
+		t.Fatalf("sweep expanded to %d jobs, want >= 50", total)
+	}
+	valid := map[string]bool{BatchCached: true, BatchComputed: true, BatchForwarded: true, BatchRetried: true}
+	for _, l := range lines {
+		if l.State != StateDone {
+			t.Errorf("job %d (%s): state %s error %q", l.Index, l.Protocol, l.State, l.Error)
+		}
+		if !valid[l.Disposition] {
+			t.Errorf("job %d: disposition %q", l.Index, l.Disposition)
+		}
+		want, ok := baseline[l.CacheKey]
+		if !ok {
+			t.Errorf("job %d: key %s missing from the baseline sweep", l.Index, l.CacheKey)
+			continue
+		}
+		if string(l.Report) != want {
+			t.Errorf("job %d (%s): report differs from the single-node baseline", l.Index, l.Protocol)
+		}
+	}
+	// The drill must actually have exercised the cluster path: before the
+	// chaos phases both peers were healthy owners for ~2/3 of the keys.
+	if got := b.counters()["compute_forward_hits_total"]; got < 1 {
+		t.Errorf("compute_forward_hits_total = %d on the batch node, want >= 1", got)
+	}
+
+	// No goroutine leaks: once the wedge is released and the stream has
+	// ended, everything the chaos spawned must drain.
+	c.unwedge()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= g0+16 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d at start, %d after chaos drill", g0, runtime.NumGoroutine())
 }

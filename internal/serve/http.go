@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/ckptio"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/protocols"
 )
 
@@ -53,6 +55,8 @@ type errorDoc struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("POST /v1/verify/batch", s.handleVerifyBatch)
+	mux.HandleFunc("POST "+cluster.ComputePath, s.handleClusterCompute)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
@@ -79,6 +83,31 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // writeError renders the uniform error body.
 func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorDoc{Error: err.Error()})
+}
+
+// TenantHeader names the request header carrying the tenant identity for
+// per-tenant admission control (see CanonicalTenant for how raw values are
+// mapped).
+const TenantHeader = "X-CC-Tenant"
+
+// writeSubmitError maps a submission rejection to its HTTP response:
+// every admission refusal (busy, rate limit, queue share, batch shed) is
+// a 429 carrying Retry-After, drain is 503, anything else 500.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	if secs, ok := retryAfterSeconds(err); ok {
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
 }
 
 // status renders a job's current JobStatus; disposition tags the
@@ -143,17 +172,13 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
 
-	j, disposition, err := s.Submit(p, canonical, opts, timeout, req.NoCache)
-	switch {
-	case errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	case errors.Is(err, ErrBusy):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, err)
-		return
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, err)
+	j, disposition, err := s.SubmitEx(p, canonical, opts, SubmitOptions{
+		Timeout: timeout,
+		NoCache: req.NoCache,
+		Tenant:  r.Header.Get(TenantHeader),
+	})
+	if err != nil {
+		writeSubmitError(w, err)
 		return
 	}
 	w.Header().Set("X-CC-Disposition", disposition)
@@ -221,8 +246,52 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 // handleMetrics is GET /v1/metrics: the full observability-registry
 // snapshot (service counters, per-protocol verify_latency_seconds.*
 // histograms, and the engine counters of every verification run).
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+// ?scope=cluster widens it to a fleet rollup: every reachable peer's
+// snapshot is scraped and merged into this node's (counters and gauges
+// sum, histograms merge bucket-wise), with unreachable peers reported
+// alongside instead of failing the rollup.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("scope") != "cluster" {
+		writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+		return
+	}
+	doc := ClusterMetricsDoc{
+		Scope:      "cluster",
+		NodesTotal: 1,
+		NodesOK:    1,
+		Metrics:    s.metrics.Snapshot(),
+	}
+	if s.cluster != nil {
+		for _, pm := range s.cluster.ScrapePeerMetrics(r.Context()) {
+			doc.NodesTotal++
+			if pm.Err != "" {
+				doc.Unreachable = append(doc.Unreachable, UnreachablePeer{Addr: pm.Addr, Err: pm.Err})
+				continue
+			}
+			doc.NodesOK++
+			doc.Metrics.Merge(pm.Snapshot)
+		}
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// ClusterMetricsDoc is the GET /v1/metrics?scope=cluster body: the merged
+// fleet snapshot plus scrape coverage, so a reader can tell a full rollup
+// from a degraded one.
+type ClusterMetricsDoc struct {
+	Scope      string `json:"scope"`
+	NodesTotal int    `json:"nodes_total"`
+	NodesOK    int    `json:"nodes_ok"`
+	// Unreachable lists peers whose snapshot could not be scraped; their
+	// counters are missing from Metrics.
+	Unreachable []UnreachablePeer `json:"unreachable,omitempty"`
+	Metrics     obs.Snapshot      `json:"metrics"`
+}
+
+// UnreachablePeer is one failed scrape in a cluster metrics rollup.
+type UnreachablePeer struct {
+	Addr string `json:"addr"`
+	Err  string `json:"error"`
 }
 
 // handleCacheGet is GET /v1/cache/{key}, the cluster-internal peer

@@ -286,9 +286,20 @@ func TestE2EAdmissionControl(t *testing.T) {
 	if _, code := tc.post(t, `{"protocol": "dragon"}`, false); code != http.StatusAccepted {
 		t.Fatalf("second: http %d", code)
 	}
-	// Queue full → 429. An identical in-flight request still coalesces.
-	if _, code := tc.post(t, `{"protocol": "firefly"}`, false); code != http.StatusTooManyRequests {
-		t.Fatalf("third: http %d, want 429", code)
+	// Queue full → 429 carrying Retry-After, so well-behaved clients back
+	// off instead of hammering a saturated node.
+	resp, err := tc.c.Post("http://ccserved/v1/verify", "application/json",
+		strings.NewReader(`{"protocol": "firefly"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third: http %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 rejection missing the Retry-After header")
 	}
 	st, code := tc.post(t, `{"protocol": "dragon"}`, false)
 	if code != http.StatusAccepted || !st.Coalesced {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -45,6 +46,32 @@ type Config struct {
 	// from it. nil creates a private registry (the usual case); pass one to
 	// aggregate several servers, or to scrape engine counters elsewhere.
 	Metrics *obs.Registry
+	// TenantRate is the per-tenant token-bucket refill rate in requests per
+	// second (<=0 disables rate limiting). Each distinct X-CC-Tenant value
+	// gets its own bucket; batch submissions charge one token per expanded
+	// job.
+	TenantRate float64
+	// TenantBurst is the token-bucket capacity (<=0: max(1, 2*TenantRate)).
+	TenantBurst int
+	// TenantQueueShare is the fraction of QueueDepth one tenant may occupy
+	// with queued jobs (<=0: 0.75; >=1 disables the cap). A tenant at its
+	// share is rejected with ErrTenantShare while other tenants still
+	// admit, so a flooding tenant cannot starve the rest of the queue.
+	TenantQueueShare float64
+	// BatchShedFraction is the queue occupancy above which batch-class
+	// submissions are shed with ErrShedBatch, reserving the remaining
+	// depth for interactive work (<=0: 0.5; >=1 disables shedding).
+	BatchShedFraction float64
+	// BatchParallel bounds how many jobs one POST /v1/verify/batch request
+	// drives concurrently (<=0: 2*Workers, at least 4).
+	BatchParallel int
+	// BatchHedge fixes the straggler re-dispatch deadline for forwarded
+	// batch jobs. <=0 (the default) adapts it from observed job latency.
+	BatchHedge time.Duration
+	// BatchRetries is how many times a failed batch job is retried with
+	// jittered backoff before its verdict is reported failed (<0: 0; 0
+	// defaults to 2).
+	BatchRetries int
 }
 
 // withDefaults fills the zero-value fields.
@@ -63,6 +90,23 @@ func (c Config) withDefaults() Config {
 	}
 	if c.KeepJobs <= 0 {
 		c.KeepJobs = 1024
+	}
+	if c.TenantQueueShare <= 0 {
+		c.TenantQueueShare = 0.75
+	}
+	if c.BatchShedFraction <= 0 {
+		c.BatchShedFraction = 0.5
+	}
+	if c.BatchParallel <= 0 {
+		c.BatchParallel = 2 * c.Workers
+		if c.BatchParallel < 4 {
+			c.BatchParallel = 4
+		}
+	}
+	if c.BatchRetries == 0 {
+		c.BatchRetries = 2
+	} else if c.BatchRetries < 0 {
+		c.BatchRetries = 0
 	}
 	return c
 }
@@ -87,6 +131,7 @@ type Job struct {
 	opts    JobOptions
 	timeout time.Duration
 	noStore bool
+	tenant  string // canonical tenant charged for the queue slot ("" for hits)
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -130,6 +175,9 @@ const (
 	DispositionPeer      = "peer"      // filled from a cluster peer's cache, no job ran
 	DispositionCoalesced = "coalesced" // attached to an in-flight identical job
 	DispositionQueued    = "queued"    // admitted as a fresh job
+	// DispositionForwarded: the local pool was saturated and a cluster
+	// peer computed (or had cached) the result; no local job ran.
+	DispositionForwarded = "forwarded"
 )
 
 // Typed submission rejections.
@@ -159,6 +207,15 @@ type serverStats struct {
 	panics           *obs.Counter // panics_total
 	peerRejected     *obs.Counter // peer_fill_rejected_total
 	peerServed       *obs.Counter // peer_cache_served_total
+
+	forwarded         *obs.Counter // forwarded_total: saturated submits answered by a peer
+	peerComputeServed *obs.Counter // peer_compute_served_total: forwarded jobs served here
+	shedBatch         *obs.Counter // shed_batch_total
+	rateLimited       *obs.Counter // rate_limited_total
+	tenantRejected    *obs.Counter // tenant_rejected_total (queue-share refusals)
+	batchRequests     *obs.Counter // batch_requests_total
+	batchJobs         *obs.Counter // batch_jobs_total
+	batchHedges       *obs.Counter // batch_hedges_total: straggler re-dispatches
 }
 
 // newServerStats registers the service counters in reg.
@@ -178,6 +235,15 @@ func newServerStats(reg *obs.Registry) serverStats {
 		panics:           reg.Counter("panics_total"),
 		peerRejected:     reg.Counter("peer_fill_rejected_total"),
 		peerServed:       reg.Counter("peer_cache_served_total"),
+
+		forwarded:         reg.Counter("forwarded_total"),
+		peerComputeServed: reg.Counter("peer_compute_served_total"),
+		shedBatch:         reg.Counter("shed_batch_total"),
+		rateLimited:       reg.Counter("rate_limited_total"),
+		tenantRejected:    reg.Counter("tenant_rejected_total"),
+		batchRequests:     reg.Counter("batch_requests_total"),
+		batchJobs:         reg.Counter("batch_jobs_total"),
+		batchHedges:       reg.Counter("batch_hedges_total"),
 	}
 }
 
@@ -201,13 +267,21 @@ type Server struct {
 	jobsCtx    context.Context
 	jobsCancel context.CancelFunc
 
-	mu       sync.Mutex
-	draining bool
-	queue    chan *Job
-	jobs     map[string]*Job // by ID, terminal records retained up to KeepJobs
-	inflight map[string]*Job // by cache key, queued or running only
-	order    []string        // terminal job IDs, oldest first
-	nextID   int64
+	// buckets is the per-tenant rate limiter (nil: unlimited); tenantCap
+	// and batchWater are the queue-share and batch-shed thresholds derived
+	// from Config at construction.
+	buckets    *tokenBuckets
+	tenantCap  int
+	batchWater int
+
+	mu           sync.Mutex
+	draining     bool
+	queue        chan *Job
+	jobs         map[string]*Job // by ID, terminal records retained up to KeepJobs
+	inflight     map[string]*Job // by cache key, queued or running only
+	order        []string        // terminal job IDs, oldest first
+	nextID       int64
+	tenantQueued map[string]int // queued (not yet running) jobs per tenant
 
 	wg sync.WaitGroup
 
@@ -227,18 +301,38 @@ func New(cfg Config) (*Server, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	// The queue-share cap: at least one slot so a lone tenant is never
+	// locked out, and the whole depth when sharing is disabled (>=1).
+	tenantCap := int(math.Ceil(cfg.TenantQueueShare * float64(cfg.QueueDepth)))
+	if tenantCap < 1 {
+		tenantCap = 1
+	}
+	if cfg.TenantQueueShare >= 1 || tenantCap > cfg.QueueDepth {
+		tenantCap = cfg.QueueDepth
+	}
+	batchWater := int(cfg.BatchShedFraction * float64(cfg.QueueDepth))
+	if batchWater < 1 {
+		batchWater = 1
+	}
+	if cfg.BatchShedFraction >= 1 || batchWater > cfg.QueueDepth {
+		batchWater = cfg.QueueDepth
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		cfg:        cfg,
-		cache:      cache,
-		metrics:    reg,
-		stats:      newServerStats(reg),
-		start:      time.Now(),
-		jobsCtx:    ctx,
-		jobsCancel: cancel,
-		queue:      make(chan *Job, cfg.QueueDepth),
-		jobs:       map[string]*Job{},
-		inflight:   map[string]*Job{},
+		cfg:          cfg,
+		cache:        cache,
+		metrics:      reg,
+		stats:        newServerStats(reg),
+		start:        time.Now(),
+		jobsCtx:      ctx,
+		jobsCancel:   cancel,
+		buckets:      newTokenBuckets(cfg.TenantRate, cfg.TenantBurst),
+		tenantCap:    tenantCap,
+		batchWater:   batchWater,
+		queue:        make(chan *Job, cfg.QueueDepth),
+		jobs:         map[string]*Job{},
+		inflight:     map[string]*Job{},
+		tenantQueued: map[string]int{},
 		runJob: func(ctx context.Context, p *fsm.Protocol, key string, opts JobOptions) (*Report, bool, error) {
 			return runVerification(ctx, p, key, opts, reg)
 		},
@@ -302,37 +396,105 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
+// SubmitOptions refine a submission beyond the job's engine options.
+type SubmitOptions struct {
+	// Timeout caps the job's wall clock (<=0 or beyond JobTimeout: the
+	// server's JobTimeout).
+	Timeout time.Duration
+	// NoCache bypasses the cache read (the result is still stored).
+	NoCache bool
+	// Tenant is the raw tenant identity (canonicalized internally); it is
+	// charged for rate and queue share.
+	Tenant string
+	// Batch marks batch-class work, which is shed before interactive work
+	// under queue pressure.
+	Batch bool
+	// NoForward suppresses compute forwarding on saturation. Set on every
+	// request that already carries the cluster forwarded marker, making a
+	// second hop — and therefore a forwarding loop — structurally
+	// impossible.
+	NoForward bool
+	// NoPeerFill suppresses the peer cache-fill probe on a local miss
+	// (used where the caller has already made the routing decision).
+	NoPeerFill bool
+	// Internal marks cluster-internal and batch-expanded submissions that
+	// were already charged against the tenant's token bucket upstream;
+	// queue-share caps still apply.
+	Internal bool
+}
+
 // Submit routes one verification request: cache hit, coalesce onto an
 // identical in-flight job, or admit a fresh job — in that order. timeout
 // <= 0 means the server's JobTimeout; larger values are capped by it.
 // noCache bypasses the cache read (the result is still stored).
 func (s *Server) Submit(p *fsm.Protocol, canonical string, opts JobOptions, timeout time.Duration, noCache bool) (*Job, string, error) {
+	return s.SubmitEx(p, canonical, opts, SubmitOptions{Timeout: timeout, NoCache: noCache})
+}
+
+// SubmitEx is Submit with tenancy, work class and cluster routing control.
+// The full admission order: tenant rate limit, cache, peer cache fill,
+// drain check, coalesce, saturation (forward to a peer or reject busy),
+// batch shed, tenant queue share, enqueue. Rejections after the rate gate
+// arrive as RetryAfterError wrapping ErrBusy / ErrShedBatch /
+// ErrTenantShare, so the HTTP layer can emit 429 + Retry-After uniformly.
+func (s *Server) SubmitEx(p *fsm.Protocol, canonical string, opts JobOptions, so SubmitOptions) (*Job, string, error) {
 	s.stats.requests.Add(1)
+	tenant := CanonicalTenant(so.Tenant)
+	timeout := so.Timeout
 	if timeout <= 0 || timeout > s.cfg.JobTimeout {
 		timeout = s.cfg.JobTimeout
 	}
 	key := CacheKey(canonical, opts)
 
-	if !noCache {
+	if !so.Internal {
+		if ok, after := s.buckets.take(tenant, 1); !ok {
+			s.stats.rateLimited.Add(1)
+			s.metrics.Counter("tenant_rejected_total." + tenant).Add(1)
+			return nil, "", &RetryAfterError{Err: ErrRateLimited, After: after}
+		}
+	}
+	if !so.NoCache {
 		if payload, hit, _ := s.cache.Get(key); hit {
 			s.stats.cacheHits.Add(1)
 			return s.recordHit(key, payload, DispositionHit)
 		}
-		if payload, ok := s.peerFill(key); ok {
-			s.cache.Put(key, payload)
-			return s.recordHit(key, payload, DispositionPeer)
+		if !so.NoPeerFill {
+			if payload, ok := s.peerFill(key); ok {
+				s.cache.Put(key, payload)
+				return s.recordHit(key, payload, DispositionPeer)
+			}
 		}
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining {
+		s.mu.Unlock()
 		s.stats.rejectedDraining.Add(1)
 		return nil, "", ErrDraining
 	}
 	if j, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
 		s.stats.coalesced.Add(1)
 		return j, DispositionCoalesced, nil
+	}
+	// Saturation outranks the per-tenant checks: a full queue is a node
+	// property, and the remedy (hand the job to a peer with headroom) is
+	// the same whoever pushed it over.
+	qlen := len(s.queue)
+	if qlen >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		return s.saturated(key, canonical, opts, timeout, tenant, so)
+	}
+	if so.Batch && qlen >= s.batchWater {
+		s.mu.Unlock()
+		s.stats.shedBatch.Add(1)
+		return nil, "", &RetryAfterError{Err: ErrShedBatch, After: time.Second}
+	}
+	if s.tenantQueued[tenant] >= s.tenantCap {
+		s.mu.Unlock()
+		s.stats.tenantRejected.Add(1)
+		s.metrics.Counter("tenant_rejected_total." + tenant).Add(1)
+		return nil, "", &RetryAfterError{Err: ErrTenantShare, After: time.Second}
 	}
 	jctx, cancel := context.WithCancel(s.jobsCtx)
 	j := &Job{
@@ -342,6 +504,7 @@ func (s *Server) Submit(p *fsm.Protocol, canonical string, opts JobOptions, time
 		opts:     opts,
 		timeout:  timeout,
 		noStore:  false,
+		tenant:   tenant,
 		ctx:      jctx,
 		cancel:   cancel,
 		done:     make(chan struct{}),
@@ -350,15 +513,65 @@ func (s *Server) Submit(p *fsm.Protocol, canonical string, opts JobOptions, time
 	select {
 	case s.queue <- j:
 	default:
+		// The len check above raced a concurrent enqueue; same outcome as
+		// finding the queue full outright.
 		cancel()
-		s.stats.rejectedBusy.Add(1)
-		return nil, "", ErrBusy
+		s.mu.Unlock()
+		return s.saturated(key, canonical, opts, timeout, tenant, so)
 	}
 	s.nextID++
 	s.jobs[j.ID] = j
 	s.inflight[key] = j
+	s.tenantQueued[tenant]++
+	s.metrics.Gauge("tenant_queued." + tenant).Add(1)
 	s.stats.admitted.Add(1)
+	s.mu.Unlock()
 	return j, DispositionQueued, nil
+}
+
+// saturated handles a submission that found the queue full: forward the
+// job to a cluster peer with headroom when allowed, otherwise reject busy.
+// Forwarding failing for any reason degrades to the rejection — the
+// client retries exactly as on a single node.
+func (s *Server) saturated(key, canonical string, opts JobOptions, timeout time.Duration, tenant string, so SubmitOptions) (*Job, string, error) {
+	if !so.NoForward && s.cluster != nil {
+		if payload, ok := s.forwardCompute(s.jobsCtx, key, canonical, opts, timeout, tenant, so.Batch); ok {
+			s.stats.forwarded.Add(1)
+			return s.recordHit(key, payload, DispositionForwarded)
+		}
+	}
+	s.stats.rejectedBusy.Add(1)
+	return nil, "", &RetryAfterError{Err: ErrBusy, After: time.Second}
+}
+
+// forwardCompute ships one job to the least-loaded healthy owner of key
+// via the cluster compute endpoint and validates the returned report the
+// same way a peer cache fill is validated. A validated result is cached
+// locally before being returned.
+func (s *Server) forwardCompute(ctx context.Context, key, canonical string, opts JobOptions, timeout time.Duration, tenant string, batch bool) ([]byte, bool) {
+	if s.cluster == nil {
+		return nil, false
+	}
+	body, err := json.Marshal(computeRequest{
+		Spec:       canonical,
+		JobOptions: opts,
+		TimeoutMS:  int(timeout / time.Millisecond),
+		Tenant:     tenant,
+		Batch:      batch,
+	})
+	if err != nil {
+		return nil, false
+	}
+	payload, ok := s.cluster.Compute(ctx, key, body)
+	if !ok {
+		return nil, false
+	}
+	if !s.validReport(key, payload) {
+		s.stats.peerRejected.Add(1)
+		return nil, false
+	}
+	s.cache.Put(key, payload)
+	return payload, true
 }
 
 // recordHit registers a pre-completed job record for a local or peer
@@ -397,19 +610,25 @@ func (s *Server) peerFill(key string) ([]byte, bool) {
 	if !ok {
 		return nil, false
 	}
-	// Belt over the CRC's braces: the envelope proved the bytes arrived
-	// intact, this proves they are the right result — a confused or
-	// malicious peer answering with a different key's (valid) report must
-	// be rejected, never served or cached.
-	var probe struct {
-		Schema   int    `json:"schema"`
-		CacheKey string `json:"cache_key"`
-	}
-	if json.Unmarshal(payload, &probe) != nil || probe.Schema != ReportSchema || probe.CacheKey != key {
+	if !s.validReport(key, payload) {
 		s.stats.peerRejected.Add(1)
 		return nil, false
 	}
 	return payload, true
+}
+
+// validReport is the belt over the CRC envelope's braces: the envelope
+// proved the bytes arrived intact, this proves they are the right result —
+// a confused or malicious peer answering with a different key's (valid)
+// report must be rejected, never served or cached. Applied to every
+// payload a peer hands back, whether cache fill or forwarded compute.
+func (s *Server) validReport(key string, payload []byte) bool {
+	var probe struct {
+		Schema   int    `json:"schema"`
+		CacheKey string `json:"cache_key"`
+	}
+	return json.Unmarshal(payload, &probe) == nil &&
+		probe.Schema == ReportSchema && probe.CacheKey == key
 }
 
 // hasInflight reports whether an identical job is queued or running.
@@ -438,6 +657,7 @@ func (s *Server) worker() {
 
 // execute runs one job to a terminal state with panic isolation.
 func (s *Server) execute(j *Job) {
+	s.releaseTenantSlot(j)
 	if j.ctx.Err() != nil || !j.setRunning() {
 		s.finish(j, StateCanceled, nil, "canceled before start")
 		return
@@ -510,6 +730,23 @@ func (s *Server) finish(j *Job, state string, payload []byte, errText string) {
 	close(j.done)
 }
 
+// releaseTenantSlot returns a job's queue-share slot to its tenant the
+// moment a worker dequeues it: the share cap bounds queued work (the
+// resource one tenant can hoard), not running work (bounded by Workers).
+func (s *Server) releaseTenantSlot(j *Job) {
+	if j.tenant == "" {
+		return
+	}
+	s.mu.Lock()
+	if n := s.tenantQueued[j.tenant]; n > 1 {
+		s.tenantQueued[j.tenant] = n - 1
+	} else if n == 1 {
+		delete(s.tenantQueued, j.tenant)
+	}
+	s.mu.Unlock()
+	s.metrics.Gauge("tenant_queued." + j.tenant).Add(-1)
+}
+
 // retireLocked appends a terminal job to the retention ring and forgets
 // the oldest records beyond KeepJobs. Callers hold s.mu.
 func (s *Server) retireLocked(id string) {
@@ -553,6 +790,26 @@ type Stats struct {
 	// PeerServed counts cache entries this node handed to asking peers via
 	// GET /v1/cache/{key}.
 	PeerServed int64 `json:"peer_served"`
+	// Forwarded counts saturated submissions answered by forwarding the
+	// job to a cluster peer's compute endpoint.
+	Forwarded int64 `json:"forwarded"`
+	// PeerComputeServed counts forwarded jobs this node computed (or
+	// served from cache) on behalf of saturated peers.
+	PeerComputeServed int64 `json:"peer_compute_served"`
+	// ShedBatch counts batch-class submissions shed to protect interactive
+	// headroom.
+	ShedBatch int64 `json:"shed_batch"`
+	// RateLimited counts submissions refused by a tenant's token bucket.
+	RateLimited int64 `json:"rate_limited"`
+	// TenantRejected counts submissions refused by the per-tenant queue
+	// share cap.
+	TenantRejected int64 `json:"tenant_rejected"`
+	// BatchRequests / BatchJobs count POST /v1/verify/batch requests and
+	// the jobs they expanded to; BatchHedges counts straggler re-dispatches
+	// of forwarded batch jobs.
+	BatchRequests int64 `json:"batch_requests"`
+	BatchJobs     int64 `json:"batch_jobs"`
+	BatchHedges   int64 `json:"batch_hedges"`
 	// Cluster is the attached peer client's snapshot; absent on a
 	// single-node server.
 	Cluster *cluster.Stats `json:"cluster,omitempty"`
@@ -593,7 +850,17 @@ func (s *Server) Stats() Stats {
 		Panics:           s.stats.panics.Value(),
 		PeerRejected:     s.stats.peerRejected.Value(),
 		PeerServed:       s.stats.peerServed.Value(),
-		Cluster:          cstats,
-		CacheStats:       s.cache.Stats(),
+
+		Forwarded:         s.stats.forwarded.Value(),
+		PeerComputeServed: s.stats.peerComputeServed.Value(),
+		ShedBatch:         s.stats.shedBatch.Value(),
+		RateLimited:       s.stats.rateLimited.Value(),
+		TenantRejected:    s.stats.tenantRejected.Value(),
+		BatchRequests:     s.stats.batchRequests.Value(),
+		BatchJobs:         s.stats.batchJobs.Value(),
+		BatchHedges:       s.stats.batchHedges.Value(),
+
+		Cluster:    cstats,
+		CacheStats: s.cache.Stats(),
 	}
 }

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Per-tenant admission control. Every request carries a tenant identity
+// (the X-CC-Tenant header; absent or unusable names map to "default"), and
+// two independent mechanisms keep one tenant from monopolizing the node:
+//
+//   - a token bucket per tenant (Config.TenantRate / TenantBurst) bounds
+//     sustained request rate, answering excess with 429 + Retry-After
+//     sized to the bucket's actual refill deficit;
+//   - a queue-share cap (Config.TenantQueueShare) bounds how many queued
+//     jobs one tenant may hold, so a flooding tenant saturates its own
+//     share while the remaining slots stay available to everyone else.
+//
+// Batch work is additionally shed before interactive work: batch
+// submissions are refused once the queue passes Config.BatchShedFraction
+// of its depth, reserving the rest of the queue for interactive verifies.
+
+// DefaultTenant is the tenant identity of requests that carry none.
+const DefaultTenant = "default"
+
+// maxTenantLen bounds tenant names; they become metric-name suffixes, so
+// unbounded client-chosen strings must not reach the registry.
+const maxTenantLen = 32
+
+// CanonicalTenant maps a raw X-CC-Tenant header value to the identity used
+// for buckets, queue shares and metric names: empty becomes DefaultTenant,
+// characters outside [A-Za-z0-9._-] become '_', and over-long names are
+// truncated. Distinct raw names can therefore collide onto one identity;
+// that only makes the colliding tenants share a budget, never exceed one.
+func CanonicalTenant(raw string) string {
+	if raw == "" {
+		return DefaultTenant
+	}
+	if len(raw) > maxTenantLen {
+		raw = raw[:maxTenantLen]
+	}
+	b := []byte(raw)
+	for i, ch := range b {
+		switch {
+		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z',
+			ch >= '0' && ch <= '9', ch == '.', ch == '_', ch == '-':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// Typed admission rejections beyond ErrBusy/ErrDraining. All three arrive
+// wrapped in a RetryAfterError carrying the client's retry hint.
+var (
+	// ErrRateLimited: the tenant's token bucket is empty.
+	ErrRateLimited = errors.New("serve: tenant rate limit exceeded")
+	// ErrTenantShare: the tenant already holds its full queue share.
+	ErrTenantShare = errors.New("serve: tenant queue share exhausted")
+	// ErrShedBatch: the queue is loaded enough that batch work is shed to
+	// keep headroom for interactive verifies.
+	ErrShedBatch = errors.New("serve: batch work shed under load")
+)
+
+// RetryAfterError wraps an admission rejection with the retry hint the
+// HTTP layer renders as a Retry-After header. Unwrap preserves errors.Is
+// against the sentinel rejections.
+type RetryAfterError struct {
+	Err   error
+	After time.Duration
+}
+
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", e.Err, e.After)
+}
+
+func (e *RetryAfterError) Unwrap() error { return e.Err }
+
+// retryAfterSeconds renders an error's retry hint as whole seconds for the
+// Retry-After header, at least 1; ok is false when err carries no hint.
+func retryAfterSeconds(err error) (int, bool) {
+	var ra *RetryAfterError
+	if !errors.As(err, &ra) {
+		return 0, false
+	}
+	secs := int(math.Ceil(ra.After.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs, true
+}
+
+// tokenBuckets is the per-tenant rate limiter: a classic token bucket per
+// tenant identity, refilled continuously at rate tokens/second up to
+// burst. The clock is injectable for tests.
+type tokenBuckets struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBuckets builds the limiter; rate <= 0 means unlimited and
+// returns nil (callers treat a nil limiter as always admitting).
+func newTokenBuckets(rate float64, burst int) *tokenBuckets {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = math.Max(1, 2*rate)
+	}
+	return &tokenBuckets{
+		rate:    rate,
+		burst:   b,
+		now:     time.Now,
+		buckets: map[string]*bucket{},
+	}
+}
+
+// take attempts to spend cost tokens from tenant's bucket. On refusal it
+// reports how long until the deficit refills — the Retry-After hint. A
+// cost beyond the burst capacity can never succeed outright; it is
+// admitted whenever the bucket is full, charging the bucket into debt, so
+// one oversized batch is slowed rather than permanently refused.
+func (tb *tokenBuckets) take(tenant string, cost float64) (bool, time.Duration) {
+	if tb == nil {
+		return true, 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := tb.now()
+	bk := tb.buckets[tenant]
+	if bk == nil {
+		bk = &bucket{tokens: tb.burst, last: now}
+		tb.buckets[tenant] = bk
+	}
+	if dt := now.Sub(bk.last).Seconds(); dt > 0 {
+		bk.tokens = math.Min(tb.burst, bk.tokens+dt*tb.rate)
+	}
+	bk.last = now
+	switch {
+	case bk.tokens >= cost:
+		bk.tokens -= cost
+		return true, 0
+	case cost > tb.burst && bk.tokens >= tb.burst:
+		// Full bucket, oversized request: admit into debt.
+		bk.tokens -= cost
+		return true, 0
+	}
+	need := cost
+	if cost > tb.burst {
+		need = tb.burst
+	}
+	wait := time.Duration((need - bk.tokens) / tb.rate * float64(time.Second))
+	return false, wait
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCanonicalTenant(t *testing.T) {
+	for raw, want := range map[string]string{
+		"":                       DefaultTenant,
+		"team-a":                 "team-a",
+		"Team.A_1":               "Team.A_1",
+		"bad tenant!":            "bad_tenant_",
+		"../../passwd":           ".._.._passwd",
+		strings.Repeat("x", 100): strings.Repeat("x", maxTenantLen),
+	} {
+		if got := CanonicalTenant(raw); got != want {
+			t.Errorf("CanonicalTenant(%q) = %q, want %q", raw, got, want)
+		}
+	}
+}
+
+func TestTokenBucketsRefillAndRetryAfter(t *testing.T) {
+	tb := newTokenBuckets(10, 2) // 10/s, burst 2
+	now := time.Unix(0, 0)
+	tb.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := tb.take("a", 1); !ok {
+			t.Fatalf("take %d within burst refused", i)
+		}
+	}
+	ok, wait := tb.take("a", 1)
+	if ok {
+		t.Fatal("empty bucket admitted a request")
+	}
+	// One token refills in 100ms at 10/s; the advertised wait must cover it.
+	if wait <= 0 || wait > 200*time.Millisecond {
+		t.Fatalf("retry-after wait = %v, want ~100ms", wait)
+	}
+	// Tenants are isolated: b's bucket is untouched by a's exhaustion.
+	if ok, _ := tb.take("b", 1); !ok {
+		t.Fatal("tenant b refused because tenant a is exhausted")
+	}
+	now = now.Add(wait)
+	if ok, _ := tb.take("a", 1); !ok {
+		t.Fatal("bucket still empty after the advertised wait")
+	}
+}
+
+func TestTokenBucketsOversizedBatchAdmittedIntoDebt(t *testing.T) {
+	tb := newTokenBuckets(1, 2)
+	now := time.Unix(0, 0)
+	tb.now = func() time.Time { return now }
+
+	// A batch larger than the burst can never fit a full bucket; admitting
+	// it when the bucket is full (driving the balance negative) is the only
+	// way such a batch ever runs. A second one must then wait.
+	if ok, _ := tb.take("a", 10); !ok {
+		t.Fatal("oversized batch refused against a full bucket")
+	}
+	if ok, wait := tb.take("a", 10); ok || wait <= 0 {
+		t.Fatalf("second oversized batch: ok=%t wait=%v, want a refusal with backoff", ok, wait)
+	}
+}
+
+// postTenant POSTs a verify request under a tenant identity and returns the
+// decoded status, HTTP code and Retry-After header.
+func (tc *testClient) postTenant(t *testing.T, body, tenant string, wait bool) (JobStatus, int, string) {
+	t.Helper()
+	url := "http://ccserved/v1/verify"
+	if wait {
+		url += "?wait=1"
+	}
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	resp, err := tc.c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding response (http %d): %v", resp.StatusCode, err)
+	}
+	return st, resp.StatusCode, resp.Header.Get("Retry-After")
+}
+
+// enumReq builds a distinct-cache-key request: the enum cache count is part
+// of the content address, so varying n yields distinct jobs cheaply.
+func enumReq(protocol string, n int) string {
+	return fmt.Sprintf(`{"protocol": %q, "engine": "enum-strict", "n": %d}`, protocol, n)
+}
+
+// TestE2ETenantQueueShare is the starvation drill the admission control
+// exists for: an aggressor tenant flooding distinct jobs is capped at its
+// queue share (429 + Retry-After once it is reached), while a victim
+// tenant's requests keep being admitted and finish.
+func TestE2ETenantQueueShare(t *testing.T) {
+	// QueueDepth 4, share 0.5 → one tenant may hold at most 2 queued jobs.
+	srv, gate := blockingServer(t, Config{Workers: 1, QueueDepth: 4, TenantQueueShare: 0.5})
+	tc := startUnixServer(t, srv)
+
+	// Occupies the worker (its queue slot is released on dequeue).
+	first, code, _ := tc.postTenant(t, enumReq("illinois", 2), "aggr", false)
+	if code != http.StatusAccepted {
+		t.Fatalf("first: http %d", code)
+	}
+	waitForState(t, tc, first.ID, StateRunning)
+
+	// The aggressor fills its share with two queued jobs…
+	for n := 3; n <= 4; n++ {
+		if _, code, _ := tc.postTenant(t, enumReq("illinois", n), "aggr", false); code != http.StatusAccepted {
+			t.Fatalf("aggressor job n=%d: http %d", n, code)
+		}
+	}
+	// …and the next one is refused with backoff even though the queue has
+	// free depth.
+	_, code, retryAfter := tc.postTenant(t, enumReq("illinois", 5), "aggr", false)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("aggressor over share: http %d, want 429", code)
+	}
+	if retryAfter == "" {
+		t.Error("tenant-share rejection missing Retry-After")
+	}
+
+	// The victim is unaffected: its job admits into the free depth and,
+	// once the gate opens, completes.
+	victim, code, _ := tc.postTenant(t, enumReq("dragon", 2), "victim", false)
+	if code != http.StatusAccepted {
+		t.Fatalf("victim: http %d, want admission despite the aggressor flood", code)
+	}
+	close(gate)
+	waitForState(t, tc, victim.ID, StateDone)
+
+	s := tc.stats(t)
+	if s.TenantRejected != 1 {
+		t.Errorf("tenant_rejected = %d, want 1", s.TenantRejected)
+	}
+	if s.RejectedBusy != 0 {
+		t.Errorf("rejected_busy = %d; the share cap must fire before the queue fills", s.RejectedBusy)
+	}
+}
+
+// TestE2ETenantRateLimit: a tenant past its token bucket gets 429 +
+// Retry-After; other tenants' buckets are independent.
+func TestE2ETenantRateLimit(t *testing.T) {
+	srv := newServer(t, Config{Workers: 2, TenantRate: 0.01, TenantBurst: 2})
+	tc := startUnixServer(t, srv)
+
+	for i := 0; i < 2; i++ {
+		if _, code, _ := tc.postTenant(t, `{"protocol": "illinois"}`, "greedy", true); code != http.StatusOK {
+			t.Fatalf("request %d within burst: http %d", i, code)
+		}
+	}
+	_, code, retryAfter := tc.postTenant(t, `{"protocol": "illinois"}`, "greedy", true)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-rate request: http %d, want 429", code)
+	}
+	if secs, err := time.ParseDuration(retryAfter + "s"); err != nil || secs < time.Second {
+		t.Errorf("Retry-After = %q, want >= 1 second at 0.01 req/s", retryAfter)
+	}
+	if _, code, _ := tc.postTenant(t, `{"protocol": "illinois"}`, "modest", true); code != http.StatusOK {
+		t.Fatalf("other tenant: http %d, want its own untouched bucket", code)
+	}
+	if s := tc.stats(t); s.RateLimited != 1 {
+		t.Errorf("rate_limited = %d, want 1", s.RateLimited)
+	}
+}

@@ -26,6 +26,28 @@ type ServiceJobOptions = serve.JobOptions
 // NewService builds a verification service (workers not yet started).
 func NewService(cfg ServiceConfig) (*Service, error) { return serve.New(cfg) }
 
+// ServiceBatchRequest is the body of POST /v1/verify/batch: an explicit
+// job list and/or a server-side protocol×mutation sweep, streamed back as
+// NDJSON verdict lines plus a summary.
+type ServiceBatchRequest = serve.BatchRequest
+
+// ServiceSweepSpec is the server-side batch expansion: library protocols
+// (all when unset) × optional mutation catalog, under one set of engine
+// options.
+type ServiceSweepSpec = serve.SweepSpec
+
+// ServiceBatchLine is one streamed batch verdict line; its Disposition
+// records how the verdict was obtained (cached, computed, forwarded,
+// retried, failed).
+type ServiceBatchLine = serve.BatchLine
+
+// ServiceBatchSummary is the final line of a batch stream.
+type ServiceBatchSummary = serve.BatchSummary
+
+// CanonicalServiceTenant maps a raw X-CC-Tenant header value to the
+// tenant identity used for rate limits, queue shares and metric names.
+func CanonicalServiceTenant(raw string) string { return serve.CanonicalTenant(raw) }
+
 // ClusterConfig tunes a peer cache-fill client: the static peer list,
 // hedging deadline, retry shape, failure-detection thresholds and circuit
 // breaker. The zero value plus Peers is fully usable; every knob has a
