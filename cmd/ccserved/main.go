@@ -31,7 +31,10 @@
 //
 // Endpoints: POST /v1/verify (async job submission; ?wait=1 blocks),
 // POST /v1/verify/batch (many jobs or a protocol×mutation sweep, NDJSON
-// streamed), GET /v1/jobs/{id} (poll; ?wait=1 blocks), DELETE
+// streamed), POST /v1/simulate (trace-driven protocol comparison — replay
+// a cctrace stream or a server-materialized workload through several
+// protocols; same job contract and cache, see docs/workloads.md),
+// GET /v1/jobs/{id} (poll; ?wait=1 blocks), DELETE
 // /v1/jobs/{id} (cancel), GET /v1/protocols, GET /v1/metrics (the
 // observability-registry snapshot; ?scope=cluster merges every reachable
 // peer's), GET /healthz, GET /statsz. See docs/service.md and

@@ -1,0 +1,219 @@
+package replay
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/fsm"
+	"repro/internal/protocols"
+	"repro/internal/trace"
+)
+
+// The cctrace v1 text format.
+//
+//	# cctrace v1
+//	# caches: 8
+//	# blocksize: 64
+//	# workload: migratory seed=1993 ops=100000   (optional, free text)
+//	0 r 1a40
+//	3 w 1a40
+//	1 z 80
+//
+// The first line must be the magic "# cctrace v1". Header lines are "#"
+// comments of the form "# key: value"; "caches" is mandatory and must
+// appear before the first reference, "blocksize" records the recommended
+// block size in bytes for replay (default 64 when absent), and unknown
+// keys are ignored for forward compatibility. Blank lines and further "#"
+// comments are permitted anywhere. Each reference line is
+// "<cache> <op> <hex-address>": a decimal cache index in [0, caches), a
+// one-letter operation, and a block-address in lowercase hex without a 0x
+// prefix. Files whose content starts with the gzip magic bytes are
+// decompressed transparently.
+const (
+	// Magic is the mandatory first line of a cctrace file.
+	Magic = "# cctrace v1"
+	// DefaultBlockSize is the address→block mapping granularity used when
+	// neither the header nor the caller specifies one.
+	DefaultBlockSize = 64
+)
+
+// Operation letters. Lowercase is canonical on write; the parser accepts
+// uppercase too.
+const (
+	opRead    = 'r' // fsm.OpRead
+	opWrite   = 'w' // fsm.OpWrite
+	opReplace = 'z' // fsm.OpReplace
+	opAcquire = 'l' // protocols.OpAcquire (lock traces)
+	opRelease = 'u' // protocols.OpRelease (lock traces)
+)
+
+// Typed parse failures. Every parsing error is a *ParseError wrapping one
+// of these sentinels (match with errors.Is) and naming the offending line.
+var (
+	// ErrHeader: the magic line or the mandatory "# caches:" metadata is
+	// missing or malformed.
+	ErrHeader = errors.New("replay: bad cctrace header")
+	// ErrEmpty: the trace contains no references at all.
+	ErrEmpty = errors.New("replay: trace contains no references")
+	// ErrBadLine: a reference line does not have the three expected fields.
+	ErrBadLine = errors.New("replay: malformed reference line")
+	// ErrCacheRange: a reference names a cache index outside [0, caches).
+	ErrCacheRange = errors.New("replay: cache index out of range")
+	// ErrBadOp: a reference uses an unknown operation letter.
+	ErrBadOp = errors.New("replay: unknown operation")
+	// ErrBadAddress: a reference address is not valid hex.
+	ErrBadAddress = errors.New("replay: malformed address")
+	// ErrTruncated: the gzip stream ended mid-member or is corrupt.
+	ErrTruncated = errors.New("replay: truncated or corrupt gzip stream")
+	// ErrTooManyBlocks: the trace touches more distinct blocks than the
+	// scanner's block table admits (ScanOptions.MaxBlocks).
+	ErrTooManyBlocks = errors.New("replay: distinct blocks exceed the block table")
+)
+
+// ParseError is a parse failure pinned to a 1-based line number of the
+// (decompressed) trace text.
+type ParseError struct {
+	// Line is the 1-based line number the failure was detected at.
+	Line int
+	// Err is the sentinel classifying the failure.
+	Err error
+	// Detail narrows the failure ("" when the sentinel says it all).
+	Detail string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	if e.Detail != "" {
+		return fmt.Sprintf("%v (line %d: %s)", e.Err, e.Line, e.Detail)
+	}
+	return fmt.Sprintf("%v (line %d)", e.Err, e.Line)
+}
+
+// Unwrap exposes the sentinel for errors.Is.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// parseErr builds a *ParseError.
+func parseErr(line int, sentinel error, format string, args ...any) error {
+	return &ParseError{Line: line, Err: sentinel, Detail: fmt.Sprintf(format, args...)}
+}
+
+// opByte maps an fsm operation to its trace letter.
+func opByte(op fsm.Op) (byte, error) {
+	switch op {
+	case fsm.OpRead:
+		return opRead, nil
+	case fsm.OpWrite:
+		return opWrite, nil
+	case fsm.OpReplace:
+		return opReplace, nil
+	case protocols.OpAcquire:
+		return opAcquire, nil
+	case protocols.OpRelease:
+		return opRelease, nil
+	default:
+		return 0, fmt.Errorf("replay: operation %q has no trace encoding", op)
+	}
+}
+
+// byteOp maps a trace letter to its fsm operation.
+func byteOp(b byte) (fsm.Op, bool) {
+	switch b {
+	case opRead, 'R':
+		return fsm.OpRead, true
+	case opWrite, 'W':
+		return fsm.OpWrite, true
+	case opReplace, 'Z':
+		return fsm.OpReplace, true
+	case opAcquire, 'L':
+		return protocols.OpAcquire, true
+	case opRelease, 'U':
+		return protocols.OpRelease, true
+	default:
+		return "", false
+	}
+}
+
+// Meta is the header metadata of a cctrace file.
+type Meta struct {
+	// Caches is the number of processors/private caches the trace was
+	// generated for; references are validated against it.
+	Caches int
+	// BlockSize is the recommended replay block size in bytes (0 in a
+	// parsed Meta means the header had none; writers default it to
+	// DefaultBlockSize).
+	BlockSize int
+	// Workload is free-text provenance (generator spec, origin, ...).
+	Workload string
+}
+
+// Writer materializes references into the cctrace v1 text format. It
+// buffers internally; call Flush when done. Addresses are derived from
+// Ref.Block as block*stride, so a workload emitting block (or word)
+// indexes becomes a stream of properly strided byte addresses.
+type Writer struct {
+	w      *bufio.Writer
+	caches int
+	stride int64
+	n      int64
+	buf    []byte
+}
+
+// NewWriter writes the header for meta and returns a Writer. stride is the
+// byte distance between consecutive Ref.Block indexes; 0 defaults it to
+// the meta's block size (so block indexes become block-aligned
+// addresses). Word-granularity generators (false sharing) pass a stride
+// smaller than the block size, making several indexes fold into one block
+// on replay.
+func NewWriter(w io.Writer, meta Meta, stride int) (*Writer, error) {
+	if meta.Caches < 1 {
+		return nil, fmt.Errorf("replay: writer needs at least one cache, got %d", meta.Caches)
+	}
+	if meta.BlockSize <= 0 {
+		meta.BlockSize = DefaultBlockSize
+	}
+	if stride <= 0 {
+		stride = meta.BlockSize
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintf(bw, "%s\n", Magic)
+	fmt.Fprintf(bw, "# caches: %d\n", meta.Caches)
+	fmt.Fprintf(bw, "# blocksize: %d\n", meta.BlockSize)
+	if meta.Workload != "" {
+		fmt.Fprintf(bw, "# workload: %s\n", meta.Workload)
+	}
+	return &Writer{w: bw, caches: meta.Caches, stride: int64(stride)}, nil
+}
+
+// WriteRef appends one reference.
+func (w *Writer) WriteRef(r trace.Ref) error {
+	if r.Cache < 0 || r.Cache >= w.caches {
+		return fmt.Errorf("replay: ref cache %d out of range [0, %d)", r.Cache, w.caches)
+	}
+	if r.Block < 0 {
+		return fmt.Errorf("replay: ref block %d negative", r.Block)
+	}
+	op, err := opByte(r.Op)
+	if err != nil {
+		return err
+	}
+	b := w.buf[:0]
+	b = strconv.AppendInt(b, int64(r.Cache), 10)
+	b = append(b, ' ', op, ' ')
+	b = strconv.AppendInt(b, int64(r.Block)*w.stride, 16)
+	b = append(b, '\n')
+	w.buf = b
+	if _, err := w.w.Write(b); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Refs returns the number of references written.
+func (w *Writer) Refs() int64 { return w.n }
+
+// Flush drains the internal buffer to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }

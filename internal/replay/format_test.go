@@ -1,0 +1,191 @@
+package replay
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/fsm"
+	"repro/internal/trace"
+)
+
+func TestWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{Caches: 4, Workload: "hand-rolled"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := []trace.Ref{
+		{Cache: 0, Op: fsm.OpRead, Block: 0},
+		{Cache: 3, Op: fsm.OpWrite, Block: 7},
+		{Cache: 1, Op: fsm.OpReplace, Block: 7},
+	}
+	for _, r := range refs {
+		if err := w.WriteRef(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Refs() != int64(len(refs)) {
+		t.Fatalf("Refs() = %d, want %d", w.Refs(), len(refs))
+	}
+
+	sc, err := NewScanner(bytes.NewReader(buf.Bytes()), ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := sc.Meta(); m.Caches != 4 || m.BlockSize != DefaultBlockSize || m.Workload != "hand-rolled" {
+		t.Fatalf("meta = %+v", m)
+	}
+	out := make([]trace.Ref, 16)
+	n, err := sc.NextBatch(out)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if n != len(refs) {
+		t.Fatalf("decoded %d refs, want %d", n, len(refs))
+	}
+	// The scanner assigns dense first-touch block indexes, so written
+	// blocks {0, 7, 7} come back as {0, 1, 1}.
+	want := []trace.Ref{
+		{Cache: 0, Op: fsm.OpRead, Block: 0},
+		{Cache: 3, Op: fsm.OpWrite, Block: 1},
+		{Cache: 1, Op: fsm.OpReplace, Block: 1},
+	}
+	for i, r := range want {
+		if out[i] != r {
+			t.Fatalf("ref %d = %+v, want %+v", i, out[i], r)
+		}
+	}
+}
+
+func TestWriterRejectsBadRefs(t *testing.T) {
+	w, err := NewWriter(io.Discard, Meta{Caches: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRef(trace.Ref{Cache: 2, Op: fsm.OpRead}); err == nil {
+		t.Fatal("out-of-range cache accepted")
+	}
+	if err := w.WriteRef(trace.Ref{Cache: 0, Op: fsm.Op("teleport")}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if err := w.WriteRef(trace.Ref{Cache: 0, Op: fsm.OpRead, Block: -1}); err == nil {
+		t.Fatal("negative block accepted")
+	}
+}
+
+// TestMaterializeDeterministic pins the contract the service's digest-based
+// cache depends on: the same spec (same seed) materializes byte-identical
+// files, for every generator kind, plain and gzipped.
+func TestMaterializeDeterministic(t *testing.T) {
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			spec := WorkloadSpec{Kind: kind, Seed: 1993, Caches: 4, Blocks: 16, Ops: 5000}
+			var a, b bytes.Buffer
+			na, err := MaterializeTo(&a, spec, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nb, err := MaterializeTo(&b, spec, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if na != int64(spec.Ops) || nb != na {
+				t.Fatalf("materialized %d and %d refs, want %d", na, nb, spec.Ops)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatal("same spec produced different bytes")
+			}
+
+			var ga, gb bytes.Buffer
+			if _, err := MaterializeTo(&ga, spec, true); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := MaterializeTo(&gb, spec, true); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ga.Bytes(), gb.Bytes()) {
+				t.Fatal("same spec produced different gzip bytes")
+			}
+			zr, err := gzip.NewReader(bytes.NewReader(ga.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := io.ReadAll(zr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(plain, a.Bytes()) {
+				t.Fatal("gzip materialization decompresses to different text")
+			}
+
+			other := spec
+			other.Seed = 7
+			var c bytes.Buffer
+			if _, err := MaterializeTo(&c, other, false); err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Equal(a.Bytes(), c.Bytes()) {
+				t.Fatal("different seeds produced identical traces")
+			}
+		})
+	}
+}
+
+func TestMaterializedHeaderCarriesCanonicalSpec(t *testing.T) {
+	spec := WorkloadSpec{Kind: KindMigratory, Seed: 42, Caches: 4, Blocks: 8, Ops: 100}
+	var buf bytes.Buffer
+	if _, err := Materialize(&buf, spec); err != nil {
+		t.Fatal(err)
+	}
+	norm := spec
+	if err := norm.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScanner(bytes.NewReader(buf.Bytes()), ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Meta().Workload; got != norm.Canonical() {
+		t.Fatalf("workload header %q, want %q", got, norm.Canonical())
+	}
+	if !strings.HasPrefix(buf.String(), Magic+"\n") {
+		t.Fatalf("missing magic first line: %q", buf.String()[:40])
+	}
+}
+
+func TestCanonicalZeroesIrrelevantKnobs(t *testing.T) {
+	a := WorkloadSpec{Kind: KindMigratory, Seed: 1, Caches: 2, Blocks: 4, Ops: 10, PWrite: 0.9, HotFrac: 0.7}
+	b := WorkloadSpec{Kind: KindMigratory, Seed: 1, Caches: 2, Blocks: 4, Ops: 10}
+	if err := a.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("irrelevant knobs leaked into canonical form:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+}
+
+func TestNormalizeRejectsBadSpecs(t *testing.T) {
+	bad := []WorkloadSpec{
+		{},
+		{Kind: "zipf", Caches: 2, Blocks: 2, Ops: 10},
+		{Kind: KindUniform, Caches: 0, Blocks: 2, Ops: 10},
+		{Kind: KindUniform, Caches: 2, Blocks: 2, Ops: 0},
+		{Kind: KindUniform, Caches: 2, Blocks: 2, Ops: 10, PWrite: 1.5},
+		{Kind: KindHotBlock, Caches: 2, Blocks: 2, Ops: 10, HotFrac: -0.1},
+	}
+	for i, s := range bad {
+		if err := s.Normalize(); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, s)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package replay
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/protocols"
+	"repro/internal/trace"
+)
+
+// Workload kinds understood by NewWorkload and Materialize. They map 1:1
+// onto the internal/trace generators.
+const (
+	KindUniform          = "uniform"
+	KindHotBlock         = "hot-block"
+	KindMigratory        = "migratory"
+	KindProducerConsumer = "producer-consumer"
+	KindFalseSharing     = "false-sharing"
+	KindLock             = "lock"
+)
+
+// Kinds lists the workload kinds in canonical order.
+func Kinds() []string {
+	return []string{KindUniform, KindHotBlock, KindMigratory, KindProducerConsumer, KindFalseSharing, KindLock}
+}
+
+// WorkloadSpec is a fully deterministic description of a synthetic
+// workload: kind, seed, shape and per-kind tuning parameters. Its
+// Canonical rendering is stable, so a spec can serve as a content address
+// (the service digests it in place of trace bytes) and as trace-file
+// provenance.
+type WorkloadSpec struct {
+	// Kind selects the generator (see Kinds).
+	Kind string `json:"kind"`
+	// Seed seeds the generator's RNG; equal specs produce byte-identical
+	// traces.
+	Seed int64 `json:"seed"`
+	// Caches and Blocks shape the machine the workload targets.
+	Caches int `json:"caches"`
+	Blocks int `json:"blocks"`
+	// Ops is how many references to materialize or replay.
+	Ops int `json:"ops"`
+
+	// PWrite is the write probability (uniform, hot-block, false-sharing;
+	// 0 defaults to 0.3).
+	PWrite float64 `json:"p_write,omitempty"`
+	// HotFrac is the fraction of references hitting the hot block
+	// (hot-block; 0 defaults to 0.5).
+	HotFrac float64 `json:"hot_frac,omitempty"`
+	// Burst is the read-modify-write pairs per ownership period
+	// (migratory; 0 defaults to 4).
+	Burst int `json:"burst,omitempty"`
+	// ReadsPerWrite is the consumer reads per producer write
+	// (producer-consumer; 0 defaults to 4).
+	ReadsPerWrite int `json:"reads_per_write,omitempty"`
+	// WorkLen is the references per critical section (lock; 0 defaults
+	// to 4).
+	WorkLen int `json:"work_len,omitempty"`
+}
+
+// Normalize fills defaults and validates the spec in place, so equal
+// effective workloads share one canonical rendering.
+func (s *WorkloadSpec) Normalize() error {
+	switch s.Kind {
+	case KindUniform, KindHotBlock, KindMigratory, KindProducerConsumer, KindFalseSharing, KindLock:
+	case "":
+		return fmt.Errorf("replay: workload spec needs a kind (have %s)", strings.Join(Kinds(), ", "))
+	default:
+		return fmt.Errorf("replay: unknown workload kind %q (have %s)", s.Kind, strings.Join(Kinds(), ", "))
+	}
+	if s.Caches < 1 || s.Blocks < 1 {
+		return fmt.Errorf("replay: workload needs at least one cache and one block")
+	}
+	if s.Ops < 1 {
+		return fmt.Errorf("replay: workload needs ops >= 1")
+	}
+	if s.PWrite < 0 || s.PWrite > 1 {
+		return fmt.Errorf("replay: invalid p_write %v", s.PWrite)
+	}
+	if s.PWrite == 0 {
+		s.PWrite = 0.3
+	}
+	if s.HotFrac < 0 || s.HotFrac > 1 {
+		return fmt.Errorf("replay: invalid hot_frac %v", s.HotFrac)
+	}
+	if s.HotFrac == 0 {
+		s.HotFrac = 0.5
+	}
+	if s.Burst == 0 {
+		s.Burst = 4
+	}
+	if s.ReadsPerWrite == 0 {
+		s.ReadsPerWrite = 4
+	}
+	if s.WorkLen == 0 {
+		s.WorkLen = 4
+	}
+	if s.Burst < 1 || s.ReadsPerWrite < 1 || s.WorkLen < 1 {
+		return fmt.Errorf("replay: burst, reads_per_write and work_len must be >= 1")
+	}
+	// Zero the parameters the kind does not read, so requests differing
+	// only in an irrelevant knob share a canonical rendering.
+	if s.Kind != KindUniform && s.Kind != KindHotBlock && s.Kind != KindFalseSharing {
+		s.PWrite = 0
+	}
+	if s.Kind != KindHotBlock {
+		s.HotFrac = 0
+	}
+	if s.Kind != KindMigratory {
+		s.Burst = 0
+	}
+	if s.Kind != KindProducerConsumer {
+		s.ReadsPerWrite = 0
+	}
+	if s.Kind != KindLock {
+		s.WorkLen = 0
+	}
+	return nil
+}
+
+// Canonical renders the normalized spec deterministically; it is the
+// digestable identity of the workload.
+func (s WorkloadSpec) Canonical() string {
+	return fmt.Sprintf("cctrace-workload-v1 kind=%s seed=%d caches=%d blocks=%d ops=%d pwrite=%g hotfrac=%g burst=%d rpw=%d worklen=%d",
+		s.Kind, s.Seed, s.Caches, s.Blocks, s.Ops, s.PWrite, s.HotFrac, s.Burst, s.ReadsPerWrite, s.WorkLen)
+}
+
+// openLoopLock adapts the closed-loop CriticalSection generator to an
+// open-loop stream for materialization: every emitted acquire is assumed
+// to succeed. Replaying such a trace against a lock protocol may spin on
+// contended acquires — the protocol reports those steps as incomplete —
+// which is exactly the contention the statistics should expose.
+type openLoopLock struct{ cs *trace.CriticalSection }
+
+func (o openLoopLock) Name() string { return o.cs.Name() }
+
+func (o openLoopLock) Next() trace.Ref {
+	r := o.cs.Next()
+	if r.Op == protocols.OpAcquire {
+		o.cs.Acquired()
+	}
+	return r
+}
+
+// NewWorkload instantiates the generator a normalized spec describes.
+func NewWorkload(s WorkloadSpec) (trace.Workload, error) {
+	switch s.Kind {
+	case KindUniform:
+		return trace.NewUniform(s.Seed, s.Caches, s.Blocks, s.PWrite, 0.02)
+	case KindHotBlock:
+		return trace.NewHotBlock(s.Seed, s.Caches, s.Blocks, s.PWrite, s.HotFrac)
+	case KindMigratory:
+		return trace.NewMigratory(s.Seed, s.Caches, s.Blocks, s.Burst)
+	case KindProducerConsumer:
+		return trace.NewProducerConsumer(s.Seed, s.Caches, s.Blocks, s.ReadsPerWrite)
+	case KindFalseSharing:
+		// Blocks here is the group count; the generator emits word indexes.
+		fs, err := trace.NewFalseSharing(s.Seed, s.Caches, s.Blocks, s.PWrite)
+		if err != nil {
+			return nil, err
+		}
+		return fs, nil
+	case KindLock:
+		cs, err := trace.NewCriticalSection(s.Seed, s.Caches, s.Blocks, s.WorkLen, protocols.OpAcquire, protocols.OpRelease)
+		if err != nil {
+			return nil, err
+		}
+		return openLoopLock{cs}, nil
+	default:
+		return nil, fmt.Errorf("replay: unknown workload kind %q", s.Kind)
+	}
+}
+
+// wordStride is the address stride for word-granularity generators: 8-byte
+// words, so a 64-byte replay block folds 8 words — false sharing emerges
+// from the address mapping exactly as it does in hardware.
+const wordStride = 8
+
+// Materialize writes the spec's trace to w in cctrace v1 format. The
+// output is deterministic: equal specs produce byte-identical files.
+// Compression is the caller's concern (wrap w in gzip.Writer or use
+// MaterializeFile).
+func Materialize(w io.Writer, spec WorkloadSpec) (int64, error) {
+	if err := spec.Normalize(); err != nil {
+		return 0, err
+	}
+	gen, err := NewWorkload(spec)
+	if err != nil {
+		return 0, err
+	}
+	stride := 0 // block-aligned
+	if spec.Kind == KindFalseSharing {
+		stride = wordStride
+	}
+	tw, err := NewWriter(w, Meta{
+		Caches:    spec.Caches,
+		BlockSize: DefaultBlockSize,
+		Workload:  spec.Canonical(),
+	}, stride)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < spec.Ops; i++ {
+		if err := tw.WriteRef(gen.Next()); err != nil {
+			return tw.Refs(), err
+		}
+	}
+	return tw.Refs(), tw.Flush()
+}
+
+// MaterializeTo writes the spec's trace through w, gzip-compressing when
+// gz is set.
+func MaterializeTo(w io.Writer, spec WorkloadSpec, gz bool) (int64, error) {
+	if !gz {
+		return Materialize(w, spec)
+	}
+	zw := gzip.NewWriter(w)
+	n, err := Materialize(zw, spec)
+	if cerr := zw.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/ccpsl"
 	"repro/internal/fsm"
@@ -93,7 +94,7 @@ func (o *JobOptions) normalize() error {
 // canonical spec rendering, the options rendering or the report schema
 // changes meaning, so stale disk-tier entries from older builds can never
 // be served as current results.
-const keySchema = 2 // v2: the workers knob joined the options rendering
+const keySchema = 3 // v3: the simulate job kind joined the key namespace
 
 // CacheKey derives the content address of a verification result: the
 // SHA-256 over a versioned rendering of the engine options followed by the
@@ -104,6 +105,22 @@ func CacheKey(canonicalSpec string, o JobOptions) string {
 	fmt.Fprintf(h, "ccserve-key-v%d\x00engine=%s\x00n=%d\x00strict=%t\x00maxstates=%d\x00workers=%d\x00",
 		keySchema, o.Engine, o.N, o.Strict, o.MaxStates, o.Workers)
 	io.WriteString(h, canonicalSpec)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// SimulateCacheKey derives the content address of a simulation result: the
+// SHA-256 over a versioned rendering of the protocol fan-out and the replay
+// options, followed by the trace identity — "trace:" plus the digest of the
+// submitted trace bytes, or "workload:" plus the canonical workload spec
+// for server-generated traces. The protocol list is keyed in request order
+// because the report preserves that order, and byte-identical cached
+// responses are the contract. It shares keySchema with CacheKey, so a bump
+// retires both namespaces together.
+func SimulateCacheKey(identity string, protoNames []string, o SimOptions) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "ccserve-simkey-v%d\x00protocols=%s\x00blocksize=%d\x00maxblocks=%d\x00capacity=%d\x00maxops=%d\x00strict=%t\x00",
+		keySchema, strings.Join(protoNames, ","), o.BlockSize, o.MaxBlocks, o.Capacity, o.MaxOps, o.Strict)
+	io.WriteString(h, identity)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

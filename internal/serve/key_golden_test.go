@@ -13,8 +13,8 @@ import "testing"
 // and peer entries from older builds can never be served as current
 // results; then re-pin these literals.
 func TestCacheKeyGolden(t *testing.T) {
-	if keySchema != 2 {
-		t.Fatalf("keySchema = %d; these golden keys pin schema 2 — re-derive and re-pin them for the new schema", keySchema)
+	if keySchema != 3 {
+		t.Fatalf("keySchema = %d; these golden keys pin schema 3 — re-derive and re-pin them for the new schema", keySchema)
 	}
 	golden := []struct {
 		name string
@@ -24,17 +24,17 @@ func TestCacheKeyGolden(t *testing.T) {
 		{
 			name: "symbolic-default",
 			opts: JobOptions{Engine: EngineSymbolic},
-			want: "6ec58d20f1f6c1efbb5a233f961240ceba323896bc3e3f649b159a5999eec3b6",
+			want: "f328565fff5a58500fc58665a89666f39fa570b7429362eb44c89086bbee59fe",
 		},
 		{
 			name: "enum-strict-n4",
 			opts: JobOptions{Engine: EngineEnumStrict, N: 4},
-			want: "bd6811e8ceb42f1d0b475910a6043c8ef46563bb11223596ea4b86f7e6141c16",
+			want: "eebe889990ffd93071430c5c809ae7d4955356ded9905cab10003e99ecc442a7",
 		},
 		{
 			name: "symbolic-workers8",
 			opts: JobOptions{Engine: EngineSymbolic, Workers: 8},
-			want: "8393c490806f6c631f187ffea5de7458d917e596d312e6bde74f8a529c7a7795",
+			want: "389a4c65cffcfe95fa8321f4b306b6a173a3420be981439ecad9094df60e76ef",
 		},
 	}
 	_, canonical, err := ResolveSpec("illinois", "")
@@ -60,5 +60,32 @@ func TestCacheKeyGolden(t *testing.T) {
 	}
 	if got := CacheKey(canonical, defaulted); got != golden[0].want {
 		t.Errorf("defaulted options key %s diverged from explicit symbolic key %s", got, golden[0].want)
+	}
+}
+
+// TestSimulateCacheKeyGolden pins one simulate-key literal under the same
+// contract: the simulate namespace shares keySchema with verification, so a
+// schema bump re-pins both tests together.
+func TestSimulateCacheKeyGolden(t *testing.T) {
+	if keySchema != 3 {
+		t.Fatalf("keySchema = %d; this golden key pins schema 3 — re-derive and re-pin it for the new schema", keySchema)
+	}
+	opts := SimOptions{}
+	if err := opts.normalize(); err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	identity := "workload:cctrace-workload-v1 kind=migratory seed=1993 caches=4 blocks=64 ops=100000 pwrite=0 hotfrac=0 burst=4 rpw=0 worklen=0"
+	const want = "5f097d0c257939283e7a1dcd40b18ab768cf8fb7d676c1960f4652e64a57c104"
+	if got := SimulateCacheKey(identity, []string{"MSI", "MESI"}, opts); got != want {
+		t.Errorf("SimulateCacheKey\n  got  %s\n  want %s\nkey derivation changed without a keySchema bump", got, want)
+	}
+	// The defaulted options ("max_blocks omitted") must land on the same
+	// entry as the canonicalized explicit form.
+	explicit := SimOptions{MaxBlocks: 4096}
+	if err := explicit.normalize(); err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	if got := SimulateCacheKey(identity, []string{"MSI", "MESI"}, explicit); got != want {
+		t.Errorf("explicit default max_blocks key %s diverged from defaulted key %s", got, want)
 	}
 }

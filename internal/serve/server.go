@@ -120,15 +120,26 @@ const (
 	StateCanceled = "canceled"
 )
 
-// Job is one verification request's lifecycle record. Identical concurrent
-// requests share one Job (dedup): the first miss creates it, later
-// arrivals coalesce onto it and poll the same ID.
+// Job kinds: what a worker runs when it dequeues the job.
+const (
+	jobVerify   = "verify"
+	jobSimulate = "simulate"
+)
+
+// Job is one request's lifecycle record (verification or simulation).
+// Identical concurrent requests share one Job (dedup): the first miss
+// creates it, later arrivals coalesce onto it and poll the same ID.
 type Job struct {
 	ID       string
 	CacheKey string
 
-	proto   *fsm.Protocol
-	opts    JobOptions
+	kind  string
+	proto *fsm.Protocol // verify jobs only
+	opts  JobOptions    // verify jobs only
+	// runFn, when set, is the job's entire execution (simulate jobs carry
+	// their decoded request in this closure); nil jobs run the verification
+	// path through Server.runJob.
+	runFn   func(ctx context.Context) (payload []byte, cacheable bool, err error)
 	timeout time.Duration
 	noStore bool
 	tenant  string // canonical tenant charged for the queue slot ("" for hits)
@@ -216,6 +227,10 @@ type serverStats struct {
 	batchRequests     *obs.Counter // batch_requests_total
 	batchJobs         *obs.Counter // batch_jobs_total
 	batchHedges       *obs.Counter // batch_hedges_total: straggler re-dispatches
+
+	simRequests *obs.Counter // simulate_requests_total
+	simRuns     *obs.Counter // simulate_runs_total: replay engine executions
+	simHits     *obs.Counter // simulate_cache_hits_total
 }
 
 // newServerStats registers the service counters in reg.
@@ -244,6 +259,10 @@ func newServerStats(reg *obs.Registry) serverStats {
 		batchRequests:     reg.Counter("batch_requests_total"),
 		batchJobs:         reg.Counter("batch_jobs_total"),
 		batchHedges:       reg.Counter("batch_hedges_total"),
+
+		simRequests: reg.Counter("simulate_requests_total"),
+		simRuns:     reg.Counter("simulate_runs_total"),
+		simHits:     reg.Counter("simulate_cache_hits_total"),
 	}
 }
 
@@ -439,12 +458,40 @@ func (s *Server) Submit(p *fsm.Protocol, canonical string, opts JobOptions, time
 // ErrTenantShare, so the HTTP layer can emit 429 + Retry-After uniformly.
 func (s *Server) SubmitEx(p *fsm.Protocol, canonical string, opts JobOptions, so SubmitOptions) (*Job, string, error) {
 	s.stats.requests.Add(1)
+	key := CacheKey(canonical, opts)
+	sub := submission{kind: jobVerify, key: key, proto: p, opts: opts}
+	if !so.NoForward {
+		sub.forward = func(timeout time.Duration, tenant string, batch bool) ([]byte, bool) {
+			return s.forwardCompute(s.jobsCtx, key, canonical, opts, timeout, tenant, batch)
+		}
+	}
+	return s.submit(sub, so)
+}
+
+// submission is one unit of work entering the generic admission pipeline
+// (submit). The verify and simulate endpoints both reduce to it, so cache
+// lookup, peer fill, coalescing, saturation handling and per-tenant
+// admission behave identically for every job kind.
+type submission struct {
+	kind  string
+	key   string
+	proto *fsm.Protocol // verify only
+	opts  JobOptions    // verify only
+	runFn func(ctx context.Context) ([]byte, bool, error)
+	// forward, when non-nil, may ship the job to a cluster peer once the
+	// local queue is full; nil falls straight through to the busy rejection.
+	forward func(timeout time.Duration, tenant string, batch bool) ([]byte, bool)
+}
+
+// submit is the kind-agnostic admission pipeline shared by every submission
+// endpoint; see SubmitEx for the admission order.
+func (s *Server) submit(sub submission, so SubmitOptions) (*Job, string, error) {
 	tenant := CanonicalTenant(so.Tenant)
 	timeout := so.Timeout
 	if timeout <= 0 || timeout > s.cfg.JobTimeout {
 		timeout = s.cfg.JobTimeout
 	}
-	key := CacheKey(canonical, opts)
+	key := sub.key
 
 	if !so.Internal {
 		if ok, after := s.buckets.take(tenant, 1); !ok {
@@ -456,6 +503,9 @@ func (s *Server) SubmitEx(p *fsm.Protocol, canonical string, opts JobOptions, so
 	if !so.NoCache {
 		if payload, hit, _ := s.cache.Get(key); hit {
 			s.stats.cacheHits.Add(1)
+			if sub.kind == jobSimulate {
+				s.stats.simHits.Add(1)
+			}
 			return s.recordHit(key, payload, DispositionHit)
 		}
 		if !so.NoPeerFill {
@@ -483,7 +533,7 @@ func (s *Server) SubmitEx(p *fsm.Protocol, canonical string, opts JobOptions, so
 	qlen := len(s.queue)
 	if qlen >= s.cfg.QueueDepth {
 		s.mu.Unlock()
-		return s.saturated(key, canonical, opts, timeout, tenant, so)
+		return s.saturated(sub, timeout, tenant, so)
 	}
 	if so.Batch && qlen >= s.batchWater {
 		s.mu.Unlock()
@@ -500,8 +550,10 @@ func (s *Server) SubmitEx(p *fsm.Protocol, canonical string, opts JobOptions, so
 	j := &Job{
 		ID:       fmt.Sprintf("j-%06d", s.nextID+1),
 		CacheKey: key,
-		proto:    p,
-		opts:     opts,
+		kind:     sub.kind,
+		proto:    sub.proto,
+		opts:     sub.opts,
+		runFn:    sub.runFn,
 		timeout:  timeout,
 		noStore:  false,
 		tenant:   tenant,
@@ -517,7 +569,7 @@ func (s *Server) SubmitEx(p *fsm.Protocol, canonical string, opts JobOptions, so
 		// finding the queue full outright.
 		cancel()
 		s.mu.Unlock()
-		return s.saturated(key, canonical, opts, timeout, tenant, so)
+		return s.saturated(sub, timeout, tenant, so)
 	}
 	s.nextID++
 	s.jobs[j.ID] = j
@@ -533,11 +585,11 @@ func (s *Server) SubmitEx(p *fsm.Protocol, canonical string, opts JobOptions, so
 // job to a cluster peer with headroom when allowed, otherwise reject busy.
 // Forwarding failing for any reason degrades to the rejection — the
 // client retries exactly as on a single node.
-func (s *Server) saturated(key, canonical string, opts JobOptions, timeout time.Duration, tenant string, so SubmitOptions) (*Job, string, error) {
-	if !so.NoForward && s.cluster != nil {
-		if payload, ok := s.forwardCompute(s.jobsCtx, key, canonical, opts, timeout, tenant, so.Batch); ok {
+func (s *Server) saturated(sub submission, timeout time.Duration, tenant string, so SubmitOptions) (*Job, string, error) {
+	if sub.forward != nil && s.cluster != nil {
+		if payload, ok := sub.forward(timeout, tenant, so.Batch); ok {
 			s.stats.forwarded.Add(1)
-			return s.recordHit(key, payload, DispositionForwarded)
+			return s.recordHit(sub.key, payload, DispositionForwarded)
 		}
 	}
 	s.stats.rejectedBusy.Add(1)
@@ -664,17 +716,16 @@ func (s *Server) execute(j *Job) {
 	}
 	ctx, cancel := context.WithTimeout(j.ctx, j.timeout)
 	defer cancel()
-	s.stats.engineRuns.Add(1)
+	if j.kind == jobSimulate {
+		s.stats.simRuns.Add(1)
+	} else {
+		s.stats.engineRuns.Add(1)
+	}
 	began := time.Now()
-	rep, cacheable, err := s.safeRun(ctx, j)
-	s.metrics.Histogram("verify_latency_seconds." + j.proto.Name).Observe(time.Since(began).Seconds())
+	payload, cacheable, err := s.safeRun(ctx, j)
+	s.metrics.Histogram(j.latencyMetric()).Observe(time.Since(began).Seconds())
 	switch {
 	case err == nil:
-		payload, eerr := encodeReport(rep)
-		if eerr != nil {
-			s.finish(j, StateFailed, nil, eerr.Error())
-			return
-		}
 		if cacheable {
 			s.cache.Put(j.CacheKey, payload)
 		} else {
@@ -688,17 +739,40 @@ func (s *Server) execute(j *Job) {
 	}
 }
 
-// safeRun isolates engine panics: a panicking verification fails its own
-// job and leaves the worker, the pool and every other job intact.
-func (s *Server) safeRun(ctx context.Context, j *Job) (rep *Report, cacheable bool, err error) {
+// latencyMetric names the job's latency histogram: per-protocol for
+// verifications, one series for simulations (whose cost is set by the
+// trace, not the protocol fan-out).
+func (j *Job) latencyMetric() string {
+	if j.kind == jobSimulate {
+		return "simulate_latency_seconds"
+	}
+	return "verify_latency_seconds." + j.proto.Name
+}
+
+// safeRun executes the job's work with panic isolation — a panicking run
+// fails its own job and leaves the worker, the pool and every other job
+// intact — and returns the encoded report payload exactly as it will be
+// cached and served.
+func (s *Server) safeRun(ctx context.Context, j *Job) (payload []byte, cacheable bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.stats.panics.Add(1)
-			rep, cacheable = nil, false
-			err = fmt.Errorf("serve: verification panicked: %v", r)
+			payload, cacheable = nil, false
+			err = fmt.Errorf("serve: %s run panicked: %v", j.kind, r)
 		}
 	}()
-	return s.runJob(ctx, j.proto, j.CacheKey, j.opts)
+	if j.runFn != nil {
+		return j.runFn(ctx)
+	}
+	rep, cacheable, err := s.runJob(ctx, j.proto, j.CacheKey, j.opts)
+	if err != nil {
+		return nil, false, err
+	}
+	payload, eerr := encodeReport(rep)
+	if eerr != nil {
+		return nil, false, eerr
+	}
+	return payload, cacheable, nil
 }
 
 // finish moves a job to its terminal state and retires it from the dedup
@@ -810,6 +884,12 @@ type Stats struct {
 	BatchRequests int64 `json:"batch_requests"`
 	BatchJobs     int64 `json:"batch_jobs"`
 	BatchHedges   int64 `json:"batch_hedges"`
+	// SimulateRequests / SimulateRuns / SimulateCacheHits count POST
+	// /v1/simulate submissions, the replay-engine executions they caused,
+	// and the ones answered straight from the result cache.
+	SimulateRequests  int64 `json:"simulate_requests"`
+	SimulateRuns      int64 `json:"simulate_runs"`
+	SimulateCacheHits int64 `json:"simulate_cache_hits"`
 	// Cluster is the attached peer client's snapshot; absent on a
 	// single-node server.
 	Cluster *cluster.Stats `json:"cluster,omitempty"`
@@ -859,6 +939,9 @@ func (s *Server) Stats() Stats {
 		BatchRequests:     s.stats.batchRequests.Value(),
 		BatchJobs:         s.stats.batchJobs.Value(),
 		BatchHedges:       s.stats.batchHedges.Value(),
+		SimulateRequests:  s.stats.simRequests.Value(),
+		SimulateRuns:      s.stats.simRuns.Value(),
+		SimulateCacheHits: s.stats.simHits.Value(),
 
 		Cluster:    cstats,
 		CacheStats: s.cache.Stats(),

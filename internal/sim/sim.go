@@ -38,12 +38,18 @@ type Stats struct {
 	WriteHits   int64
 	WriteMisses int64
 
-	Invalidations     int64 // remote copies killed by coincident transitions
-	Updates           int64 // remote copies refreshed by broadcast writes
-	CacheSupplies     int64 // misses serviced cache-to-cache
-	MemorySupplies    int64 // misses serviced from memory
-	WriteBacks        int64 // memory updates (supplier, write-back, write-through)
-	BusTransactions   int64 // transactions that needed the bus at all
+	Invalidations  int64 // remote copies killed by coincident transitions
+	Updates        int64 // remote copies refreshed by broadcast writes
+	CacheSupplies  int64 // misses serviced cache-to-cache
+	MemorySupplies int64 // misses serviced from memory
+	WriteBacks     int64 // memory updates (supplier, write-back, write-through)
+	// BusTransactions counts operations that needed the bus at all: data
+	// movement (supply from cache or memory), a memory update, or a
+	// snooping broadcast. A rule with observed transitions is a broadcast
+	// whether or not a remote copy currently exists — the issuing cache
+	// cannot know, which is exactly why MESI's silent E→M upgrade beats
+	// MSI's broadcast upgrade on private data.
+	BusTransactions   int64
 	CapacityEvictions int64 // replacements forced by finite capacity
 
 	StaleReads int64 // reads returning a value older than the last store
@@ -67,6 +73,13 @@ type Machine struct {
 	lru        [][]int
 	stats      Stats
 	ruleCounts map[string]int64
+	// scratch holds the pre-step state snapshot, reused across steps so the
+	// hot path stays allocation-free.
+	scratch []fsm.State
+	// opsSinceCheck counts operations since the last context check in
+	// RunRefs, carried across calls so batch size does not change the
+	// cancellation cadence.
+	opsSinceCheck int
 }
 
 // New builds a machine in the initial state: all caches empty, memory fresh.
@@ -142,20 +155,6 @@ func (m *Machine) drop(i, b int) {
 	}
 }
 
-// syncLRU reconciles the LRU list of cache i with the actual residency of
-// its blocks (coincident invalidations remove blocks without local action).
-func (m *Machine) syncLRU() {
-	for i := range m.lru {
-		l := m.lru[i][:0]
-		for _, b := range m.lru[i] {
-			if m.resident(i, b) {
-				l = append(l, b)
-			}
-		}
-		m.lru[i] = l
-	}
-}
-
 // Apply issues one memory reference and returns the step result of the
 // protocol rule that fired. A read or write to a non-resident block with a
 // full cache first replaces the LRU resident block.
@@ -185,7 +184,8 @@ func (m *Machine) Apply(ref trace.Ref) (fsm.StepResult, error) {
 // statistics.
 func (m *Machine) step(ref trace.Ref) (fsm.StepResult, error) {
 	cfg := m.block[ref.Block]
-	before := append([]fsm.State(nil), cfg.States...)
+	before := append(m.scratch[:0], cfg.States...)
+	m.scratch = before
 	wasResident := m.p.IsValidCopy(before[ref.Cache])
 
 	res, err := fsm.Step(m.p, cfg, ref.Cache, ref.Op)
@@ -219,7 +219,9 @@ func (m *Machine) step(ref trace.Ref) (fsm.StepResult, error) {
 	if res.Rule != nil {
 		m.ruleCounts[res.Rule.Name]++
 		d := res.Rule.Data
-		bus := false
+		// Observed transitions and sharer updates are snooping broadcasts:
+		// they occupy the bus even when no remote copy happens to exist.
+		bus := len(res.Rule.Observe) > 0 || (d.Store && d.UpdateSharers)
 		if res.Supplier >= 0 {
 			m.stats.CacheSupplies++
 			bus = true
@@ -232,15 +234,19 @@ func (m *Machine) step(ref trace.Ref) (fsm.StepResult, error) {
 			m.stats.WriteBacks++
 			bus = true
 		}
-		// Coincident effects on remote copies.
+		// Coincident effects on remote copies. Only the referenced block
+		// can change residency in one step, so reconciling the remote LRU
+		// lists here (rather than rescanning every list) keeps the hot
+		// path linear in caches whose state actually moved.
 		for j, prev := range before {
 			if j == ref.Cache {
 				continue
 			}
 			next := cfg.States[j]
-			if m.p.IsValidCopy(prev) && !m.p.IsValidCopy(next) {
+			if prev != next && m.p.IsValidCopy(prev) && !m.p.IsValidCopy(next) {
 				m.stats.Invalidations++
 				bus = true
+				m.drop(j, ref.Block)
 			}
 		}
 		if d.Store && d.UpdateSharers {
@@ -256,13 +262,13 @@ func (m *Machine) step(ref trace.Ref) (fsm.StepResult, error) {
 		}
 	}
 
-	// Maintain residency bookkeeping.
+	// Maintain the issuing cache's residency bookkeeping (remote caches
+	// were reconciled in the coincident-transition loop above).
 	if m.resident(ref.Cache, ref.Block) {
 		m.touch(ref.Cache, ref.Block)
 	} else {
 		m.drop(ref.Cache, ref.Block)
 	}
-	m.syncLRU()
 	return res, nil
 }
 
@@ -278,18 +284,53 @@ func (m *Machine) Run(w trace.Workload, nops int) (Stats, error) {
 // does not perturb the simulator's throughput.
 const ctxCheckInterval = 1024
 
+// runRefsBatch is the workload pull-batch size RunContext uses when
+// feeding RunRefs: large enough to amortize the call, small enough that a
+// canceled run stops promptly.
+const runRefsBatch = 1024
+
 // RunContext is Run under a context: cancellation and deadlines are checked
 // every ctxCheckInterval operations, returning the cumulative stats so far
-// with an error matching runctl.ErrCanceled or runctl.ErrDeadline.
+// with an error matching runctl.ErrCanceled or runctl.ErrDeadline. It is a
+// wrapper over RunRefs, pulling references from the workload in batches.
 func (m *Machine) RunContext(ctx context.Context, w trace.Workload, nops int) (Stats, error) {
-	for k := 0; k < nops; k++ {
-		if k%ctxCheckInterval == 0 {
+	var buf [runRefsBatch]trace.Ref
+	for done := 0; done < nops; {
+		n := nops - done
+		if n > runRefsBatch {
+			n = runRefsBatch
+		}
+		batch := buf[:n]
+		for i := range batch {
+			batch[i] = w.Next()
+		}
+		if _, err := m.RunRefs(ctx, batch); err != nil {
+			return m.stats, err
+		}
+		done += n
+	}
+	return m.stats, nil
+}
+
+// RunRefs feeds an explicit reference slice to the machine — the step-level
+// entry point the trace-replay engine (internal/replay) batches decoded
+// references into, with no shim Workload adapter in between. Cancellation
+// and deadlines are checked every ctxCheckInterval operations, with the
+// cadence carried across calls so batch size does not change it. The
+// returned stats are the machine's cumulative counters; on an early stop
+// the error matches runctl.ErrCanceled or runctl.ErrDeadline and reports
+// the machine's lifetime operation count.
+func (m *Machine) RunRefs(ctx context.Context, refs []trace.Ref) (Stats, error) {
+	for k := range refs {
+		if m.opsSinceCheck <= 0 {
+			m.opsSinceCheck = ctxCheckInterval
 			if err := runctl.FromContext(ctx); err != nil {
-				return m.stats, fmt.Errorf("sim: stopped after %d ops: %w", k, err)
+				return m.stats, fmt.Errorf("sim: stopped after %d ops: %w", m.stats.Ops, err)
 			}
 		}
-		if _, err := m.Apply(w.Next()); err != nil {
-			return m.stats, fmt.Errorf("sim: op %d: %w", k, err)
+		m.opsSinceCheck--
+		if _, err := m.Apply(refs[k]); err != nil {
+			return m.stats, fmt.Errorf("sim: op %d: %w", m.stats.Ops, err)
 		}
 	}
 	return m.stats, nil
