@@ -39,6 +39,8 @@ import (
 
 	"repro/internal/ckptio"
 	"repro/internal/enum"
+	"repro/internal/fsm"
+	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/protocols"
 	"repro/internal/report"
@@ -59,6 +61,8 @@ type cliOpts struct {
 	keep        int    // good snapshot generations retained at -checkpoint
 	progress    bool   // one stderr line per BFS level
 	metricsJSON string // write the metrics snapshot here after the run
+	graphOut    string // write the concrete transition graph here ("-": stdout)
+	graphFormat string // graph rendering: dot or json
 }
 
 func main() {
@@ -77,6 +81,8 @@ func main() {
 		resume      = flag.String("resume", "", "resume an interrupted run from this checkpoint file")
 		progress    = flag.Bool("progress", false, "print one progress line per BFS level to stderr")
 		metricsJSON = flag.String("metrics-json", "", "write the run's metrics snapshot to this JSON file")
+		graphOut    = flag.String("graph-out", "", "write the run's concrete transition graph to this file (\"-\": stdout; needs a single -mode)")
+		graphFormat = flag.String("graph-format", "dot", "transition-graph rendering: dot or json")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		showVersion = flag.Bool("version", false, "print version information and exit")
@@ -113,6 +119,7 @@ func main() {
 		memBudget: *memBudget, spillDir: *spillDir,
 		checkpoint: *checkpoint, resume: *resume, keep: *keep,
 		progress: *progress, metricsJSON: *metricsJSON,
+		graphOut: *graphOut, graphFormat: *graphFormat,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccenum:", err)
@@ -127,6 +134,20 @@ func run(ctx context.Context, protoName string, n int, o cliOpts) (int, error) {
 	if o.spillDir != "" && o.memBudget <= 0 {
 		return 0, fmt.Errorf("-spill-dir requires -mem-budget: spilling is triggered by the memory budget")
 	}
+	if o.graphOut != "" {
+		switch o.graphFormat {
+		case "dot", "json":
+		default:
+			return 0, fmt.Errorf("invalid -graph-format %q (want dot or json)", o.graphFormat)
+		}
+		if o.resume == "" && o.mode == "both" {
+			return 0, fmt.Errorf("-graph-out needs a single -mode (strict or counting), not %q", o.mode)
+		}
+	}
+	// graphProto/graphMode record what -graph-out should render, resolved in
+	// whichever branch below selects the protocol and equivalence.
+	var graphProto *fsm.Protocol
+	var graphMode string
 	opts := enum.Options{
 		Strict:           o.strict,
 		MaxStates:        o.max,
@@ -186,6 +207,7 @@ func run(ctx context.Context, protoName string, n int, o cliOpts) (int, error) {
 		}
 		outcomes = append(outcomes, outcome{"resumed " + cp.Mode, res})
 		protoName = cp.Protocol
+		graphProto, graphMode = p, cp.Mode
 	} else {
 		p, err := protocols.ByName(protoName)
 		if err != nil {
@@ -212,6 +234,7 @@ func run(ctx context.Context, protoName string, n int, o cliOpts) (int, error) {
 		if o.checkpoint != "" && len(runners) > 1 {
 			return 0, fmt.Errorf("-checkpoint needs a single -mode (strict or counting), not %q", o.mode)
 		}
+		graphProto, graphMode = p, runners[0].mode
 		for _, r := range runners {
 			var res *enum.Result
 			switch {
@@ -266,5 +289,35 @@ func run(ctx context.Context, protoName string, n int, o cliOpts) (int, error) {
 			return 0, err
 		}
 	}
+	if o.graphOut != "" {
+		if code == runctl.ExitStopped {
+			fmt.Fprintln(os.Stderr, "ccenum: run stopped early; skipping -graph-out (the graph must cover the full reachable set)")
+		} else if err := writeGraph(graphProto, n, graphMode, o); err != nil {
+			return 0, err
+		}
+	}
 	return code, nil
+}
+
+// writeGraph renders the concrete transition diagram of the completed run
+// — the explicit-state counterpart of the paper's Figure 4 — and writes it
+// to o.graphOut ("-" for stdout).
+func writeGraph(p *fsm.Protocol, n int, mode string, o cliOpts) error {
+	g, err := graph.BuildConcrete(p, n, mode, o.max)
+	if err != nil {
+		return err
+	}
+	var data []byte
+	if o.graphFormat == "json" {
+		if data, err = g.JSON(); err != nil {
+			return err
+		}
+	} else {
+		data = []byte(g.DOT())
+	}
+	if o.graphOut == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(o.graphOut, data, 0o644)
 }

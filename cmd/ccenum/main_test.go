@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -45,6 +46,52 @@ func TestRunErrors(t *testing.T) {
 	}
 	if _, err := run(context.Background(), "illinois", 3, cliOpts{mode: "strict", resume: "/does/not/exist.ckpt"}); err == nil {
 		t.Error("missing resume file must error")
+	}
+}
+
+// TestRunGraphOut exercises -graph-out end to end: a single-mode run writes
+// the concrete transition diagram, twice-rendered files are byte-identical,
+// and -mode both or a bad -graph-format are usage errors.
+func TestRunGraphOut(t *testing.T) {
+	dir := t.TempDir()
+	dotPath := filepath.Join(dir, "g.dot")
+	if code, err := run(context.Background(), "msi", 2, cliOpts{mode: "strict", graphOut: dotPath, graphFormat: "dot"}); err != nil || code != 0 {
+		t.Fatalf("code %d err %v", code, err)
+	}
+	dot, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dot), `digraph "MSI"`) {
+		t.Errorf("unexpected DOT:\n%s", dot)
+	}
+	jsonPath := filepath.Join(dir, "g.json")
+	if code, err := run(context.Background(), "msi", 2, cliOpts{mode: "counting", graphOut: jsonPath, graphFormat: "json"}); err != nil || code != 0 {
+		t.Fatalf("code %d err %v", code, err)
+	}
+	first, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(first), `"kind": "concrete"`) {
+		t.Errorf("unexpected JSON:\n%s", first)
+	}
+	if code, err := run(context.Background(), "msi", 2, cliOpts{mode: "counting", graphOut: jsonPath, graphFormat: "json"}); err != nil || code != 0 {
+		t.Fatalf("code %d err %v", code, err)
+	}
+	second, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Error("graph export is not deterministic across runs")
+	}
+
+	if _, err := run(context.Background(), "msi", 2, cliOpts{mode: "both", graphOut: dotPath}); err == nil {
+		t.Error("-graph-out with -mode both must error")
+	}
+	if _, err := run(context.Background(), "msi", 2, cliOpts{mode: "strict", graphOut: dotPath, graphFormat: "svg"}); err == nil {
+		t.Error("unknown -graph-format must error")
 	}
 }
 

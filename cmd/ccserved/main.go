@@ -12,6 +12,12 @@
 //	ccserved -listen 127.0.0.1:8344
 //	ccserved -unix /run/ccserved.sock -workers 4 -cache-dir /var/cache/ccserved
 //	ccserved -listen 10.0.0.1:8344 -peers 10.0.0.1:8344,10.0.0.2:8344,10.0.0.3:8344
+//	ccserved -spec-dir /etc/ccserved/protocols
+//
+// -spec-dir extends the built-in protocol library at startup with every
+// compiled .ccfsm protocol in the directory (write them with ccverify
+// -compile-out); the added names appear in GET /v1/protocols and are
+// addressable in verify requests like any built-in.
 //
 // With -peers the node joins a fault-tolerant cluster: before computing a
 // cache miss it asks the key's rendezvous-hashed owners for the cached
@@ -62,6 +68,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/protocols"
 	"repro/internal/runctl"
 	"repro/internal/serve"
 )
@@ -116,6 +123,7 @@ func main() {
 		cacheDir     = flag.String("cache-dir", "", "durable disk cache tier directory (empty: memory only)")
 		cacheDiskMax = flag.Int64("cache-disk-bytes", 0, "disk cache tier byte budget, enforced by an LRU sweep at startup (0: unbounded)")
 		keepJobs     = flag.Int("keep-jobs", 1024, "terminal job records retained for polling")
+		specDir      = flag.String("spec-dir", "", "directory of compiled .ccfsm protocols to add to the library at startup")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs after SIGTERM")
 		timeout      = flag.Duration("timeout", 0, "wall-clock limit for the whole service (0: run until signaled)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -163,6 +171,16 @@ func main() {
 			}
 		}
 		os.Exit(code)
+	}
+
+	if *specDir != "" {
+		added, err := protocols.LoadDir(*specDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccserved:", err)
+			exit(runctl.ExitUsage)
+		}
+		fmt.Fprintf(os.Stderr, "ccserved: loaded %d protocol(s) from %s: %s\n",
+			len(added), *specDir, strings.Join(added, ", "))
 	}
 
 	ctx, stop := runctl.WithSignals(context.Background(), *timeout)

@@ -597,6 +597,12 @@ func (b *bfs) runSeq(ctx context.Context, queue []*fsm.Config) (*Result, error) 
 	return b.res, nil
 }
 
+// SymmetryShadowed reports whether the engines' counting-mode expansion
+// would skip cache i of c as permutation-equivalent to a lower-indexed
+// sibling (see shadowedBySibling). Exported for the transition-graph
+// export, which replays the engines' expansion policy.
+func SymmetryShadowed(c *fsm.Config, i int) bool { return shadowedBySibling(c, i) }
+
 // shadowedBySibling reports whether a lower-indexed cache is in the same
 // (state, data) class as cache i; under counting equivalence expanding both
 // produces permutation-equivalent successors, so only the first

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/compile"
 	"repro/internal/fsm"
 )
 
@@ -95,12 +96,23 @@ type keyCodec struct {
 	n      int
 	mode   string
 	packed bool
+	// cp is the compiled protocol expandOne steps through: the run's one
+	// lowering, shared by the sequential loop and every parallel worker.
+	cp     *compile.Protocol
 	// index maps a state to its packed byte prefix (index << 2).
 	index map[fsm.State]byte
 }
 
 func newKeyCodec(p *fsm.Protocol, n int, mode string) *keyCodec {
 	kc := &keyCodec{p: p, n: n, mode: mode}
+	// Compilation fails only for protocols that fail Validate, which every
+	// caller has already checked (newBFS, checkpoint restore, tests on
+	// library protocols); a failure here is therefore a program bug.
+	cp, err := compile.Compile(p)
+	if err != nil {
+		panic(fmt.Sprintf("enum: compiling validated protocol %s: %v", p.Name, err))
+	}
+	kc.cp = cp
 	kc.packed = n >= 1 && n <= maxPackedCaches && p.NumStates() <= maxPackedStates
 	if kc.packed {
 		kc.index = make(map[fsm.State]byte, p.NumStates())

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/compile"
 	"repro/internal/fsm"
 	"repro/internal/obs"
 )
@@ -91,6 +92,11 @@ type succItem struct {
 type workerOut struct {
 	items    []succItem
 	specErrs []error
+	// base and work are the compiled-configuration scratch of expandOne:
+	// the dequeued state encoded once, and the per-successor working copy.
+	// They live here so both the sequential loop and the pooled parallel
+	// workers reuse them across expansions without allocating.
+	base, work compile.Config
 }
 
 var workerOutPool = sync.Pool{New: func() any { return new(workerOut) }}
@@ -115,11 +121,60 @@ func putFrontierSlice(s []*fsm.Config) {
 	frontierPool.Put(&s)
 }
 
+// useInterpretedExpand, when set by tests, routes expandOne through the
+// interpreted fsm.Step reference path instead of the compiled tables. The
+// compile-parity suite flips it to assert the two paths produce
+// byte-identical results over every spec and every mutant. Never set
+// outside tests; it is read without synchronization.
+var useInterpretedExpand = false
+
 // expandOne generates the successors of one frontier configuration into
 // out. It is the single expansion routine shared by the sequential engine
 // and the parallel workers' admission loop, which is what keeps the two
-// observationally identical.
+// observationally identical. The hot path steps through the run's compiled
+// protocol (kc.cp): the dequeued configuration is encoded to integer states
+// once, each successor is generated by a table-driven compiled step, and
+// only admitted successors are materialized back to fsm.Config form.
 func expandOne(kc *keyCodec, symmetric bool, cur *fsm.Config, out *workerOut) {
+	if useInterpretedExpand {
+		expandOneInterpreted(kc, symmetric, cur, out)
+		return
+	}
+	curKey := kc.key(cur)
+	p, n, cp := kc.p, kc.n, kc.cp
+	if err := cp.Encode(cur, &out.base); err != nil {
+		out.specErrs = append(out.specErrs, err)
+		return
+	}
+	for i := 0; i < n; i++ {
+		if symmetric && shadowedBySibling(cur, i) {
+			continue
+		}
+		st := int(out.base.States[i])
+		for k := range p.Ops {
+			if !cp.HasRules(st, k) {
+				continue
+			}
+			out.work.CopyFrom(&out.base)
+			if _, err := cp.Step(&out.work, i, k); err != nil {
+				out.specErrs = append(out.specErrs, err)
+				continue
+			}
+			next := cloneConfig(cur)
+			cp.Decode(&out.work, next)
+			Canonicalize(next)
+			out.items = append(out.items, succItem{
+				cfg: next, key: kc.key(next),
+				parent: curKey, cache: i, op: p.Ops[k],
+			})
+		}
+	}
+}
+
+// expandOneInterpreted is the interpreted reference expansion — the exact
+// pre-compilation code path, stepping fsm.Config through fsm.Step. It is
+// retained solely as the parity oracle for the compiled path above.
+func expandOneInterpreted(kc *keyCodec, symmetric bool, cur *fsm.Config, out *workerOut) {
 	curKey := kc.key(cur)
 	p, n := kc.p, kc.n
 	for i := 0; i < n; i++ {

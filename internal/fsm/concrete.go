@@ -139,6 +139,11 @@ type StepResult struct {
 // guard matched although rules exist for the pair, or a SrcCache rule fired
 // with no available supplier); such errors indicate an ill-formed protocol,
 // not a coherence violation. Coherence violations are detected by CheckConfig.
+//
+// Step is the reference semantics. Hot paths (the simulator, the enumeration
+// engines, trace replay) step through the compiled form instead —
+// compile.Compile then compile.Protocol.Step — which is pinned bit-for-bit
+// against this function, including error text, by the compile parity suite.
 func Step(p *Protocol, c *Config, origin int, op Op) (StepResult, error) {
 	res := StepResult{ReadVersion: NoData, Supplier: -1}
 	if origin < 0 || origin >= len(c.States) {

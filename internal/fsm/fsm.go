@@ -310,6 +310,12 @@ func (p *Protocol) ValidCopySet() map[State]bool {
 // RulesFor returns the rules matching an originator in state from applying
 // op, in declaration order. An empty result means the operation is a no-op
 // in that state (e.g. replacement of an Invalid block).
+//
+// Deprecated for hot paths: engines should dispatch through the shared
+// compiled representation (compile.Compile, then Protocol.RuleIDs), which
+// resolves this lookup into dense jump tables once per protocol. RulesFor
+// remains the authoritative declaration-order index for construction-time
+// and diagnostic use, and is what the compiler itself lowers from.
 func (p *Protocol) RulesFor(from State, op Op) []*Rule {
 	p.ensureIndex()
 	return p.ruleIndex[ruleKey{from, op}]

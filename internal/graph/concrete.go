@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/compile"
+	"repro/internal/enum"
+	"repro/internal/fsm"
+)
+
+// ConcreteEdge is one labelled transition of the concrete reachability
+// diagram between canonical configurations.
+type ConcreteEdge struct {
+	From, To int // node indexes
+	Op       fsm.Op
+	Cache    int // issuing cache index
+	Rule     string
+}
+
+// Label renders the edge label ("R0", "W2", "Z1": op mnemonic + issuing
+// cache index).
+func (e ConcreteEdge) Label() string {
+	return string(e.Op) + strconv.Itoa(e.Cache)
+}
+
+// Concrete is the transition diagram over the canonical configurations an
+// explicit-state enumeration reaches: the concrete counterpart of the
+// paper's Figure 4, with one node per distinct canonical configuration
+// instead of one per essential composite state.
+type Concrete struct {
+	Protocol *fsm.Protocol
+	N        int
+	Mode     string // enum.ModeStrict or enum.ModeCounting
+	// Nodes are the canonical configuration keys in BFS discovery order —
+	// the engines' admission order, so node numbering is deterministic.
+	Nodes []string
+	// Edges are deduplicated labelled transitions in discovery order.
+	Edges []ConcreteEdge
+	// Initial is the node index of the initial configuration (always 0).
+	Initial int
+	// Truncated reports that MaxStates stopped discovery early; edges into
+	// undiscovered configurations are omitted.
+	Truncated bool
+}
+
+// BuildConcrete enumerates the canonical configurations of p with n caches
+// under the given equivalence mode and returns the labelled transition
+// diagram, expanding through the shared compiled representation with the
+// engines' expansion policy (same op order, same counting-mode symmetry
+// pruning), so the node set matches an enum run's distinct-state census
+// exactly. maxStates > 0 bounds discovery; spec-level step errors fail the
+// build, matching the engines' refusal to certify an ill-formed protocol.
+func BuildConcrete(p *fsm.Protocol, n int, mode string, maxStates int) (*Concrete, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: need at least one cache, got %d", n)
+	}
+	if mode != enum.ModeStrict && mode != enum.ModeCounting {
+		return nil, fmt.Errorf("graph: unknown equivalence mode %q", mode)
+	}
+	cp, err := compile.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	g := &Concrete{Protocol: p, N: n, Mode: mode}
+	symmetric := mode == enum.ModeCounting
+
+	init := fsm.NewConfig(p, n)
+	enum.Canonicalize(init)
+	initKey, err := enum.CanonicalKey(init, mode)
+	if err != nil {
+		return nil, err
+	}
+	index := map[string]int{initKey: 0}
+	g.Nodes = append(g.Nodes, initKey)
+	queue := []*fsm.Config{init}
+
+	type edgeKey struct {
+		from, to int
+		op       fsm.Op
+		cache    int
+	}
+	seen := make(map[edgeKey]bool)
+
+	var base, work compile.Config
+	var decoded fsm.Config
+	for at := 0; at < len(queue); at++ {
+		cur := queue[at]
+		from := at
+		if err := cp.Encode(cur, &base); err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if symmetric && enum.SymmetryShadowed(cur, i) {
+				continue
+			}
+			st := int(base.States[i])
+			for k, op := range p.Ops {
+				if !cp.HasRules(st, k) {
+					continue
+				}
+				work.CopyFrom(&base)
+				res, err := cp.Step(&work, i, k)
+				if err != nil {
+					return nil, fmt.Errorf("graph: expanding %s: %w", g.Nodes[from], err)
+				}
+				cp.Decode(&work, &decoded)
+				enum.Canonicalize(&decoded)
+				key, err := enum.CanonicalKey(&decoded, mode)
+				if err != nil {
+					return nil, err
+				}
+				to, ok := index[key]
+				if !ok {
+					if maxStates > 0 && len(g.Nodes) >= maxStates {
+						g.Truncated = true
+						continue
+					}
+					to = len(g.Nodes)
+					index[key] = to
+					g.Nodes = append(g.Nodes, key)
+					queue = append(queue, decoded.Clone())
+				}
+				ek := edgeKey{from, to, op, i}
+				if seen[ek] {
+					continue
+				}
+				seen[ek] = true
+				rule := ""
+				if r := cp.Result(res).Rule; r != nil {
+					rule = r.Name
+				}
+				g.Edges = append(g.Edges, ConcreteEdge{From: from, To: to, Op: op, Cache: i, Rule: rule})
+			}
+		}
+	}
+	return g, nil
+}
+
+// NodeName returns a short name for node i ("c0", "c1", ...).
+func (g *Concrete) NodeName(i int) string { return fmt.Sprintf("c%d", i) }
+
+// DOT renders the concrete diagram in Graphviz format. The output is
+// deterministic: nodes in discovery order, parallel edges pooled into one
+// arrow with a combined label in discovery order.
+func (g *Concrete) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Protocol.Name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	for i, key := range g.Nodes {
+		attrs := ""
+		if i == g.Initial {
+			attrs = ", penwidth=2"
+		}
+		fmt.Fprintf(&b, "  %s [label=\"%s\\n%s\"%s];\n", g.NodeName(i), g.NodeName(i), escape(key), attrs)
+	}
+	type pair struct{ from, to int }
+	labels := make(map[pair][]string)
+	var pairs []pair
+	for _, e := range g.Edges {
+		pr := pair{e.From, e.To}
+		if _, ok := labels[pr]; !ok {
+			pairs = append(pairs, pr)
+		}
+		labels[pr] = append(labels[pr], e.Label())
+	}
+	for _, pr := range pairs {
+		fmt.Fprintf(&b, "  %s -> %s [label=\"%s\"];\n",
+			g.NodeName(pr.from), g.NodeName(pr.to), escape(strings.Join(labels[pr], ", ")))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/compile"
 	"repro/internal/fsm"
 	"repro/internal/obs"
 	"repro/internal/runctl"
@@ -135,9 +136,12 @@ func Replay(ctx context.Context, r io.Reader, p *fsm.Protocol, opts Options) (*R
 // fan-out paths: skip/limit bookkeeping, budget checks at operation
 // boundaries, and progress emission.
 type replayer struct {
-	p    *fsm.Protocol
-	meta Meta
-	opts Options
+	p *fsm.Protocol
+	// compiled is this lane's one lowering of p (internal/compile), built
+	// lazily by machine() and handed to every machine the lane creates.
+	compiled *compile.Protocol
+	meta     Meta
+	opts     Options
 
 	ops        int64 // applied
 	seen       int64 // decoded (includes skipped)
@@ -159,11 +163,20 @@ func newReplayer(p *fsm.Protocol, meta Meta, opts Options) *replayer {
 	}
 }
 
-// machine builds the simulated multiprocessor for this trace.
+// machine builds the simulated multiprocessor for this trace, compiling the
+// protocol on first use so every machine of the lane shares one lowering.
 func (r *replayer) machine() (*sim.Machine, error) {
+	if r.compiled == nil {
+		cp, err := compile.Compile(r.p)
+		if err != nil {
+			return nil, err
+		}
+		r.compiled = cp
+	}
 	caches := r.meta.Caches
 	return sim.New(sim.Config{
 		Protocol: r.p,
+		Compiled: r.compiled,
 		Caches:   caches,
 		Blocks:   r.opts.MaxBlocks,
 		Capacity: r.opts.Capacity,

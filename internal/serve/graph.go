@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/enum"
+	"repro/internal/graph"
+	"repro/internal/runctl"
+	"repro/internal/symbolic"
+)
+
+// Transition-graph export formats (GET /v1/jobs/{id}/graph?format=...).
+const (
+	GraphFormatDOT  = "dot"
+	GraphFormatJSON = "json"
+)
+
+// Content types of the graph formats.
+const (
+	graphContentDOT  = "text/vnd.graphviz; charset=utf-8"
+	graphContentJSON = "application/json"
+)
+
+// Typed graph-endpoint rejections.
+var (
+	// ErrNoGraph: the job kind has no transition graph (simulate jobs).
+	ErrNoGraph = errors.New("serve: job has no transition graph")
+	// ErrGraphNotReady: the job has not completed successfully yet.
+	ErrGraphNotReady = errors.New("serve: job has not completed successfully")
+	// ErrGraphFormat: unknown ?format value.
+	ErrGraphFormat = errors.New("serve: unknown graph format")
+)
+
+// JobGraph renders the transition graph of a completed verification job:
+// the global diagram over essential states (the paper's Figure 4) for
+// symbolic jobs, the concrete reachability diagram over canonical
+// configurations for enumeration jobs. The graph is computed on demand from
+// the job's retained protocol and options — reports stay pure verdict
+// documents — and memoized per format on the job, so repeated requests
+// return byte-identical bytes without re-expansion. The returned string is
+// the response content type.
+func (s *Server) JobGraph(ctx context.Context, id, format string) ([]byte, string, error) {
+	j, ok := s.JobByID(id)
+	if !ok {
+		return nil, "", fmt.Errorf("serve: unknown job %q", id)
+	}
+	switch format {
+	case GraphFormatDOT, GraphFormatJSON:
+	case "":
+		format = GraphFormatDOT
+	default:
+		return nil, "", fmt.Errorf("%w %q (want %q or %q)", ErrGraphFormat, format, GraphFormatDOT, GraphFormatJSON)
+	}
+	ctype := graphContentDOT
+	if format == GraphFormatJSON {
+		ctype = graphContentJSON
+	}
+	if j.kind != jobVerify || j.proto == nil {
+		return nil, "", ErrNoGraph
+	}
+	state, _, errText, _ := j.snapshot()
+	if state != StateDone || errText != "" {
+		return nil, "", fmt.Errorf("%w (state %s)", ErrGraphNotReady, state)
+	}
+
+	j.mu.Lock()
+	cached := j.graphs[format]
+	j.mu.Unlock()
+	if cached != nil {
+		return cached, ctype, nil
+	}
+
+	data, err := buildJobGraph(ctx, j, format)
+	if err != nil {
+		return nil, "", err
+	}
+	j.mu.Lock()
+	if j.graphs == nil {
+		j.graphs = make(map[string][]byte, 2)
+	}
+	j.graphs[format] = data
+	j.mu.Unlock()
+	return data, ctype, nil
+}
+
+// buildJobGraph recomputes the job's reachable structure and renders it.
+// Verification already proved the expansion terminates within the job's
+// bounds, so the rebuild is at most as expensive as the original run.
+func buildJobGraph(ctx context.Context, j *Job, format string) ([]byte, error) {
+	if j.opts.Engine == EngineSymbolic {
+		eng, err := symbolic.NewEngine(j.proto)
+		if err != nil {
+			return nil, err
+		}
+		sopts := symbolic.Options{
+			RunConfig: runctl.RunConfig{},
+			Strict:    j.opts.Strict,
+			MaxVisits: j.opts.MaxStates,
+		}
+		res, err := eng.ExpandContext(ctx, sopts)
+		if err != nil {
+			return nil, err
+		}
+		if res.Truncated {
+			return nil, fmt.Errorf("serve: graph expansion stopped: %w", res.StopReason)
+		}
+		g, err := graph.BuildGlobal(eng, res.Essential)
+		if err != nil {
+			return nil, err
+		}
+		if format == GraphFormatJSON {
+			return g.JSON()
+		}
+		return []byte(g.DOT()), nil
+	}
+
+	mode := enum.ModeStrict
+	if j.opts.Engine == EngineEnumCounting {
+		mode = enum.ModeCounting
+	}
+	g, err := graph.BuildConcrete(j.proto, j.opts.N, mode, j.opts.MaxStates)
+	if err != nil {
+		return nil, err
+	}
+	if g.Truncated {
+		return nil, fmt.Errorf("serve: graph enumeration truncated at %d states", len(g.Nodes))
+	}
+	if format == GraphFormatJSON {
+		return g.JSON()
+	}
+	return []byte(g.DOT()), nil
+}
+
+// handleJobGraph is GET /v1/jobs/{id}/graph: the transition-graph view of
+// a completed verification job, as Graphviz DOT (the default) or JSON.
+func (s *Server) handleJobGraph(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	data, ctype, err := s.JobGraph(r.Context(), id, r.URL.Query().Get("format"))
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrGraphFormat):
+			writeError(w, http.StatusBadRequest, err)
+		case errors.Is(err, ErrNoGraph):
+			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrGraphNotReady):
+			writeError(w, http.StatusConflict, err)
+		default:
+			if _, ok := s.JobByID(id); !ok {
+				writeError(w, http.StatusNotFound, err)
+				return
+			}
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", ctype)
+	w.Write(data)
+}

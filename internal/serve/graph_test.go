@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// getGraph fetches a job's graph and returns body, status and content type.
+func (tc *testClient) getGraph(t *testing.T, id, format string) ([]byte, int, string) {
+	t.Helper()
+	url := "http://ccserved/v1/jobs/" + id + "/graph"
+	if format != "" {
+		url += "?format=" + format
+	}
+	resp, err := tc.c.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), resp.StatusCode, resp.Header.Get("Content-Type")
+}
+
+// TestE2EJobGraph exercises GET /v1/jobs/{id}/graph over both engines and
+// both formats, pinning determinism: repeated fetches (served from the
+// per-job memo) and a cache-hit resubmission (rebuilt from scratch) must
+// return byte-identical documents.
+func TestE2EJobGraph(t *testing.T) {
+	srv := newServer(t, Config{Workers: 2, QueueDepth: 8})
+	tc := startUnixServer(t, srv)
+
+	// Symbolic job: the global diagram of Figure 4.
+	st, _ := tc.post(t, `{"protocol":"illinois"}`, true)
+	if st.State != StateDone {
+		t.Fatalf("job state %s", st.State)
+	}
+	dot, code, ctype := tc.getGraph(t, st.ID, "")
+	if code != 200 {
+		t.Fatalf("graph status %d: %s", code, dot)
+	}
+	if !strings.Contains(ctype, "graphviz") {
+		t.Errorf("content type %q", ctype)
+	}
+	if !strings.Contains(string(dot), `digraph "Illinois"`) {
+		t.Errorf("unexpected DOT:\n%s", dot)
+	}
+	dot2, _, _ := tc.getGraph(t, st.ID, "dot")
+	if !bytes.Equal(dot, dot2) {
+		t.Error("repeated DOT fetches differ")
+	}
+
+	jsDoc, code, ctype := tc.getGraph(t, st.ID, "json")
+	if code != 200 || ctype != "application/json" {
+		t.Fatalf("json graph status %d type %q", code, ctype)
+	}
+	var e graph.ExportJSON
+	if err := json.Unmarshal(jsDoc, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != "global" || e.Schema != graph.GraphSchema || len(e.Nodes) != 5 {
+		t.Errorf("global export = kind %s schema %d %d nodes", e.Kind, e.Schema, len(e.Nodes))
+	}
+
+	// A cache-hit resubmission is a distinct Job with no memo; its graph
+	// must still render to the same bytes.
+	st2, _ := tc.post(t, `{"protocol":"illinois"}`, true)
+	if st2.ID == st.ID || !st2.Cached {
+		t.Fatalf("resubmission: id %s cached %v", st2.ID, st2.Cached)
+	}
+	dot3, code, _ := tc.getGraph(t, st2.ID, "dot")
+	if code != 200 {
+		t.Fatalf("cache-hit graph status %d: %s", code, dot3)
+	}
+	if !bytes.Equal(dot, dot3) {
+		t.Error("cache-hit job renders a different graph")
+	}
+
+	// Enumeration job: the concrete reachability diagram.
+	st3, _ := tc.post(t, `{"protocol":"msi","engine":"enum-counting","n":3}`, true)
+	if st3.State != StateDone {
+		t.Fatalf("enum job state %s", st3.State)
+	}
+	cj, code, _ := tc.getGraph(t, st3.ID, "json")
+	if code != 200 {
+		t.Fatalf("enum graph status %d: %s", code, cj)
+	}
+	var ce graph.ExportJSON
+	if err := json.Unmarshal(cj, &ce); err != nil {
+		t.Fatal(err)
+	}
+	if ce.Kind != "concrete" || ce.N != 3 || ce.Mode != "counting" || len(ce.Nodes) == 0 {
+		t.Errorf("concrete export = %+v", ce)
+	}
+}
+
+// TestE2EJobGraphErrors pins the endpoint's rejection contract: 404 for
+// unknown jobs and graph-less kinds, 400 for unknown formats, 409 for jobs
+// that have not completed.
+func TestE2EJobGraphErrors(t *testing.T) {
+	srv := newServer(t, Config{Workers: 1, QueueDepth: 8})
+	tc := startUnixServer(t, srv)
+
+	if _, code, _ := tc.getGraph(t, "nope", ""); code != 404 {
+		t.Errorf("unknown job: %d, want 404", code)
+	}
+
+	st, _ := tc.post(t, `{"protocol":"msi"}`, true)
+	if _, code, _ := tc.getGraph(t, st.ID, "svg"); code != 400 {
+		t.Errorf("bad format: %d, want 400", code)
+	}
+
+	// Simulate jobs have no transition graph.
+	sim, code, _ := tc.postSimulate(t, `{"workload":{"kind":"uniform","seed":1,"caches":2,"blocks":8,"ops":5000},"protocols":["msi"]}`, true)
+	if code != 200 || sim.State != StateDone {
+		t.Fatalf("simulate: %d %s", code, sim.State)
+	}
+	if _, code, _ := tc.getGraph(t, sim.ID, ""); code != 404 {
+		t.Errorf("simulate job graph: %d, want 404", code)
+	}
+
+	// A job that has not finished is a 409.
+	bsrv, gate := blockingServer(t, Config{Workers: 1, QueueDepth: 8})
+	btc := startUnixServer(t, bsrv)
+	defer close(gate)
+	pend, _ := btc.post(t, `{"protocol":"illinois"}`, false)
+	if _, code, _ := btc.getGraph(t, pend.ID, ""); code != 409 {
+		t.Errorf("pending job graph: %d, want 409", code)
+	}
+}

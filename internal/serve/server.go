@@ -153,6 +153,10 @@ type Job struct {
 	cached  bool // result was served from the cache, no engine run
 	errText string
 	payload []byte // encoded Report, exactly as cached/served
+	// graphs memoizes the rendered transition-graph exports by format
+	// (see Server.JobGraph), so repeated graph requests are byte-identical
+	// without re-expanding the state space.
+	graphs map[string][]byte
 }
 
 // snapshot reads the job's terminal-relevant fields atomically.
@@ -506,12 +510,12 @@ func (s *Server) submit(sub submission, so SubmitOptions) (*Job, string, error) 
 			if sub.kind == jobSimulate {
 				s.stats.simHits.Add(1)
 			}
-			return s.recordHit(key, payload, DispositionHit)
+			return s.recordHit(sub, payload, DispositionHit)
 		}
 		if !so.NoPeerFill {
 			if payload, ok := s.peerFill(key); ok {
 				s.cache.Put(key, payload)
-				return s.recordHit(key, payload, DispositionPeer)
+				return s.recordHit(sub, payload, DispositionPeer)
 			}
 		}
 	}
@@ -589,7 +593,7 @@ func (s *Server) saturated(sub submission, timeout time.Duration, tenant string,
 	if sub.forward != nil && s.cluster != nil {
 		if payload, ok := sub.forward(timeout, tenant, so.Batch); ok {
 			s.stats.forwarded.Add(1)
-			return s.recordHit(sub.key, payload, DispositionForwarded)
+			return s.recordHit(sub, payload, DispositionForwarded)
 		}
 	}
 	s.stats.rejectedBusy.Add(1)
@@ -628,14 +632,19 @@ func (s *Server) forwardCompute(ctx context.Context, key, canonical string, opts
 
 // recordHit registers a pre-completed job record for a local or peer
 // cache hit, so the response carries a pollable job ID like every other
-// disposition.
-func (s *Server) recordHit(key string, payload []byte, disposition string) (*Job, string, error) {
+// disposition. The submission's kind, protocol and options are retained so
+// derived views of the result (the transition-graph endpoint) work on hit
+// jobs exactly as on freshly computed ones.
+func (s *Server) recordHit(sub submission, payload []byte, disposition string) (*Job, string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
 	j := &Job{
 		ID:       fmt.Sprintf("j-%06d", s.nextID),
-		CacheKey: key,
+		CacheKey: sub.key,
+		kind:     sub.kind,
+		proto:    sub.proto,
+		opts:     sub.opts,
 		done:     make(chan struct{}),
 		state:    StateDone,
 		cached:   true,

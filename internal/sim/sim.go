@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/compile"
 	"repro/internal/fsm"
 	"repro/internal/runctl"
 	"repro/internal/trace"
@@ -13,6 +14,12 @@ import (
 type Config struct {
 	// Protocol drives every cache and the bus.
 	Protocol *fsm.Protocol
+	// Compiled optionally supplies a pre-built compiled form of Protocol
+	// (compile.Compile output), letting callers that build many machines —
+	// the replay fan-out, repeated service jobs — share one lowering. When
+	// nil, or when it was compiled from a different protocol value, New
+	// compiles Protocol itself.
+	Compiled *compile.Protocol
 	// Caches is the number of processors/private caches (n ≥ 1).
 	Caches int
 	// Blocks is the number of distinct memory blocks (≥ 1). Coherence is
@@ -64,18 +71,28 @@ func (s *Stats) MissRatio() float64 {
 	return float64(s.ReadMisses+s.WriteMisses) / float64(refs)
 }
 
-// Machine is a running simulated multiprocessor.
+// Machine is a running simulated multiprocessor. Every block's coherence
+// state lives in the compiled integer representation (internal/compile);
+// stepping is jump-table dispatch with no string comparisons or map lookups,
+// and the interpreted fsm.Config form is materialized only at inspection
+// points (Block, CheckInvariants, Apply's returned StepResult).
 type Machine struct {
 	cfg   Config
 	p     *fsm.Protocol
-	block []*fsm.Config // per-block coherence state
+	cp    *compile.Protocol
+	block []*compile.Config // per-block coherence state
+	// opIdx resolves a reference's op to its compiled index once per step;
+	// ops absent from the protocol are no-ops, exactly as in fsm.Step.
+	opIdx map[fsm.Op]int
 	// lru[i] lists cache i's resident blocks, most recently used last.
-	lru        [][]int
-	stats      Stats
-	ruleCounts map[string]int64
+	lru   [][]int
+	stats Stats
+	// ruleCounts counts firings by compiled rule ID (declaration index);
+	// RuleCounts materializes the name-keyed map on demand.
+	ruleCounts []int64
 	// scratch holds the pre-step state snapshot, reused across steps so the
 	// hot path stays allocation-free.
-	scratch []fsm.State
+	scratch []int32
 	// opsSinceCheck counts operations since the last context check in
 	// RunRefs, carried across calls so batch size does not change the
 	// cancellation cadence.
@@ -87,8 +104,12 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.Protocol == nil {
 		return nil, fmt.Errorf("sim: nil protocol")
 	}
-	if err := cfg.Protocol.Validate(); err != nil {
-		return nil, err
+	cp := cfg.Compiled
+	if cp == nil || cp.Src != cfg.Protocol {
+		var err error
+		if cp, err = compile.Compile(cfg.Protocol); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Caches < 1 {
 		return nil, fmt.Errorf("sim: need at least one cache, got %d", cfg.Caches)
@@ -99,13 +120,17 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.Capacity < 0 {
 		return nil, fmt.Errorf("sim: negative capacity")
 	}
-	m := &Machine{cfg: cfg, p: cfg.Protocol}
-	m.block = make([]*fsm.Config, cfg.Blocks)
+	m := &Machine{cfg: cfg, p: cfg.Protocol, cp: cp}
+	m.block = make([]*compile.Config, cfg.Blocks)
 	for b := range m.block {
-		m.block[b] = fsm.NewConfig(cfg.Protocol, cfg.Caches)
+		m.block[b] = cp.NewConfig(cfg.Caches)
+	}
+	m.opIdx = make(map[fsm.Op]int, len(cfg.Protocol.Ops))
+	for k, op := range cfg.Protocol.Ops {
+		m.opIdx[op] = k
 	}
 	m.lru = make([][]int, cfg.Caches)
-	m.ruleCounts = make(map[string]int64, len(cfg.Protocol.Rules))
+	m.ruleCounts = make([]int64, len(cfg.Protocol.Rules))
 	return m, nil
 }
 
@@ -114,8 +139,10 @@ func New(cfg Config) (*Machine, error) {
 // core.DeadRules for the static counterpart of this dynamic coverage.
 func (m *Machine) RuleCounts() map[string]int64 {
 	out := make(map[string]int64, len(m.ruleCounts))
-	for k, v := range m.ruleCounts {
-		out[k] = v
+	for id, v := range m.ruleCounts {
+		if v != 0 {
+			out[m.p.Rules[id].Name] = v
+		}
 	}
 	return out
 }
@@ -123,12 +150,17 @@ func (m *Machine) RuleCounts() map[string]int64 {
 // Stats returns a copy of the accumulated counters.
 func (m *Machine) Stats() Stats { return m.stats }
 
-// Block exposes the coherence state of one block (for inspection/tests).
-func (m *Machine) Block(b int) *fsm.Config { return m.block[b] }
+// Block returns a snapshot of the coherence state of one block (for
+// inspection/tests), materialized from the compiled representation.
+func (m *Machine) Block(b int) *fsm.Config {
+	var c fsm.Config
+	m.cp.Decode(m.block[b], &c)
+	return &c
+}
 
 // resident reports whether cache i holds a valid copy of block b.
 func (m *Machine) resident(i, b int) bool {
-	return m.p.IsValidCopy(m.block[b].States[i])
+	return m.cp.ValidCopy[m.block[b].States[i]]
 }
 
 // touch moves block b to the MRU position of cache i's LRU list.
@@ -186,11 +218,18 @@ func (m *Machine) step(ref trace.Ref) (fsm.StepResult, error) {
 	cfg := m.block[ref.Block]
 	before := append(m.scratch[:0], cfg.States...)
 	m.scratch = before
-	wasResident := m.p.IsValidCopy(before[ref.Cache])
+	wasResident := m.cp.ValidCopy[before[ref.Cache]]
 
-	res, err := fsm.Step(m.p, cfg, ref.Cache, ref.Op)
-	if err != nil {
-		return res, err
+	cres := compile.StepResult{RuleID: -1, ReadVersion: fsm.NoData, Supplier: -1}
+	if k, ok := m.opIdx[ref.Op]; ok {
+		var err error
+		if cres, err = m.cp.Step(cfg, ref.Cache, k); err != nil {
+			return m.cp.Result(cres), err
+		}
+	} else if ref.Cache >= len(cfg.States) {
+		// fsm.Step bounds-checks the cache before dispatching, even for
+		// ops the protocol never declares.
+		return m.cp.Result(cres), fmt.Errorf("fsm: step: cache index %d out of range", ref.Cache)
 	}
 
 	m.stats.Ops++
@@ -202,7 +241,7 @@ func (m *Machine) step(ref trace.Ref) (fsm.StepResult, error) {
 		} else {
 			m.stats.ReadMisses++
 		}
-		if res.Rule != nil && !res.Rule.Data.Spin && res.ReadVersion != cfg.Latest {
+		if cres.RuleID >= 0 && !m.cp.Rules[cres.RuleID].Spin && cres.ReadVersion != cfg.Latest {
 			m.stats.StaleReads++
 		}
 	case fsm.OpWrite:
@@ -216,21 +255,21 @@ func (m *Machine) step(ref trace.Ref) (fsm.StepResult, error) {
 		m.stats.Replacements++
 	}
 
-	if res.Rule != nil {
-		m.ruleCounts[res.Rule.Name]++
-		d := res.Rule.Data
+	if cres.RuleID >= 0 {
+		m.ruleCounts[cres.RuleID]++
+		r := &m.cp.Rules[cres.RuleID]
 		// Observed transitions and sharer updates are snooping broadcasts:
 		// they occupy the bus even when no remote copy happens to exist.
-		bus := len(res.Rule.Observe) > 0 || (d.Store && d.UpdateSharers)
-		if res.Supplier >= 0 {
+		bus := r.HasObserve || (r.Store && r.UpdateSharers)
+		if cres.Supplier >= 0 {
 			m.stats.CacheSupplies++
 			bus = true
 		}
-		if d.Source == fsm.SrcMemory {
+		if r.Source == fsm.SrcMemory {
 			m.stats.MemorySupplies++
 			bus = true
 		}
-		if d.SupplierWriteBack || d.WriteBackSelf || (d.Store && d.WriteThrough) {
+		if r.SupplierWriteBack || r.WriteBackSelf || (r.Store && r.WriteThrough) {
 			m.stats.WriteBacks++
 			bus = true
 		}
@@ -243,15 +282,15 @@ func (m *Machine) step(ref trace.Ref) (fsm.StepResult, error) {
 				continue
 			}
 			next := cfg.States[j]
-			if prev != next && m.p.IsValidCopy(prev) && !m.p.IsValidCopy(next) {
+			if prev != next && m.cp.ValidCopy[prev] && !m.cp.ValidCopy[next] {
 				m.stats.Invalidations++
 				bus = true
 				m.drop(j, ref.Block)
 			}
 		}
-		if d.Store && d.UpdateSharers {
+		if r.Store && r.UpdateSharers {
 			for j := range before {
-				if j != ref.Cache && m.p.IsValidCopy(cfg.States[j]) {
+				if j != ref.Cache && m.cp.ValidCopy[cfg.States[j]] {
 					m.stats.Updates++
 					bus = true
 				}
@@ -269,7 +308,7 @@ func (m *Machine) step(ref trace.Ref) (fsm.StepResult, error) {
 	} else {
 		m.drop(ref.Cache, ref.Block)
 	}
-	return res, nil
+	return m.cp.Result(cres), nil
 }
 
 // Run drives the machine with nops references from the workload, stopping
@@ -340,8 +379,10 @@ func (m *Machine) RunRefs(ctx context.Context, refs []trace.Ref) (Stats, error) 
 // current state and returns all violations.
 func (m *Machine) CheckInvariants() []fsm.Violation {
 	var out []fsm.Violation
+	var c fsm.Config
 	for b := range m.block {
-		out = append(out, fsm.CheckConfig(m.p, m.block[b], m.cfg.Strict)...)
+		m.cp.Decode(m.block[b], &c)
+		out = append(out, fsm.CheckConfig(m.p, &c, m.cfg.Strict)...)
 	}
 	return out
 }

@@ -3,6 +3,7 @@ package symbolic
 import (
 	"fmt"
 
+	"repro/internal/compile"
 	"repro/internal/fsm"
 )
 
@@ -40,11 +41,24 @@ type ruleTab struct {
 	guardIsValidSet bool
 }
 
-// NewEngine validates the protocol and returns an engine for it.
+// NewEngine validates the protocol and returns an engine for it. The rule
+// tables are a thin adapter over the shared compiled representation
+// (internal/compile): compilation resolves every state-name lookup a rule
+// needs into integer indexes once, and the engine copies those indexes into
+// its ruleTab form. buildTablesInterpreted is the retired pre-compile
+// builder, kept as the parity oracle for the adapter.
 func NewEngine(p *fsm.Protocol) (*Engine, error) {
-	if err := p.Validate(); err != nil {
+	cp, err := compile.Compile(p) // validates p
+	if err != nil {
 		return nil, err
 	}
+	e := newEngineShell(p)
+	e.buildTablesCompiled(cp)
+	return e, nil
+}
+
+// newEngineShell builds the engine sans rule tables.
+func newEngineShell(p *fsm.Protocol) *Engine {
 	e := &Engine{p: p, n: p.NumStates()}
 	e.valid = make([]bool, e.n)
 	for _, s := range p.Inv.ValidCopy {
@@ -55,6 +69,49 @@ func NewEngine(p *fsm.Protocol) (*Engine, error) {
 			e.validIdxs = append(e.validIdxs, i)
 		}
 	}
+	return e
+}
+
+// buildTablesCompiled populates tabs and eventTabs from the compiled
+// protocol: a straight index copy, no name resolution.
+func (e *Engine) buildTablesCompiled(cp *compile.Protocol) {
+	p := e.p
+	e.tabs = make(map[*fsm.Rule]*ruleTab, len(p.Rules))
+	tabSlab := make([]ruleTab, len(p.Rules))
+	obsSlab := make([]int, len(p.Rules)*e.n)
+	for i := range cp.Rules {
+		cr := &cp.Rules[i]
+		r := &p.Rules[i]
+		t := &tabSlab[i]
+		t.rule, t.obs, t.next = r, obsSlab[i*e.n:(i+1)*e.n], int(cr.Next)
+		for c := 0; c < e.n; c++ {
+			t.obs[c] = int(cr.Obs[c])
+		}
+		for _, s := range cr.Suppliers {
+			t.suppliers = append(t.suppliers, int(s))
+		}
+		for _, g := range cr.GuardStates {
+			t.guardIdxs = append(t.guardIdxs, int(g))
+		}
+		t.guardIsValidSet = cr.GuardIsValidSet
+		e.tabs[r] = t
+	}
+	e.eventTabs = make([][][]*ruleTab, e.n)
+	for oi := 0; oi < e.n; oi++ {
+		e.eventTabs[oi] = make([][]*ruleTab, len(p.Ops))
+		for k := range p.Ops {
+			for _, id := range cp.RuleIDs(oi, k) {
+				e.eventTabs[oi][k] = append(e.eventTabs[oi][k], e.tabs[&p.Rules[id]])
+			}
+		}
+	}
+}
+
+// buildTablesInterpreted is the pre-compile table construction, resolving
+// names through the protocol's lazy map indexes. Retained only so the
+// compile-parity suite can pin the adapter against it.
+func (e *Engine) buildTablesInterpreted() {
+	p := e.p
 	e.tabs = make(map[*fsm.Rule]*ruleTab, len(p.Rules))
 	tabSlab := make([]ruleTab, len(p.Rules))
 	obsSlab := make([]int, len(p.Rules)*e.n)
@@ -83,6 +140,16 @@ func NewEngine(p *fsm.Protocol) (*Engine, error) {
 			}
 		}
 	}
+}
+
+// newEngineInterpreted is NewEngine over the interpreted table builder;
+// test-only parity oracle.
+func newEngineInterpreted(p *fsm.Protocol) (*Engine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	e := newEngineShell(p)
+	e.buildTablesInterpreted()
 	return e, nil
 }
 

@@ -15,6 +15,7 @@
 // The package is a thin facade over the implementation packages:
 //
 //   - internal/fsm        protocol model (states, rules, data effects)
+//   - internal/compile    shared compiled representation and .ccfsm format
 //   - internal/symbolic   composite states and the expansion algorithm
 //   - internal/enum       explicit-state enumeration baselines
 //   - internal/protocols  Illinois, Write-Once, Synapse, Berkeley, Firefly,
@@ -39,6 +40,7 @@ import (
 	"io"
 
 	"repro/internal/ccpsl"
+	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/fsm"
 	"repro/internal/mutate"
@@ -166,3 +168,34 @@ func FormatSpec(p *Protocol) string { return ccpsl.Format(p) }
 // Mutants returns fault-injected variants of p, each breaking exactly one
 // rule. Verifying them demonstrates erroneous-state detection.
 func Mutants(p *Protocol) []Mutant { return mutate.Catalog(p) }
+
+// CompiledProtocol is the shared compiled representation of a protocol:
+// dense integer-indexed jump tables that every engine (the simulator, the
+// enumeration engines, the symbolic expansion, trace replay) dispatches
+// through. Compiling validates the protocol once; stepping through the
+// compiled form is bit-identical to the interpreted fsm semantics.
+type CompiledProtocol = compile.Protocol
+
+// Compile lowers a protocol into its compiled representation.
+func Compile(p *Protocol) (*CompiledProtocol, error) { return compile.Compile(p) }
+
+// EncodeProtocol renders a protocol in the compact binary .ccfsm
+// interchange format (see docs/ccpsl.md); DecodeProtocol inverts it.
+func EncodeProtocol(p *Protocol) ([]byte, error) { return compile.EncodeBinary(p) }
+
+// DecodeProtocol parses a .ccfsm document back into a validated protocol.
+func DecodeProtocol(data []byte) (*Protocol, error) { return compile.DecodeBinary(data) }
+
+// WriteProtocolFile writes p to path in the .ccfsm format.
+func WriteProtocolFile(path string, p *Protocol) error { return compile.WriteFile(path, p) }
+
+// ReadProtocolFile reads a .ccfsm file into a validated protocol.
+func ReadProtocolFile(path string) (*Protocol, error) { return compile.ReadFile(path) }
+
+// RegisterProtocol adds a protocol to the library under its canonical
+// name, making it addressable by ProtocolByName like any built-in.
+func RegisterProtocol(p *Protocol) error { return protocols.Register(p) }
+
+// LoadProtocolDir registers every .ccfsm protocol in dir, returning the
+// names added.
+func LoadProtocolDir(dir string) ([]string, error) { return protocols.LoadDir(dir) }
